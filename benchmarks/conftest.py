@@ -1,0 +1,48 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one of the paper's figures (or a
+theorem's quantitative claim) and reports the reproduced rows with
+``emit``.  Reports are buffered per test and flushed to the real stdout
+in fixture teardown with capture suspended, so the reproduction tables
+appear in plain ``pytest benchmarks/ --benchmark-only`` output — no
+``-s`` needed.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import pytest
+
+_REPORT_BUFFER: List[str] = []
+
+
+def emit(text: str) -> None:
+    """Queue one reproduction row for printing after the test."""
+    _REPORT_BUFFER.append(text)
+
+
+@pytest.fixture(autouse=True)
+def _flush_reports(capsys):
+    """Print each test's buffered report outside pytest's capture."""
+    _REPORT_BUFFER.clear()
+    yield
+    if _REPORT_BUFFER:
+        with capsys.disabled():
+            print()
+            for line in _REPORT_BUFFER:
+                print(line)
+    _REPORT_BUFFER.clear()
+
+
+@pytest.fixture
+def report_header(request):
+    """Queue a banner naming the experiment."""
+
+    def _header(title: str) -> None:
+        emit("")
+        emit("=" * 72)
+        emit(title)
+        emit("=" * 72)
+
+    return _header

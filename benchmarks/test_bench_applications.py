@@ -1,0 +1,125 @@
+"""Experiment apps — the introduction's motivating applications, timed.
+
+* **Dynamic client churn**: clients join a client–server system at
+  runtime; the timestamp size must remain the server count throughout
+  (the operational version of the Section 3.3 claim).
+* **Predicate detection**: weak conjunctive predicate search driven
+  purely by event-timestamp comparisons.
+* **Orphan detection**: rollback-recovery classification via vector
+  dominance tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.apps.predicate_detection import detect_weak_conjunctive_predicate
+from repro.apps.recovery import find_orphans
+from repro.clocks.events import timestamp_internal_events
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.graphs.dynamic import DynamicOnlineSystem
+from repro.graphs.generators import client_server_topology, complete_topology
+from repro.order.checker import check_encoding
+from repro.sim.computation import EventedComputation
+from repro.sim.workload import random_computation
+
+
+def test_dynamic_client_churn(benchmark, report_header):
+    report_header(
+        "Application: client churn — vector size under joins"
+    )
+
+    def churn():
+        system = DynamicOnlineSystem(
+            decompose(client_server_topology(3, 3))
+        )
+        rng = random.Random(5)
+        sizes = [system.vector_size]
+        for serial in range(60):
+            client = f"C_join{serial}"
+            server = f"S{rng.randint(1, 3)}"
+            system.connect(client, server)
+            system.send_message(client, server)
+            system.send_message(server, client)
+            sizes.append(system.vector_size)
+        return system, sizes
+
+    system, sizes = benchmark(churn)
+    emit(
+        render_table(
+            ["joins", "messages", "vector size (start)", "vector size (end)"],
+            [[60, 120, sizes[0], sizes[-1]]],
+        )
+    )
+    assert set(sizes) == {3}
+    clock = OnlineEdgeClock(system.decomposition.snapshot())
+    assert check_encoding(clock, system.assignment()).characterizes
+
+
+def test_predicate_detection(benchmark, report_header):
+    report_header(
+        "Application: weak conjunctive predicate detection via "
+        "event-timestamp comparisons"
+    )
+    topology = complete_topology(6)
+    computation = random_computation(topology, 40, random.Random(17))
+    evented = EventedComputation.with_events_per_slot(computation, 1)
+    clock = OnlineEdgeClock(decompose(topology))
+    assignment = clock.timestamp_computation(computation)
+    stamps = timestamp_internal_events(
+        evented, assignment, clock.timestamp_size
+    )
+    rng = random.Random(3)
+    candidates = {}
+    for process in computation.processes:
+        events = [
+            e
+            for e in evented.internal_events()
+            if e.process == process and rng.random() < 0.5
+        ]
+        if events:
+            candidates[process] = events
+
+    witness = benchmark(
+        detect_weak_conjunctive_predicate, candidates, stamps
+    )
+    total = sum(len(v) for v in candidates.values())
+    emit(
+        f"processes={len(candidates)} candidate events={total} "
+        f"witness found={witness is not None}"
+    )
+    if witness is not None:
+        emit(repr(witness))
+
+
+def test_orphan_detection(benchmark, report_header):
+    report_header(
+        "Application: orphan detection for rollback recovery "
+        "(pure vector dominance tests)"
+    )
+    topology = complete_topology(8)
+    computation = random_computation(topology, 200, random.Random(23))
+    clock = OnlineEdgeClock(decompose(topology))
+    assignment = clock.timestamp_computation(computation)
+
+    report = benchmark(find_orphans, computation, assignment, "P1", 2)
+    emit(
+        render_table(
+            ["crashed", "stable", "lost", "orphans", "survivors"],
+            [
+                [
+                    "P1",
+                    2,
+                    len(report.lost),
+                    len(report.orphans),
+                    len(report.surviving_messages(computation)),
+                ]
+            ],
+        )
+    )
+    assert len(report.lost) + len(report.orphans) + len(
+        report.surviving_messages(computation)
+    ) == len(computation)

@@ -1,0 +1,61 @@
+"""Experiment dim — width vs true dimension (Section 4 context).
+
+The offline algorithm spends ``width(M)`` components; the information-
+theoretic floor is the poset's *dimension*, which is NP-hard to compute
+(Yannakakis) and can be strictly smaller than the width.  On tiny
+computations we can brute-force the dimension and measure the gap the
+offline algorithm leaves on the table — the price of polynomial-time,
+online-friendly construction.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.core.chains import width
+from repro.core.dimension import dimension
+from repro.graphs.generators import complete_topology
+from repro.order.message_order import message_poset
+from repro.sim.workload import random_computation
+
+TRIALS = 12
+MESSAGES = 7  # brute-force dimension is exponential; keep posets tiny
+
+
+def test_width_vs_dimension_gap(benchmark, report_header):
+    report_header(
+        "Width (offline vector size) vs exact dimension on tiny "
+        "computations"
+    )
+    topology = complete_topology(6)
+
+    def sweep():
+        rows = []
+        gaps = 0
+        for seed in range(TRIALS):
+            computation = random_computation(
+                topology, MESSAGES, random.Random(seed)
+            )
+            poset = message_poset(computation)
+            if len(poset) == 0:
+                continue
+            w = width(poset)
+            d = dimension(poset)
+            if d < w:
+                gaps += 1
+            rows.append([seed, len(poset), w, d])
+        return rows, gaps
+
+    rows, gaps = benchmark(sweep)
+    emit(
+        render_table(
+            ["seed", "messages", "width (used)", "dimension (floor)"],
+            rows,
+        )
+    )
+    emit(f"computations where dimension < width: {gaps}/{len(rows)}")
+    for _, _, w, d in rows:
+        assert d <= w  # Dilworth: dim <= width, always
+        assert d >= 1

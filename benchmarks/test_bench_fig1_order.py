@@ -1,0 +1,66 @@
+"""Experiment fig1 — the Figure 1 computation and its order relations.
+
+Regenerates every relation the paper states for Figure 1 and times the
+ground-truth poset construction on computations of that shape.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.order.message_order import (
+    longest_chain_size_between,
+    message_poset,
+)
+from repro.sim.paper_figures import figure1_computation
+from repro.sim.workload import random_computation
+from repro.viz.timediagram import render_time_diagram
+
+
+def test_fig1_relations(benchmark, report_header):
+    report_header("Figure 1: a synchronous computation with 4 processes")
+    computation = figure1_computation()
+    poset = benchmark(message_poset, computation)
+
+    def m(name):
+        return computation.message(name)
+
+    rows = [
+        ["m1 || m2", poset.concurrent(m("m1"), m("m2")), "m1 || m2"],
+        ["m1 |> m3", poset.less(m("m1"), m("m3")), "m1 |> m3"],
+        ["m2 -> m6", poset.less(m("m2"), m("m6")), "m2 -> m6"],
+        ["m3 -> m5", poset.less(m("m3"), m("m5")), "m3 -> m5"],
+        [
+            "chain m1..m5 size",
+            longest_chain_size_between(computation, m("m1"), m("m5")),
+            "4",
+        ],
+    ]
+    emit(render_table(["relation", "measured", "paper"], rows))
+    emit("")
+    emit(render_time_diagram(computation))
+
+    assert poset.concurrent(m("m1"), m("m2"))
+    assert poset.less(m("m2"), m("m6"))
+    assert poset.less(m("m3"), m("m5"))
+    assert (
+        longest_chain_size_between(computation, m("m1"), m("m5")) == 4
+    )
+
+
+def test_fig1_poset_construction_scaling(benchmark, report_header):
+    report_header(
+        "Figure 1 substrate: ground-truth poset construction cost"
+    )
+    from repro.graphs.generators import path_topology
+
+    topology = path_topology(4)
+    computation = random_computation(topology, 200, random.Random(1))
+    poset = benchmark(message_poset, computation)
+    emit(
+        f"messages={len(computation)}  ordered_pairs="
+        f"{len(poset.relation_pairs())}"
+    )
+    assert len(poset) == 200

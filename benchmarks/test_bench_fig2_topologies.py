@@ -1,0 +1,40 @@
+"""Experiment fig2 — the communication topologies of Figure 2.
+
+(a) the fully-connected system; (b) the reconstructed 11-node system.
+Prints their structural statistics and times the default decomposition
+entry point on each.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology, paper_fig2b_graph
+
+
+def test_fig2a_complete_topology(benchmark, report_header):
+    report_header("Figure 2(a): fully-connected topology")
+    graph = complete_topology(5)
+    decomposition = benchmark(decompose, graph)
+    emit(
+        render_table(
+            ["N", "edges", "decomposition size", "paper bound N-2"],
+            [[5, graph.edge_count(), decomposition.size, 3]],
+        )
+    )
+    assert decomposition.size == 3
+
+
+def test_fig2b_general_topology(benchmark, report_header):
+    report_header("Figure 2(b): general 11-node topology (reconstruction)")
+    graph = paper_fig2b_graph()
+    decomposition = benchmark(decompose, graph)
+    emit(
+        render_table(
+            ["vertices", "edges", "decomposition size"],
+            [[graph.vertex_count(), graph.edge_count(), decomposition.size]],
+        )
+    )
+    emit(decomposition.describe())
+    assert decomposition.size == 5

@@ -1,0 +1,58 @@
+"""Experiment fig4 — the 20-process tree and its 3-star decomposition.
+
+Regenerates Figure 4 (three edge groups E1, E2, E3) and extends it with
+the scaling claim of Section 3.3: growing the leaf population leaves the
+decomposition size — and therefore the timestamp size — unchanged, while
+Fidge–Mattern's grows linearly.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.graphs.decomposition import paper_decomposition_algorithm
+from repro.graphs.generators import paper_fig4_tree, tree_topology
+
+
+def test_fig4_tree_decomposition(benchmark, report_header):
+    report_header("Figure 4: tree-based computation with 20 processes")
+    graph = paper_fig4_tree()
+    decomposition, _ = benchmark(paper_decomposition_algorithm, graph)
+    emit(
+        render_table(
+            ["processes", "edges", "edge groups", "paper"],
+            [[graph.vertex_count(), graph.edge_count(), decomposition.size, 3]],
+        )
+    )
+    emit(decomposition.describe())
+    assert decomposition.size == 3
+    assert all(group.kind == "star" for group in decomposition.groups)
+
+
+def test_fig4_leaf_scaling(benchmark, report_header):
+    report_header(
+        "Figure 4 extension: vector size is constant as leaves grow"
+    )
+
+    def sweep():
+        rows = []
+        for leaves in (2, 5, 10, 20, 40):
+            graph = tree_topology(3, leaves)
+            decomposition, _ = paper_decomposition_algorithm(graph)
+            rows.append(
+                [
+                    graph.vertex_count(),
+                    decomposition.size,
+                    graph.vertex_count(),  # FM size
+                ]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        render_table(
+            ["N (processes)", "online size d", "FM size N"], rows
+        )
+    )
+    sizes = {row[1] for row in rows}
+    assert sizes == {3}, "decomposition size must stay constant"

@@ -1,0 +1,54 @@
+"""Experiment fig6 — the sample execution of Figure 6.
+
+Regenerates the highlighted timestamps (the P2→P3 message must receive
+(1,1,1)) and the paper's remark that the offline algorithm needs only
+2-dimensional vectors for this computation.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.clocks.offline import OfflineRealizerClock, offline_vector_size
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.vector import VectorTimestamp
+from repro.sim.paper_figures import figure6_computation
+from repro.viz.timediagram import render_time_diagram
+
+
+def test_fig6_online_execution(benchmark, report_header):
+    report_header("Figure 6: sample online execution on K5")
+    computation, decomposition = figure6_computation()
+    clock = OnlineEdgeClock(decomposition)
+    assignment = benchmark(clock.timestamp_computation, computation)
+
+    emit(decomposition.describe())
+    emit("")
+    rows = [
+        [
+            message.name,
+            f"{message.sender}->{message.receiver}",
+            f"E{clock.group_of_message(message) + 1}",
+            repr(assignment.of(message)),
+        ]
+        for message in computation.messages
+    ]
+    emit(render_table(["msg", "channel", "group", "timestamp"], rows))
+    emit("")
+    emit(render_time_diagram(computation))
+
+    assert assignment.of_name("m3") == VectorTimestamp([1, 1, 1])
+
+
+def test_fig6_offline_two_components(benchmark, report_header):
+    report_header("Figure 6: offline algorithm uses 2-dimensional vectors")
+    computation, _ = figure6_computation()
+    clock = OfflineRealizerClock()
+    assignment = benchmark(clock.timestamp_computation, computation)
+    rows = [
+        [message.name, repr(assignment.of(message))]
+        for message in computation.messages
+    ]
+    emit(render_table(["msg", "offline timestamp"], rows))
+    emit(f"width (vector size) = {clock.timestamp_size}  paper: 2")
+    assert offline_vector_size(computation) == 2

@@ -1,0 +1,31 @@
+"""Experiment fig7 — runtime of the Figure 7 decomposition algorithm.
+
+The paper states O(|V||E|) complexity; this bench measures the wall
+time over growing random graphs so the growth trend is visible, and
+verifies the output sizes stay within the proven bounds.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.graphs.decomposition import paper_decomposition_algorithm
+from repro.graphs.generators import random_connected
+
+SIZES = [20, 40, 80]
+
+
+@pytest.mark.parametrize("n", SIZES, ids=[f"n={n}" for n in SIZES])
+def test_fig7_runtime_scaling(benchmark, report_header, n):
+    graph = random_connected(n, n, random.Random(42))
+    decomposition, _ = benchmark(paper_decomposition_algorithm, graph)
+    report_header(f"Figure 7 algorithm on |V|={n}, |E|={graph.edge_count()}")
+    emit(
+        f"groups={decomposition.size} "
+        f"(stars={decomposition.star_count()}, "
+        f"triangles={decomposition.triangle_count()})"
+    )
+    assert decomposition.size <= max(1, n - 2)

@@ -1,0 +1,87 @@
+"""Experiment states — the lattice of consistent global states.
+
+Context for the monitoring applications: the number of consistent cuts
+(order ideals of the message poset) explodes with concurrency, which is
+exactly why timestamp-based tests (one vector comparison) beat
+state-space exploration.  We count the lattice for workloads of
+increasing concurrency and time the vector-frontier snapshot that
+sidesteps it.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.vector import VectorTimestamp
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology
+from repro.order.cuts import snapshot_at
+from repro.order.message_order import message_poset
+from repro.sim.workload import (
+    adversarial_antichain_computation,
+    random_computation,
+    sequential_chain_computation,
+)
+from repro.viz.lattice import lattice_statistics
+
+
+def test_global_state_counts(benchmark, report_header):
+    report_header(
+        "Global states: lattice size vs workload concurrency "
+        "(16 messages each)"
+    )
+    topology = complete_topology(8)
+    workloads = {
+        "chain": sequential_chain_computation(
+            topology, 16, random.Random(1)
+        ),
+        "random": random_computation(topology, 16, random.Random(1)),
+        "antichain": adversarial_antichain_computation(topology, 4),
+    }
+
+    def count_all():
+        return {
+            label: lattice_statistics(
+                message_poset(computation), limit=2_000_000
+            )["states"]
+            for label, computation in workloads.items()
+        }
+
+    counts = benchmark(count_all)
+    emit(
+        render_table(
+            ["workload", "messages", "consistent global states"],
+            [
+                [label, len(workloads[label]), counts[label]]
+                for label in workloads
+            ],
+        )
+    )
+    assert counts["chain"] == 17  # n + 1 for a chain
+    assert counts["antichain"] > counts["random"] >= counts["chain"]
+
+
+def test_snapshot_is_cheap(benchmark, report_header):
+    report_header(
+        "Global states: vector-frontier snapshot cost "
+        "(one comparison per message, no lattice search)"
+    )
+    topology = complete_topology(8)
+    computation = random_computation(topology, 400, random.Random(7))
+    clock = OnlineEdgeClock(decompose(topology))
+    assignment = clock.timestamp_computation(computation)
+    frontier = VectorTimestamp(
+        component // 2
+        for component in assignment.of(computation.messages[-1])
+    )
+
+    cut = benchmark(snapshot_at, computation, assignment, frontier)
+    kept = cut.messages(computation)
+    emit(
+        f"messages=400  snapshot keeps {len(kept)}  "
+        f"(frontier = half of the final vector)"
+    )
+    assert 0 < len(kept) < 400

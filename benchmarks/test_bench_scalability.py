@@ -1,0 +1,73 @@
+"""Experiment scale — the headline claim: timestamp size d ≪ N.
+
+For each topology family the paper discusses, sweep the process count
+and print the online vector size next to Fidge–Mattern's N.  The shape
+to observe: star/triangle stay at 1, client–server stays at the server
+count, trees stay at the hub count, and only the complete graph tracks
+N (at N−2).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.overhead import sweep_topologies
+from repro.analysis.report import render_table
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    star_topology,
+    tree_topology,
+)
+
+
+def test_scalability_sweep(benchmark, report_header):
+    report_header(
+        "Scalability: online vector size d vs Fidge-Mattern's N"
+    )
+    from repro.graphs.generators import federated_topology
+
+    families = {
+        "star": [star_topology(n - 1) for n in (4, 8, 16, 32)],
+        "tree(3 hubs)": [
+            tree_topology(3, leaves) for leaves in (1, 3, 9, 19)
+        ],
+        "client-server(2S)": [
+            client_server_topology(2, clients)
+            for clients in (2, 6, 14, 30)
+        ],
+        "federated(3x1S)": [
+            federated_topology(3, clients) for clients in (1, 3, 7, 15)
+        ],
+        "complete": [complete_topology(n) for n in (4, 8, 16, 32)],
+    }
+    rows = benchmark(sweep_topologies, families)
+    emit(
+        render_table(
+            ["topology", "N", "d (online)", "N (FM)", "saving"],
+            [
+                [
+                    row.label,
+                    row.process_count,
+                    row.online_size,
+                    row.fm_size,
+                    f"{row.saving_factor:.1f}x",
+                ]
+                for row in rows
+            ],
+        )
+    )
+    by_family = {}
+    for row in rows:
+        by_family.setdefault(row.label.split("/")[0], []).append(row)
+    # Constant-size families stay flat while N quadruples-plus.
+    for family in (
+        "star",
+        "tree(3 hubs)",
+        "client-server(2S)",
+        "federated(3x1S)",
+    ):
+        sizes = {row.online_size for row in by_family[family]}
+        assert len(sizes) == 1, f"{family} should have constant d"
+    # The complete graph is the worst case: d = N - 2.
+    for row in by_family["complete"]:
+        assert row.online_size == row.process_count - 2

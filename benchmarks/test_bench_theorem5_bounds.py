@@ -1,0 +1,76 @@
+"""Experiment thm5 — vector size ≤ min(β(G), N−2), and β ≤ 2α.
+
+Sweeps topology families, printing for each: the decomposition size our
+library actually uses, the optimal vertex cover β, and the paper's
+bound.  Also regenerates the tightness example (t disjoint triangles:
+α = t, β = 2t).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.graphs.decomposition import decompose, optimal_size
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    disjoint_triangles,
+    random_gnp,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.graphs.vertex_cover import minimum_vertex_cover_size
+
+
+def test_theorem5_bound_sweep(benchmark, report_header):
+    report_header("Theorem 5: d <= min(beta(G), N-2) across families")
+
+    families = {
+        "star(8)": star_topology(7),
+        "ring(8)": ring_topology(8),
+        "tree(3x4)": tree_topology(3, 4),
+        "client-server(2S,8C)": client_server_topology(2, 8),
+        "complete(8)": complete_topology(8),
+        "gnp(9,0.4)": random_gnp(9, 0.4, random.Random(4)),
+    }
+
+    def sweep():
+        rows = []
+        for label, graph in families.items():
+            d = decompose(graph).size
+            beta = minimum_vertex_cover_size(graph)
+            n = graph.vertex_count()
+            bound = max(1, min(beta, n - 2))
+            rows.append([label, n, d, beta, bound, d <= bound])
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        render_table(
+            ["topology", "N", "d (ours)", "beta", "min(beta,N-2)", "holds"],
+            rows,
+        )
+    )
+    assert all(row[-1] for row in rows)
+
+
+def test_theorem5_tightness_disjoint_triangles(benchmark, report_header):
+    report_header(
+        "Theorem 5 tightness: t disjoint triangles give beta = 2*alpha"
+    )
+
+    def sweep():
+        rows = []
+        for t in (1, 2, 3, 4):
+            graph = disjoint_triangles(t)
+            alpha = optimal_size(graph)
+            beta = minimum_vertex_cover_size(graph)
+            rows.append([t, alpha, beta, beta == 2 * alpha])
+        return rows
+
+    rows = benchmark(sweep)
+    emit(render_table(["t", "alpha", "beta", "beta == 2*alpha"], rows))
+    assert all(row[-1] for row in rows)

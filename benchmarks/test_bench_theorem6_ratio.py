@@ -1,0 +1,64 @@
+"""Experiment thm6 — empirical approximation ratio of the Figure 7
+algorithm (proved bound: 2), with an ablation of the step-3 heuristic.
+
+Sweeps random graphs, compares the algorithm's decomposition size to the
+exact optimum, and reports the worst and mean ratio for the paper's
+most-adjacent-edge pivot versus a first-edge pivot (the proof does not
+depend on the choice, so both must stay below 2 — the interesting
+question is how much the heuristic helps in practice).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.graphs.decomposition import (
+    optimal_size,
+    paper_decomposition_algorithm,
+)
+from repro.graphs.generators import random_gnp
+
+TRIALS = 25
+
+
+def _ratios(step3_choice: str) -> List[float]:
+    ratios = []
+    for seed in range(TRIALS):
+        graph = random_gnp(8, 0.45, random.Random(seed))
+        if graph.edge_count() == 0:
+            continue
+        produced, _ = paper_decomposition_algorithm(
+            graph, step3_choice=step3_choice
+        )
+        ratios.append(produced.size / optimal_size(graph))
+    return ratios
+
+
+def test_theorem6_ratio_and_step3_ablation(benchmark, report_header):
+    report_header(
+        "Theorem 6: empirical approximation ratio (bound: 2.0), "
+        "plus step-3 pivot ablation"
+    )
+    heuristic = benchmark(_ratios, "most-adjacent")
+    naive = _ratios("first")
+
+    rows = [
+        [
+            "most-adjacent (paper)",
+            f"{max(heuristic):.2f}",
+            f"{sum(heuristic) / len(heuristic):.3f}",
+        ],
+        [
+            "first-edge (ablation)",
+            f"{max(naive):.2f}",
+            f"{sum(naive) / len(naive):.3f}",
+        ],
+    ]
+    emit(render_table(["step-3 pivot", "worst ratio", "mean ratio"], rows))
+    # Theorem 6 guarantees the bound for both pivot rules; which one is
+    # better on average is what the printed table reports.
+    assert max(heuristic) <= 2.0
+    assert max(naive) <= 2.0

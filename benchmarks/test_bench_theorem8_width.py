@@ -1,0 +1,83 @@
+"""Experiment thm8 — width(M, ↦) ≤ ⌊N/2⌋ and the realizer ablation.
+
+Sweeps N and workload shape, reporting measured width against the bound,
+and compares the realizer size obtained from the matching-optimal chain
+partition (what the library uses) against the greedy longest-chain
+partition (ablation from DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.report import render_table
+from repro.core.chains import (
+    greedy_chain_partition,
+    minimum_chain_partition,
+    width,
+)
+from repro.graphs.generators import complete_topology
+from repro.order.message_order import message_poset
+from repro.sim.workload import (
+    adversarial_antichain_computation,
+    random_computation,
+)
+
+
+def test_theorem8_width_sweep(benchmark, report_header):
+    report_header("Theorem 8: width(M) vs floor(N/2) across N")
+
+    def sweep():
+        rows = []
+        for n in (4, 6, 8, 10, 12):
+            topology = complete_topology(n)
+            random_width = width(
+                message_poset(
+                    random_computation(topology, 80, random.Random(n))
+                )
+            )
+            adversarial_width = width(
+                message_poset(
+                    adversarial_antichain_computation(topology, 10)
+                )
+            )
+            rows.append(
+                [n, random_width, adversarial_width, n // 2]
+            )
+        return rows
+
+    rows = benchmark(sweep)
+    emit(
+        render_table(
+            ["N", "width(random)", "width(adversarial)", "floor(N/2)"],
+            rows,
+        )
+    )
+    for _, random_width, adversarial_width, bound in rows:
+        assert random_width <= bound
+        assert adversarial_width == bound  # the workload saturates it
+
+
+def test_theorem8_chain_partition_ablation(benchmark, report_header):
+    report_header(
+        "Ablation: matching-optimal vs greedy chain partition "
+        "(realizer / vector size)"
+    )
+    topology = complete_topology(10)
+    computation = random_computation(topology, 120, random.Random(9))
+    poset = message_poset(computation)
+
+    optimal = benchmark(minimum_chain_partition, poset)
+    greedy = greedy_chain_partition(poset)
+    emit(
+        render_table(
+            ["partition", "chains (= vector size)"],
+            [
+                ["matching-optimal (library)", len(optimal)],
+                ["greedy longest-chain (ablation)", len(greedy)],
+            ],
+        )
+    )
+    assert len(optimal) == width(poset)
+    assert len(greedy) >= len(optimal)

@@ -1,0 +1,124 @@
+"""Experiment perf — timestamping and precedence-test costs.
+
+Times, for online / offline / Fidge–Mattern / Lamport / direct
+dependency:
+
+* the cost of timestamping a full workload, and
+* the cost of precedence queries over the resulting timestamps
+  (vector comparison of size d vs size N vs graph walking).
+
+The shape to observe: online piggybacks d-sized vectors and answers
+queries in O(d); FM pays N; Lamport is cheapest but incomplete; the
+Fowler–Zwaenepoel tracer pays per *query* what the others pay per
+*message*.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.clocks.dependency import DependencyTracer, DirectDependencyRecord
+from repro.clocks.fm import FMMessageClock
+from repro.clocks.lamport import LamportMessageClock
+from repro.clocks.offline import OfflineRealizerClock
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import client_server_topology
+from repro.sim.workload import random_computation
+
+TOPOLOGY = client_server_topology(3, 27)  # N = 30, d = 3
+MESSAGES = 400
+
+
+def _workload():
+    return random_computation(TOPOLOGY, MESSAGES, random.Random(11))
+
+
+def _clock(name: str):
+    if name == "online":
+        return OnlineEdgeClock(decompose(TOPOLOGY))
+    if name == "offline":
+        return OfflineRealizerClock()
+    if name == "fm":
+        return FMMessageClock.for_topology(TOPOLOGY)
+    return LamportMessageClock.for_topology(TOPOLOGY)
+
+
+STAMPERS = ["online", "offline", "fm", "lamport"]
+
+
+@pytest.mark.parametrize("name", STAMPERS, ids=STAMPERS)
+def test_timestamping_throughput(benchmark, report_header, name):
+    computation = _workload()
+    clock = _clock(name)
+    benchmark(clock.timestamp_computation, computation)
+    report_header(
+        f"Throughput: {name} stamping {MESSAGES} messages on N=30 "
+        f"client-server"
+    )
+    emit(f"vector size = {clock.timestamp_size}")
+
+
+def test_threaded_rendezvous_throughput(benchmark, report_header):
+    """Wall-clock cost of *real* rendezvous including the piggybacking:
+    a ping-pong pair exchanging 200 synchronous messages on threads."""
+    from repro.graphs.generators import path_topology
+    from repro.sim.runtime import ScriptRunner, receive, send
+
+    decomposition = decompose(path_topology(2))
+    rounds = 100
+    scripts = {
+        "P1": [send("P2"), receive("P2")] * rounds,
+        "P2": [receive("P1"), send("P1")] * rounds,
+    }
+
+    def run_once():
+        return ScriptRunner(decomposition, scripts, timeout=30.0).run()
+
+    transport = benchmark(run_once)
+    report_header(
+        "Threaded runtime: blocking-send rendezvous throughput"
+    )
+    emit(f"messages per run: {len(transport.log)}")
+    assert len(transport.log) == 2 * rounds
+
+
+@pytest.mark.parametrize(
+    "name", ["online", "fm", "dependency"], ids=["online", "fm", "dependency"]
+)
+def test_precedence_query_cost(benchmark, report_header, name):
+    computation = _workload()
+    messages = computation.messages
+    pairs = [
+        (messages[i], messages[j])
+        for i in range(0, MESSAGES, 13)
+        for j in range(0, MESSAGES, 17)
+        if i != j
+    ]
+
+    if name == "dependency":
+        tracer = DependencyTracer(DirectDependencyRecord(computation))
+
+        def query_all():
+            return sum(1 for a, b in pairs if tracer.precedes(a, b))
+
+    else:
+        clock = _clock(name)
+        assignment = clock.timestamp_computation(computation)
+
+        def query_all():
+            return sum(
+                1
+                for a, b in pairs
+                if clock.precedes(assignment.of(a), assignment.of(b))
+            )
+
+    ordered = benchmark(query_all)
+    report_header(
+        f"Precedence queries ({len(pairs)} pairs) via {name}"
+    )
+    emit(f"pairs reported ordered: {ordered}")
+    assert 0 <= ordered <= len(pairs)

@@ -1,0 +1,80 @@
+"""Experiment profiles — concurrency shape of every workload family.
+
+Not a paper figure per se, but the context for all of them: the width,
+height and concurrency density of each workload family determine which
+clock wins by how much (width = offline vector size; concurrency ratio
+= where Lamport/plausible degrade).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.profile import profile_computation, profile_rows
+from repro.analysis.report import render_table
+from repro.graphs.generators import (
+    complete_topology,
+    path_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.sim.workload import (
+    adversarial_antichain_computation,
+    master_worker_computation,
+    phased_computation,
+    pipeline_computation,
+    random_computation,
+    ring_token_computation,
+    sequential_chain_computation,
+)
+
+
+def test_workload_concurrency_profiles(benchmark, report_header):
+    report_header("Concurrency profiles of the workload families")
+
+    def build_profiles():
+        rng = random.Random(31)
+        k8 = complete_topology(8)
+        return {
+            "random/K8": profile_computation(
+                random_computation(k8, 80, rng)
+            ),
+            "chain/K8": profile_computation(
+                sequential_chain_computation(k8, 80, rng)
+            ),
+            "antichain/K8": profile_computation(
+                adversarial_antichain_computation(k8, 20)
+            ),
+            "phased/K8": profile_computation(
+                phased_computation(k8, 5, rng, messages_per_phase=10)
+            ),
+            "ring-token": profile_computation(
+                ring_token_computation(ring_topology(8), 10)
+            ),
+            "pipeline": profile_computation(
+                pipeline_computation(path_topology(6), 12)
+            ),
+            "master-worker": profile_computation(
+                master_worker_computation(star_topology(7), "P1", 5)
+            ),
+        }
+
+    profiles = benchmark(build_profiles)
+    emit(
+        render_table(
+            [
+                "workload",
+                "msgs",
+                "width",
+                "height",
+                "order density",
+                "concurrency",
+            ],
+            profile_rows(profiles),
+        )
+    )
+    assert profiles["chain/K8"].width == 1
+    assert profiles["antichain/K8"].width == 4
+    assert profiles["ring-token"].width == 1
+    assert profiles["master-worker"].width == 1

@@ -1,0 +1,79 @@
+"""Distributed monitoring of a synchronous RPC system.
+
+Run with::
+
+    python examples/client_server_monitoring.py
+
+The scenario from the paper's Section 3.3: clients interact with a small
+pool of servers exclusively through synchronous RPC.  A monitor wants to
+know, for any two requests, whether one *could have caused* the other —
+e.g. to flag genuinely racing writes.  With edge-group vectors the
+monitor pays one integer per server, independent of the client count.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import OnlineEdgeClock, client_server_topology, decompose
+from repro.analysis.report import render_table
+from repro.order.message_order import message_poset
+from repro.sim.workload import client_server_computation
+
+
+def main() -> None:
+    servers, clients = 3, 25
+    topology = client_server_topology(servers, clients)
+    decomposition = decompose(topology)
+    print(
+        f"monitoring {clients} clients / {servers} servers with "
+        f"{decomposition.size}-component timestamps "
+        f"(FM would need {topology.vertex_count()})\n"
+    )
+
+    # Simulate a burst of synchronous RPCs (request + reply pairs).
+    computation = client_server_computation(
+        topology, request_count=60, rng=random.Random(77)
+    )
+    clock = OnlineEdgeClock(decomposition)
+    stamps = clock.timestamp_computation(computation)
+
+    # The monitor's question: which *requests* race with each other?
+    requests = computation.messages[::2]
+    racing = []
+    for i, first in enumerate(requests):
+        for second in requests[i + 1 :]:
+            if clock.concurrent(stamps.of(first), stamps.of(second)):
+                racing.append((first, second))
+
+    print(f"requests analysed : {len(requests)}")
+    print(f"racing pairs      : {len(racing)}")
+    sample = [
+        [
+            a.name,
+            f"{a.sender}->{a.receiver}",
+            b.name,
+            f"{b.sender}->{b.receiver}",
+        ]
+        for a, b in racing[:8]
+    ]
+    if sample:
+        print()
+        print(
+            render_table(
+                ["request", "route", "races with", "route"], sample
+            )
+        )
+
+    # Sanity: the vector verdicts agree with the ground-truth order.
+    poset = message_poset(computation)
+    mismatches = sum(
+        1
+        for a, b in racing
+        if not poset.concurrent(a, b)
+    )
+    print(f"\nverified against ground truth: {mismatches} mismatches")
+
+
+if __name__ == "__main__":
+    main()

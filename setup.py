@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` on this offline box needs the
+legacy ``setup.py develop`` path (modern editable installs require
+``bdist_wheel``).  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

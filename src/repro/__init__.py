@@ -1,0 +1,167 @@
+"""Reproduction of *Timestamping Messages in Synchronous Computations*
+(Vijay K. Garg and Chakarat Skawratananond, ICDCS 2002).
+
+The package timestamps messages of synchronous (blocking-send)
+computations with vectors whose size is bounded by the communication
+topology's edge-decomposition size — at most ``min(β(G), N-2)``
+components — instead of Fidge–Mattern's one-component-per-process, while
+still *characterizing* the synchronously-precedes order:
+
+    ``m1 ↦ m2  ⟺  v(m1) < v(m2)``
+
+Quickstart::
+
+    from repro import (
+        OnlineEdgeClock, decompose, message_poset,
+        client_server_topology, random_computation,
+    )
+    import random
+
+    topology = client_server_topology(server_count=2, client_count=20)
+    clock = OnlineEdgeClock(decompose(topology))        # 2 components!
+    computation = random_computation(topology, 100, random.Random(1))
+    stamps = clock.timestamp_computation(computation)
+
+    m1, m2 = computation.messages[0], computation.messages[50]
+    if clock.precedes(stamps.of(m1), stamps.of(m2)):
+        print(f"{m1.name} synchronously precedes {m2.name}")
+
+Subpackages:
+
+* :mod:`repro.core` — vectors, posets, width, realizers, dimension;
+* :mod:`repro.graphs` — topologies, vertex covers, edge decompositions;
+* :mod:`repro.clocks` — the online/offline algorithms and baselines;
+* :mod:`repro.sim` — computations, workloads, threaded runtime, trace I/O;
+* :mod:`repro.order` — ground-truth relations and the encoding checker;
+* :mod:`repro.analysis` — overhead metrics and comparison tables;
+* :mod:`repro.viz` — ASCII time diagrams and DOT export.
+"""
+
+from repro.apps import (
+    OrphanReport,
+    PredicateWitness,
+    detect_weak_conjunctive_predicate,
+    find_orphans,
+)
+from repro.clocks import (
+    DependencyTracer,
+    DirectDependencyRecord,
+    EventTimestamp,
+    FMMessageClock,
+    LamportMessageClock,
+    OfflineRealizerClock,
+    OnlineEdgeClock,
+    OnlineProcessClock,
+    PlausibleCombClock,
+    SKDifferentialClock,
+    TimestampAssignment,
+    event_precedes,
+    events_concurrent,
+    offline_vector_size,
+    ordering_accuracy,
+    theorem8_bound,
+    timestamp_internal_events,
+)
+from repro.core import (
+    Poset,
+    VectorTimestamp,
+    maximum_antichain,
+    minimum_chain_partition,
+    minimum_width_realizer,
+    width,
+)
+from repro.graphs import (
+    DynamicDecomposition,
+    DynamicOnlineSystem,
+    Edge,
+    EdgeDecomposition,
+    StarGroup,
+    TriangleGroup,
+    UndirectedGraph,
+    client_server_topology,
+    complete_topology,
+    decompose,
+    optimal_edge_decomposition,
+    paper_decomposition_algorithm,
+    path_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+    triangle_topology,
+)
+from repro.order import (
+    check_encoding,
+    happened_before_poset,
+    message_poset,
+    synchronously_precedes,
+)
+from repro.sim import (
+    EventedComputation,
+    InternalEvent,
+    ScriptRunner,
+    SyncComputation,
+    SyncMessage,
+    random_computation,
+)
+from repro.viz import render_time_diagram
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DependencyTracer",
+    "DirectDependencyRecord",
+    "DynamicDecomposition",
+    "DynamicOnlineSystem",
+    "Edge",
+    "OrphanReport",
+    "PlausibleCombClock",
+    "PredicateWitness",
+    "SKDifferentialClock",
+    "detect_weak_conjunctive_predicate",
+    "find_orphans",
+    "ordering_accuracy",
+    "EdgeDecomposition",
+    "EventTimestamp",
+    "EventedComputation",
+    "FMMessageClock",
+    "InternalEvent",
+    "LamportMessageClock",
+    "OfflineRealizerClock",
+    "OnlineEdgeClock",
+    "OnlineProcessClock",
+    "Poset",
+    "ScriptRunner",
+    "StarGroup",
+    "SyncComputation",
+    "SyncMessage",
+    "TimestampAssignment",
+    "TriangleGroup",
+    "UndirectedGraph",
+    "VectorTimestamp",
+    "check_encoding",
+    "client_server_topology",
+    "complete_topology",
+    "decompose",
+    "event_precedes",
+    "events_concurrent",
+    "happened_before_poset",
+    "maximum_antichain",
+    "message_poset",
+    "minimum_chain_partition",
+    "minimum_width_realizer",
+    "offline_vector_size",
+    "optimal_edge_decomposition",
+    "paper_decomposition_algorithm",
+    "path_topology",
+    "random_computation",
+    "render_time_diagram",
+    "ring_topology",
+    "star_topology",
+    "synchronously_precedes",
+    "theorem8_bound",
+    "timestamp_internal_events",
+    "tree_topology",
+    "triangle_topology",
+    "width",
+    "__version__",
+]

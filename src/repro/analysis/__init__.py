@@ -1,0 +1,43 @@
+"""Overhead metrics, clock comparisons, and table rendering."""
+
+from repro.analysis.comparison import ClockComparison, compare_clocks
+from repro.analysis.export import (
+    overhead_rows_to_csv,
+    profiles_to_csv,
+    rows_to_csv,
+    workload_rows_to_csv,
+)
+from repro.analysis.profile import (
+    ConcurrencyProfile,
+    profile_computation,
+    profile_poset,
+    profile_rows,
+)
+from repro.analysis.overhead import (
+    TopologyOverhead,
+    WorkloadOverhead,
+    sweep_topologies,
+    topology_overhead,
+    workload_overhead,
+)
+from repro.analysis.report import render_kv_block, render_table
+
+__all__ = [
+    "ClockComparison",
+    "ConcurrencyProfile",
+    "profile_computation",
+    "profile_poset",
+    "profile_rows",
+    "TopologyOverhead",
+    "WorkloadOverhead",
+    "compare_clocks",
+    "overhead_rows_to_csv",
+    "profiles_to_csv",
+    "render_kv_block",
+    "rows_to_csv",
+    "workload_rows_to_csv",
+    "render_table",
+    "sweep_topologies",
+    "topology_overhead",
+    "workload_overhead",
+]

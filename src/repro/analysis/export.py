@@ -1,0 +1,120 @@
+"""CSV export of analysis rows for external plotting.
+
+The benchmark harness prints ASCII tables; downstream users often want
+the same data machine-readable.  Pure-stdlib CSV writing with the same
+row shapes :func:`repro.analysis.report.render_table` accepts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence
+
+from repro.analysis.overhead import TopologyOverhead, WorkloadOverhead
+from repro.analysis.profile import ConcurrencyProfile
+
+
+def rows_to_csv(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Serialize header + rows as CSV text."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def overhead_rows_to_csv(rows: Iterable[TopologyOverhead]) -> str:
+    """CSV of a topology-overhead sweep (the scalability experiment)."""
+    materialized: List[List[object]] = [
+        [
+            row.label,
+            row.process_count,
+            row.edge_count,
+            row.online_size,
+            row.figure7_size,
+            row.greedy_cover_size,
+            "" if row.exact_cover_size is None else row.exact_cover_size,
+            row.fm_size,
+            f"{row.saving_factor:.4f}",
+        ]
+        for row in rows
+    ]
+    return rows_to_csv(
+        [
+            "label",
+            "processes",
+            "edges",
+            "online_size",
+            "figure7_size",
+            "greedy_cover",
+            "exact_cover",
+            "fm_size",
+            "saving_factor",
+        ],
+        materialized,
+    )
+
+
+def workload_rows_to_csv(rows: Iterable[WorkloadOverhead]) -> str:
+    """CSV of per-workload width metrics (the Theorem 8 experiment)."""
+    materialized = [
+        [
+            row.label,
+            row.message_count,
+            row.active_processes,
+            row.poset_width,
+            row.theorem8_limit,
+            row.online_size,
+        ]
+        for row in rows
+    ]
+    return rows_to_csv(
+        [
+            "label",
+            "messages",
+            "active_processes",
+            "width",
+            "theorem8_limit",
+            "online_size",
+        ],
+        materialized,
+    )
+
+
+def profiles_to_csv(profiles: dict) -> str:
+    """CSV of concurrency profiles keyed by workload label."""
+    materialized = [
+        [
+            label,
+            profile.message_count,
+            profile.width,
+            profile.height,
+            profile.ordered_pairs,
+            profile.concurrent_pairs,
+            f"{profile.order_density:.4f}",
+            f"{profile.concurrency_ratio:.4f}",
+        ]
+        for label, profile in profiles.items()
+        if isinstance(profile, ConcurrencyProfile)
+    ]
+    return rows_to_csv(
+        [
+            "label",
+            "messages",
+            "width",
+            "height",
+            "ordered_pairs",
+            "concurrent_pairs",
+            "order_density",
+            "concurrency_ratio",
+        ],
+        materialized,
+    )

@@ -1,0 +1,89 @@
+"""Concurrency profiles of synchronous computations.
+
+A computation's *shape* — how wide, how deep, how densely ordered —
+determines which clock wins by how much: the offline algorithm's vector
+size is exactly the width; plausible-clock accuracy degrades with the
+number of concurrent pairs; Lamport's usefulness collapses as
+concurrency grows.  This module condenses a computation into those
+numbers for the benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.chains import antichain_partition, width
+from repro.core.poset import Poset
+from repro.order.message_order import message_poset
+from repro.sim.computation import SyncComputation
+
+
+@dataclass(frozen=True)
+class ConcurrencyProfile:
+    """Order-theoretic shape of one computation's message poset."""
+
+    message_count: int
+    width: int
+    height: int
+    ordered_pairs: int
+    concurrent_pairs: int
+    level_sizes: "tuple[int, ...]"  # antichain partition by height
+
+    @property
+    def total_pairs(self) -> int:
+        count = self.message_count
+        return count * (count - 1) // 2
+
+    @property
+    def order_density(self) -> float:
+        """Fraction of message pairs that are ordered (1.0 = chain)."""
+        if self.total_pairs == 0:
+            return 1.0
+        return self.ordered_pairs / self.total_pairs
+
+    @property
+    def concurrency_ratio(self) -> float:
+        """Fraction of message pairs that are concurrent."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.concurrent_pairs / self.total_pairs
+
+
+def profile_computation(computation: SyncComputation) -> ConcurrencyProfile:
+    """Compute the full concurrency profile of a computation."""
+    poset = message_poset(computation)
+    return profile_poset(poset)
+
+
+def profile_poset(poset: Poset) -> ConcurrencyProfile:
+    """Profile an already-constructed message poset."""
+    count = len(poset)
+    ordered = len(poset.relation_pairs())
+    concurrent = len(poset.incomparable_pairs())
+    levels = antichain_partition(poset) if count else []
+    return ConcurrencyProfile(
+        message_count=count,
+        width=width(poset) if count else 0,
+        height=poset.height() if count else 0,
+        ordered_pairs=ordered,
+        concurrent_pairs=concurrent,
+        level_sizes=tuple(len(level) for level in levels),
+    )
+
+
+def profile_rows(
+    profiles: Dict[str, ConcurrencyProfile],
+) -> List[List[object]]:
+    """Rows for :func:`repro.analysis.report.render_table`."""
+    return [
+        [
+            label,
+            profile.message_count,
+            profile.width,
+            profile.height,
+            f"{profile.order_density:.2f}",
+            f"{profile.concurrency_ratio:.2f}",
+        ]
+        for label, profile in profiles.items()
+    ]

@@ -1,0 +1,62 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness prints the same rows the paper's discussion
+implies (vector sizes per topology family, clock comparisons).  This
+module renders aligned ASCII tables without any third-party dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, "xy"], [100, "z"]]))
+    a   | b
+    -----+----
+    1   | xy
+    100 | z
+    """
+    materialised: List[List[str]] = [
+        [_cell(value) for value in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def format_row(cells: Sequence[str]) -> str:
+        padded = [cell.ljust(widths[i] + 1) for i, cell in enumerate(cells)]
+        return "| ".join(padded).rstrip()
+
+    separator = "+".join("-" * (width + 2) for width in widths)
+    # Trim the trailing separator segment to match the last column.
+    lines = [format_row(list(headers)), separator[: len(separator)]]
+    lines.extend(format_row(row) for row in materialised)
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_kv_block(title: str, pairs: Iterable[tuple]) -> str:
+    """A titled key/value block for scalar results."""
+    lines = [title, "=" * len(title)]
+    entries = list(pairs)
+    width = max((len(str(key)) for key, _ in entries), default=0)
+    for key, value in entries:
+        lines.append(f"{str(key).ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)

@@ -1,0 +1,19 @@
+"""Applications of the timestamps, as motivated by the paper's intro:
+global-predicate detection for monitoring/debugging, and orphan
+detection for optimistic rollback recovery."""
+
+from repro.apps.monitor import CausalMonitor, MonitoredMessage
+from repro.apps.predicate_detection import (
+    PredicateWitness,
+    detect_weak_conjunctive_predicate,
+)
+from repro.apps.recovery import OrphanReport, find_orphans
+
+__all__ = [
+    "CausalMonitor",
+    "MonitoredMessage",
+    "OrphanReport",
+    "PredicateWitness",
+    "detect_weak_conjunctive_predicate",
+    "find_orphans",
+]

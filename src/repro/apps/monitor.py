@@ -1,0 +1,151 @@
+"""An online causal monitor — the paper's motivating deployment.
+
+Monitoring systems like POET or XPVM consume a stream of timestamped
+message records and answer causality questions about them.  This module
+implements that consumer: it ingests ``(message, vector)`` records as
+they are committed (e.g. from the threaded runtime's log), maintains the
+running frontier, and answers precedence/concurrency/race queries by
+pure vector comparison — never reconstructing the causal graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import ClockError
+
+Process = Hashable
+
+
+@dataclass(frozen=True)
+class MonitoredMessage:
+    """One ingested record."""
+
+    name: str
+    sender: Process
+    receiver: Process
+    timestamp: VectorTimestamp
+
+
+class CausalMonitor:
+    """Ingests timestamped messages; answers order queries in O(d).
+
+    The monitor is clock-agnostic: any characterizing vector assignment
+    works (online or offline).  All records must share one vector size.
+    """
+
+    def __init__(self, vector_size: int):
+        if vector_size < 0:
+            raise ClockError("vector size must be non-negative")
+        self._size = vector_size
+        self._records: Dict[str, MonitoredMessage] = {}
+        self._order: List[MonitoredMessage] = []
+        self._frontier = VectorTimestamp.zeros(vector_size)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(
+        self,
+        name: str,
+        sender: Process,
+        receiver: Process,
+        timestamp: VectorTimestamp,
+    ) -> MonitoredMessage:
+        """Record one message observation."""
+        if len(timestamp) != self._size:
+            raise ClockError(
+                f"timestamp size {len(timestamp)} does not match the "
+                f"monitor's vector size {self._size}"
+            )
+        if name in self._records:
+            raise ClockError(f"duplicate message name {name!r}")
+        record = MonitoredMessage(name, sender, receiver, timestamp)
+        self._records[name] = record
+        self._order.append(record)
+        self._frontier = self._frontier.join(timestamp)
+        return record
+
+    def ingest_assignment(self, assignment) -> None:
+        """Bulk-ingest a :class:`TimestampAssignment` in execution order."""
+        for message in assignment.computation.messages:
+            self.ingest(
+                message.name,
+                message.sender,
+                message.receiver,
+                assignment.of(message),
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def vector_size(self) -> int:
+        return self._size
+
+    @property
+    def frontier(self) -> VectorTimestamp:
+        """Component-wise maximum over everything seen so far."""
+        return self._frontier
+
+    def message_count(self) -> int:
+        return len(self._order)
+
+    def get(self, name: str) -> MonitoredMessage:
+        try:
+            return self._records[name]
+        except KeyError:
+            raise ClockError(f"no record named {name!r}") from None
+
+    def precedes(self, first: str, second: str) -> bool:
+        """``first ↦ second`` by vector comparison."""
+        return self.get(first).timestamp < self.get(second).timestamp
+
+    def concurrent(self, first: str, second: str) -> bool:
+        a, b = self.get(first).timestamp, self.get(second).timestamp
+        return not a < b and not b < a and a != b
+
+    def causal_history(self, name: str) -> List[MonitoredMessage]:
+        """Every ingested message in the causal past of ``name``."""
+        target = self.get(name).timestamp
+        return [
+            record
+            for record in self._order
+            if record.timestamp < target
+        ]
+
+    def races_of(self, name: str) -> List[MonitoredMessage]:
+        """Every ingested message concurrent with ``name``."""
+        target = self.get(name)
+        return [
+            record
+            for record in self._order
+            if record.name != name
+            and self.concurrent(record.name, name)
+        ]
+
+    def races_between(
+        self, predicate=None
+    ) -> List[Tuple[MonitoredMessage, MonitoredMessage]]:
+        """All concurrent pairs, optionally filtered by a predicate on
+        the pair (e.g. "both are writes to the same key")."""
+        pairs: List[Tuple[MonitoredMessage, MonitoredMessage]] = []
+        for i, first in enumerate(self._order):
+            for second in self._order[i + 1 :]:
+                if not self.concurrent(first.name, second.name):
+                    continue
+                if predicate is None or predicate(first, second):
+                    pairs.append((first, second))
+        return pairs
+
+    def stable_below(self, frontier: VectorTimestamp) -> List[MonitoredMessage]:
+        """Messages whose timestamps are dominated by ``frontier`` —
+        the consistent-snapshot membership test (see
+        :func:`repro.order.cuts.snapshot_at`)."""
+        return [
+            record
+            for record in self._order
+            if record.timestamp <= frontier
+        ]

@@ -1,0 +1,148 @@
+"""Weak conjunctive predicate detection over synchronous computations.
+
+The paper's introduction motivates timestamps with "global property
+evaluation" (its references [5, 9] — Garg–Waldecker weak unstable
+predicates).  A *weak conjunctive predicate* ``φ = φ_1 ∧ .. ∧ φ_k``
+holds when there exists a consistent global state in which every
+``φ_i`` is true locally — equivalently, a set of **pairwise concurrent**
+events, one per involved process, at which the local predicates hold.
+
+This module runs the classical advancing-front detection algorithm, but
+every precedence question is answered purely from the Section 5 event
+timestamps (``O(d)`` vector comparisons) — exactly the deployment the
+paper advertises: the monitor needs only the piggybacked vectors, never
+the full computation.
+
+Algorithm (Garg–Waldecker): keep a queue of candidate events per
+process; look at the current front.  If some front event ``e`` happened
+before another front event ``f``, then ``e`` can never be concurrent
+with ``f`` nor with anything after ``f`` on that process, so ``e`` is
+eliminated.  When the front is pairwise concurrent, it is a witness; if
+a queue empties, no witness exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+
+from repro.clocks.events import EventTimestamp, event_precedes
+from repro.exceptions import ClockError
+from repro.sim.computation import InternalEvent
+
+Process = Hashable
+
+
+@dataclass(frozen=True)
+class PredicateWitness:
+    """A consistent cut witnessing the predicate.
+
+    ``events`` maps each involved process to the internal event at which
+    its local predicate holds; all of them are pairwise concurrent.
+    """
+
+    events: Mapping[Process, InternalEvent]
+
+    def processes(self) -> List[Process]:
+        return list(self.events)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{process!r}: {event.name}"
+            for process, event in self.events.items()
+        )
+        return f"PredicateWitness({inner})"
+
+
+def detect_weak_conjunctive_predicate(
+    candidates: Mapping[Process, Sequence[InternalEvent]],
+    timestamps: Mapping[InternalEvent, EventTimestamp],
+) -> Optional[PredicateWitness]:
+    """Find a pairwise-concurrent cut through the candidate events.
+
+    ``candidates`` lists, per process and in process order, the internal
+    events at which that process's local predicate holds.  Returns a
+    witness or ``None`` when no consistent cut exists.
+    """
+    if not candidates:
+        return None
+    queues: Dict[Process, List[InternalEvent]] = {}
+    for process, events in candidates.items():
+        queue = list(events)
+        for event in queue:
+            if event.process != process:
+                raise ClockError(
+                    f"candidate {event.name} does not belong to "
+                    f"process {process!r}"
+                )
+            if event not in timestamps:
+                raise ClockError(
+                    f"no timestamp supplied for candidate {event.name}"
+                )
+        if not queue:
+            return None
+        queues[process] = queue
+
+    fronts: Dict[Process, int] = {process: 0 for process in queues}
+    processes = list(queues)
+
+    while True:
+        eliminated = None
+        for i, p in enumerate(processes):
+            e = queues[p][fronts[p]]
+            for q in processes[i + 1 :]:
+                f = queues[q][fronts[q]]
+                if event_precedes(timestamps[e], timestamps[f]):
+                    eliminated = p
+                    break
+                if event_precedes(timestamps[f], timestamps[e]):
+                    eliminated = q
+                    break
+            if eliminated is not None:
+                break
+        if eliminated is None:
+            witness = {
+                process: queues[process][fronts[process]]
+                for process in processes
+            }
+            return PredicateWitness(witness)
+        fronts[eliminated] += 1
+        if fronts[eliminated] >= len(queues[eliminated]):
+            return None
+
+
+def all_witnesses(
+    candidates: Mapping[Process, Sequence[InternalEvent]],
+    timestamps: Mapping[InternalEvent, EventTimestamp],
+    limit: int = 100,
+) -> List[PredicateWitness]:
+    """Enumerate consistent cuts by brute force (small inputs; testing).
+
+    The detection algorithm returns one witness; this oracle enumerates
+    all of them so tests can check the algorithm finds one iff any
+    exists.
+    """
+    processes = list(candidates)
+    found: List[PredicateWitness] = []
+
+    def extend(position: int, chosen: Dict[Process, InternalEvent]):
+        if len(found) >= limit:
+            return
+        if position == len(processes):
+            found.append(PredicateWitness(dict(chosen)))
+            return
+        process = processes[position]
+        for event in candidates[process]:
+            stamp = timestamps[event]
+            compatible = all(
+                not event_precedes(stamp, timestamps[other])
+                and not event_precedes(timestamps[other], stamp)
+                for other in chosen.values()
+            )
+            if compatible:
+                chosen[process] = event
+                extend(position + 1, chosen)
+                del chosen[process]
+
+    extend(0, {})
+    return found

@@ -1,0 +1,382 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands operate on the JSON trace format of :mod:`repro.sim.trace_io`:
+
+``decompose``
+    Read a topology (JSON file or a built-in family spec) and print its
+    edge decomposition; optionally emit Graphviz DOT.
+
+``stamp``
+    Read a computation trace and timestamp it with a chosen clock,
+    printing a table or writing an assignment JSON.
+
+``check``
+    Verify a (computation, assignment) pair against the ground-truth
+    order — the Equation (1) audit.
+
+``diagram``
+    Render a computation as an ASCII time diagram.
+
+``profile``
+    Print the concurrency profile (width, height, densities) of a trace.
+
+``orphans``
+    Crash analysis: classify lost/orphan/surviving messages after a
+    process loses its unstable tail.
+
+``demo``
+    Reproduce the paper's Figure 6 sample execution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_table
+from repro.clocks.fm import FMMessageClock
+from repro.clocks.lamport import LamportMessageClock
+from repro.clocks.offline import OfflineRealizerClock
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    path_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.order.checker import check_encoding
+from repro.sim.trace_io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    computation_from_dict,
+    topology_from_dict,
+)
+from repro.viz.dot import decomposition_to_dot
+from repro.viz.timediagram import render_time_diagram
+
+
+def _load_json(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _builtin_topology(spec: str):
+    """Parse family specs like ``complete:6`` or ``client-server:2x10``."""
+    family, _, arg = spec.partition(":")
+    try:
+        if family == "complete":
+            return complete_topology(int(arg))
+        if family == "path":
+            return path_topology(int(arg))
+        if family == "ring":
+            return ring_topology(int(arg))
+        if family == "star":
+            return star_topology(int(arg))
+        if family == "tree":
+            hubs, _, leaves = arg.partition("x")
+            return tree_topology(int(hubs), int(leaves))
+        if family == "client-server":
+            servers, _, clients = arg.partition("x")
+            return client_server_topology(int(servers), int(clients))
+    except ValueError as exc:
+        raise SystemExit(f"bad topology spec {spec!r}: {exc}") from exc
+    raise SystemExit(
+        f"unknown topology family {family!r}; choose from complete, path, "
+        "ring, star, tree, client-server"
+    )
+
+
+def _resolve_topology(args) -> "object":
+    if args.topology_file:
+        return topology_from_dict(_load_json(args.topology_file))
+    if args.family:
+        return _builtin_topology(args.family)
+    raise SystemExit("provide --topology-file or --family")
+
+
+def _make_clock(name: str, topology):
+    if name == "online":
+        return OnlineEdgeClock(decompose(topology))
+    if name == "offline":
+        return OfflineRealizerClock()
+    if name == "fm":
+        return FMMessageClock.for_topology(topology)
+    if name == "lamport":
+        return LamportMessageClock.for_topology(topology)
+    raise SystemExit(f"unknown clock {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_decompose(args) -> int:
+    topology = _resolve_topology(args)
+    decomposition = decompose(topology)
+    print(
+        f"{topology.vertex_count()} processes, "
+        f"{topology.edge_count()} channels -> "
+        f"{decomposition.size} edge group(s)"
+    )
+    print(decomposition.describe())
+    if args.dot:
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(decomposition_to_dot(decomposition))
+        print(f"DOT written to {args.dot}")
+    return 0
+
+
+def cmd_stamp(args) -> int:
+    computation = computation_from_dict(_load_json(args.trace))
+    clock = _make_clock(args.clock, computation.topology)
+    assignment = clock.timestamp_computation(computation)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(assignment_to_dict(assignment), handle, indent=2)
+        print(f"assignment written to {args.output}")
+    else:
+        rows = [
+            [
+                message.name,
+                f"{message.sender}->{message.receiver}",
+                repr(assignment.of(message)),
+            ]
+            for message in computation.messages
+        ]
+        print(render_table(["msg", "channel", "timestamp"], rows))
+    print(
+        f"clock={args.clock} vector_size={clock.timestamp_size} "
+        f"messages={len(computation)}"
+    )
+    return 0
+
+
+def cmd_check(args) -> int:
+    computation = computation_from_dict(_load_json(args.trace))
+    assignment = assignment_from_dict(
+        computation, _load_json(args.assignment)
+    )
+    clock = _make_clock(args.clock, computation.topology)
+    report = check_encoding(clock, assignment)
+    print(
+        f"consistent={report.consistent} "
+        f"characterizes={report.characterizes} "
+        f"ordered={report.ordered_pairs} "
+        f"concurrent={report.concurrent_pairs}"
+    )
+    for violation in (
+        report.consistency_violations[:5]
+        + report.completeness_violations[:5]
+    ):
+        print(f"  {violation.describe()}")
+    return 0 if report.characterizes else 1
+
+
+def cmd_diagram(args) -> int:
+    computation = computation_from_dict(_load_json(args.trace))
+    print(render_time_diagram(computation))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.analysis.profile import profile_computation
+
+    computation = computation_from_dict(_load_json(args.trace))
+    profile = profile_computation(computation)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["messages", profile.message_count],
+                ["width", profile.width],
+                ["height", profile.height],
+                ["ordered pairs", profile.ordered_pairs],
+                ["concurrent pairs", profile.concurrent_pairs],
+                ["order density", f"{profile.order_density:.3f}"],
+                ["concurrency ratio", f"{profile.concurrency_ratio:.3f}"],
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_orphans(args) -> int:
+    from repro.apps.recovery import find_orphans
+
+    computation = computation_from_dict(_load_json(args.trace))
+    clock = _make_clock(args.clock, computation.topology)
+    assignment = clock.timestamp_computation(computation)
+    report = find_orphans(
+        computation, assignment, args.process, args.stable
+    )
+    survivors = report.surviving_messages(computation)
+    print(
+        f"crashed={args.process} stable={args.stable} "
+        f"lost={len(report.lost)} orphans={len(report.orphans)} "
+        f"survive={len(survivors)}"
+    )
+    rows = [
+        [message.name, f"{message.sender}->{message.receiver}", kind]
+        for kind, messages in (
+            ("lost", report.lost),
+            ("orphan", report.orphans),
+        )
+        for message in messages
+    ]
+    if rows:
+        print(render_table(["msg", "channel", "classification"], rows))
+    return 0
+
+
+def cmd_rsc(args) -> int:
+    from repro.sim.asynchronous import find_crown, to_synchronous
+    from repro.sim.trace_io import (
+        computation_to_dict,
+        loads_async_computation,
+    )
+
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        computation = loads_async_computation(handle.read())
+    crown = find_crown(computation)
+    if crown is not None:
+        names = " -> ".join(m.name for m in crown)
+        print(f"NOT RSC: crown of size {len(crown)}: {names}")
+        return 1
+    sync = to_synchronous(computation)
+    print(
+        f"RSC: {len(computation)} asynchronous messages realizable as a "
+        "synchronous computation"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(computation_to_dict(sync), handle, indent=2)
+        print(f"synchronous trace written to {args.output}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    del args
+    from repro.sim.paper_figures import figure6_computation
+
+    computation, decomposition = figure6_computation()
+    clock = OnlineEdgeClock(decomposition)
+    assignment = clock.timestamp_computation(computation)
+    print("Figure 6 sample execution (K5, 2 stars + 1 triangle):\n")
+    print(decomposition.describe())
+    print()
+    print(
+        render_time_diagram(
+            computation,
+            timestamps={m: v for m, v in assignment.items()},
+        )
+    )
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Timestamping messages in synchronous computations "
+            "(Garg & Skawratananond, ICDCS 2002)"
+        ),
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    decompose_cmd = commands.add_parser(
+        "decompose", help="edge-decompose a communication topology"
+    )
+    decompose_cmd.add_argument("--topology-file", help="topology JSON")
+    decompose_cmd.add_argument(
+        "--family",
+        help="built-in family, e.g. complete:6, tree:3x4, "
+        "client-server:2x10",
+    )
+    decompose_cmd.add_argument("--dot", help="write Graphviz DOT here")
+    decompose_cmd.set_defaults(handler=cmd_decompose)
+
+    stamp_cmd = commands.add_parser(
+        "stamp", help="timestamp a computation trace"
+    )
+    stamp_cmd.add_argument("trace", help="computation JSON file")
+    stamp_cmd.add_argument(
+        "--clock",
+        default="online",
+        choices=["online", "offline", "fm", "lamport"],
+    )
+    stamp_cmd.add_argument("--output", help="write assignment JSON here")
+    stamp_cmd.set_defaults(handler=cmd_stamp)
+
+    check_cmd = commands.add_parser(
+        "check", help="verify an assignment against the ground truth"
+    )
+    check_cmd.add_argument("trace", help="computation JSON file")
+    check_cmd.add_argument("assignment", help="assignment JSON file")
+    check_cmd.add_argument(
+        "--clock",
+        default="online",
+        choices=["online", "offline", "fm", "lamport"],
+    )
+    check_cmd.set_defaults(handler=cmd_check)
+
+    diagram_cmd = commands.add_parser(
+        "diagram", help="render an ASCII time diagram"
+    )
+    diagram_cmd.add_argument("trace", help="computation JSON file")
+    diagram_cmd.set_defaults(handler=cmd_diagram)
+
+    profile_cmd = commands.add_parser(
+        "profile", help="concurrency profile of a computation trace"
+    )
+    profile_cmd.add_argument("trace", help="computation JSON file")
+    profile_cmd.set_defaults(handler=cmd_profile)
+
+    orphans_cmd = commands.add_parser(
+        "orphans", help="crash analysis: lost/orphan classification"
+    )
+    orphans_cmd.add_argument("trace", help="computation JSON file")
+    orphans_cmd.add_argument("process", help="the crashed process")
+    orphans_cmd.add_argument(
+        "--stable",
+        type=int,
+        default=0,
+        help="messages of the crashed process that survived",
+    )
+    orphans_cmd.add_argument(
+        "--clock",
+        default="online",
+        choices=["online", "offline", "fm", "lamport"],
+    )
+    orphans_cmd.set_defaults(handler=cmd_orphans)
+
+    rsc_cmd = commands.add_parser(
+        "rsc",
+        help="test an asynchronous trace for synchronous realizability "
+        "(crown-freedom) and optionally convert it",
+    )
+    rsc_cmd.add_argument("trace", help="asynchronous trace JSON file")
+    rsc_cmd.add_argument(
+        "--output", help="write the converted synchronous trace here"
+    )
+    rsc_cmd.set_defaults(handler=cmd_rsc)
+
+    demo_cmd = commands.add_parser(
+        "demo", help="reproduce the paper's Figure 6 execution"
+    )
+    demo_cmd.set_defaults(handler=cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

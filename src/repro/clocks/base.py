@@ -1,0 +1,93 @@
+"""Common interface for message-timestamping algorithms.
+
+Every clock in this package assigns a timestamp to each message of a
+:class:`~repro.sim.computation.SyncComputation`.  A clock is *consistent*
+when ``m1 ↦ m2 ⇒ ts(m1) < ts(m2)`` and *characterizing* when the
+converse also holds (Equation (1) of the paper).  The online and
+offline algorithms are characterizing; the Lamport baseline is only
+consistent — the property tests and the encoding checker distinguish
+the two.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict, Generic, Mapping, TypeVar
+
+from repro.exceptions import UnknownMessageError
+
+if TYPE_CHECKING:  # imported lazily to avoid a package-import cycle
+    from repro.sim.computation import SyncComputation, SyncMessage
+
+TimestampT = TypeVar("TimestampT")
+
+
+class MessageTimestamper(abc.ABC, Generic[TimestampT]):
+    """Assigns one timestamp per message of a synchronous computation."""
+
+    #: True when the clock characterizes ``↦`` (Equation 1), not merely
+    #: respects it.
+    characterizes_order: bool = True
+
+    @abc.abstractmethod
+    def timestamp_computation(
+        self, computation: SyncComputation
+    ) -> Mapping[SyncMessage, TimestampT]:
+        """Timestamp every message; returns a message → timestamp map."""
+
+    @abc.abstractmethod
+    def precedes(self, ts1: TimestampT, ts2: TimestampT) -> bool:
+        """The precedence test on two timestamps (``<`` for vectors)."""
+
+    def concurrent(self, ts1: TimestampT, ts2: TimestampT) -> bool:
+        """Neither timestamp precedes the other.
+
+        Only meaningful for characterizing clocks; for merely consistent
+        ones this may report ordered messages as concurrent.
+        """
+        return not self.precedes(ts1, ts2) and not self.precedes(ts2, ts1)
+
+    @property
+    @abc.abstractmethod
+    def timestamp_size(self) -> int:
+        """Number of scalar components piggybacked per message."""
+
+
+class TimestampAssignment(Generic[TimestampT]):
+    """An immutable message → timestamp mapping with safe lookups."""
+
+    def __init__(
+        self,
+        computation: SyncComputation,
+        mapping: Mapping[SyncMessage, TimestampT],
+    ):
+        missing = [
+            m.name for m in computation.messages if m not in mapping
+        ]
+        if missing:
+            raise UnknownMessageError(
+                f"assignment is missing timestamps for {missing}"
+            )
+        self._computation = computation
+        self._mapping: Dict[SyncMessage, TimestampT] = dict(mapping)
+
+    @property
+    def computation(self) -> SyncComputation:
+        return self._computation
+
+    def of(self, message: SyncMessage) -> TimestampT:
+        try:
+            return self._mapping[message]
+        except KeyError:
+            raise UnknownMessageError(
+                f"no timestamp recorded for {message!r}"
+            ) from None
+
+    def of_name(self, name: str) -> TimestampT:
+        return self.of(self._computation.message(name))
+
+    def items(self):
+        return self._mapping.items()
+
+    def __len__(self) -> int:
+        return len(self._mapping)

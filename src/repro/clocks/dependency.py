@@ -1,0 +1,94 @@
+"""Fowler–Zwaenepoel direct-dependency tracking (related work, Section 6).
+
+The paper contrasts its online clocks with Fowler and Zwaenepoel's
+technique, where each process piggybacks only a scalar and records its
+*direct* dependencies; capturing transitive causality then requires an
+offline recursive trace.  We implement the message-level analogue:
+
+* online phase: each message records the previous message of its sender
+  and of its receiver (two direct-dependency pointers — this is what a
+  scalar per participant buys);
+* offline phase: ``m1 ↦ m2`` is answered by searching backwards through
+  the recorded pointers.
+
+The benchmarks use this clock to reproduce the trade-off the related
+work section describes: O(1) piggyback per message, but precedence
+tests that walk the dependency graph instead of comparing two vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sim.computation import Process, SyncComputation, SyncMessage
+
+
+class DirectDependencyRecord:
+    """The trace produced by the online phase: per-message predecessors."""
+
+    def __init__(self, computation: SyncComputation):
+        self._computation = computation
+        self._predecessors: Dict[SyncMessage, Tuple[SyncMessage, ...]] = {}
+        last_of: Dict[Process, Optional[SyncMessage]] = {
+            p: None for p in computation.processes
+        }
+        for message in computation.messages:
+            direct = tuple(
+                previous
+                for previous in (
+                    last_of[message.sender],
+                    last_of[message.receiver],
+                )
+                if previous is not None
+            )
+            self._predecessors[message] = direct
+            last_of[message.sender] = message
+            last_of[message.receiver] = message
+
+    @property
+    def computation(self) -> SyncComputation:
+        return self._computation
+
+    def direct_predecessors(
+        self, message: SyncMessage
+    ) -> Tuple[SyncMessage, ...]:
+        """The at-most-two messages ``m'`` with ``m' ▷ m`` recorded online."""
+        return self._predecessors[message]
+
+    def piggyback_size(self) -> int:
+        """Scalars carried per message: one sequence number."""
+        return 1
+
+
+class DependencyTracer:
+    """Offline precedence queries over a :class:`DirectDependencyRecord`.
+
+    ``precedes(m1, m2)`` walks backwards from ``m2``; worst-case cost is
+    linear in the number of messages, versus the O(d) vector comparison
+    of the online algorithm — the trade-off benchmarked in
+    ``benchmarks/test_bench_throughput.py``.
+    """
+
+    def __init__(self, record: DirectDependencyRecord):
+        self._record = record
+
+    def precedes(self, m1: SyncMessage, m2: SyncMessage) -> bool:
+        if m1.index >= m2.index:
+            return False
+        seen: Set[SyncMessage] = set()
+        frontier: List[SyncMessage] = [m2]
+        while frontier:
+            current = frontier.pop()
+            for predecessor in self._record.direct_predecessors(current):
+                if predecessor == m1:
+                    return True
+                if (
+                    predecessor not in seen
+                    and predecessor.index > m1.index
+                ):
+                    seen.add(predecessor)
+                    frontier.append(predecessor)
+        return False
+
+    def concurrent(self, m1: SyncMessage, m2: SyncMessage) -> bool:
+        return not self.precedes(m1, m2) and not self.precedes(m2, m1)

@@ -1,0 +1,144 @@
+"""Timestamping internal events (Section 5 of the paper).
+
+Each internal event ``e`` receives the triple
+``(prev(e), succ(e), c(e))``:
+
+* ``prev(e)`` — timestamp of the last message on ``e``'s process before
+  ``e`` (the zero vector when there is none);
+* ``succ(e)`` — timestamp of the first message after ``e`` (the
+  all-infinity vector when there is none);
+* ``c(e)`` — a per-process counter reset on every external event and
+  incremented per internal event, disambiguating events that share the
+  same inter-message slot.
+
+Theorem 9 gives the precedence test: for events in different slots,
+``e → f ⟺ succ(e) <= prev(f)`` (component-wise); for events of the
+*same process* with identical ``(prev, succ)`` pairs — the same
+inter-message slot — ``e → f ⟺ c(e) < c(f)``.
+
+One correction relative to the paper's wording: the counter rule must be
+restricted to events of the same process.  The paper's ``counter_i`` is
+maintained *by* ``P_i``, so the process identity is implicit there, but
+two events on **different** processes can carry identical
+``(prev, succ)`` pairs (e.g. both sandwiched between the same two
+messages exchanged by their processes) while being concurrent.  Our
+triple therefore also records the owning process; comparing counters
+across processes would wrongly order such pairs (see
+``tests/clocks/test_events.py``).
+
+The message timestamps may come from *any* characterizing message clock
+(online or offline); the theorem only relies on Equation (1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.clocks.base import TimestampAssignment
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import ClockError
+from repro.sim.computation import EventedComputation, InternalEvent
+
+
+@dataclass(frozen=True)
+class EventTimestamp:
+    """The ``(prev, succ, counter)`` triple of Section 5.
+
+    ``process`` identifies the owning process; it is required for the
+    counter rule (see the module docstring) and carries no additional
+    piggyback cost — a real system always knows which process an event
+    belongs to.
+    """
+
+    prev: VectorTimestamp
+    succ: VectorTimestamp
+    counter: int
+    process: object = None
+
+    def __post_init__(self):
+        if len(self.prev) != len(self.succ):
+            raise ClockError(
+                "prev and succ vectors must have the same size: "
+                f"{len(self.prev)} vs {len(self.succ)}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"(prev={self.prev!r}, succ={self.succ!r}, c={self.counter}, "
+            f"p={self.process!r})"
+        )
+
+
+def event_precedes(e: EventTimestamp, f: EventTimestamp) -> bool:
+    """Theorem 9's precedence test, with the same-process counter rule.
+
+    >>> before = EventTimestamp(
+    ...     VectorTimestamp([0]), VectorTimestamp([1]), 1, "P1")
+    >>> after = EventTimestamp(
+    ...     VectorTimestamp([1]), VectorTimestamp([2]), 1, "P2")
+    >>> event_precedes(before, after)
+    True
+    >>> event_precedes(after, before)
+    False
+    """
+    if e.process == f.process and e.prev == f.prev and e.succ == f.succ:
+        return e.counter < f.counter
+    return e.succ <= f.prev
+
+
+def events_concurrent(e: EventTimestamp, f: EventTimestamp) -> bool:
+    """Neither event happened before the other."""
+    return not event_precedes(e, f) and not event_precedes(f, e)
+
+
+class EventTimestamper:
+    """Assigns Section 5 triples to the internal events of a computation.
+
+    ``message_assignment`` must map every message of the computation to
+    a characterizing vector timestamp (Equation 1); its vector size
+    determines the size of the zero/infinity sentinels.
+    """
+
+    def __init__(
+        self,
+        evented: EventedComputation,
+        message_assignment: TimestampAssignment,
+        vector_size: int,
+    ):
+        self._evented = evented
+        self._messages = message_assignment
+        self._size = vector_size
+
+    def timestamp_events(self) -> Mapping[InternalEvent, EventTimestamp]:
+        """Compute the triple for every internal event."""
+        zero = VectorTimestamp.zeros(self._size)
+        infinity = VectorTimestamp.infinities(self._size)
+        result: Dict[InternalEvent, EventTimestamp] = {}
+        for event in self._evented.internal_events():
+            previous, nxt = self._evented.surrounding_messages(event)
+            prev_vector = (
+                self._messages.of(previous) if previous is not None else zero
+            )
+            succ_vector = (
+                self._messages.of(nxt) if nxt is not None else infinity
+            )
+            result[event] = EventTimestamp(
+                prev_vector, succ_vector, event.counter, event.process
+            )
+        return result
+
+
+def timestamp_internal_events(
+    evented: EventedComputation,
+    message_assignment: TimestampAssignment,
+    vector_size: int,
+) -> Mapping[InternalEvent, EventTimestamp]:
+    """Convenience wrapper around :class:`EventTimestamper`.
+
+    Note the paper's observation that this assignment is *not* online in
+    the strict sense: an internal event's triple is complete only once
+    the process knows the timestamp of the message following the event.
+    """
+    stamper = EventTimestamper(evented, message_assignment, vector_size)
+    return stamper.timestamp_events()

@@ -1,0 +1,115 @@
+"""Streaming assignment of internal-event triples (Section 5, online).
+
+The paper observes that an internal event ``e`` can only be timestamped
+once its process knows the timestamp of the *next* message after ``e``.
+This module implements exactly that discipline as a per-process stream:
+
+* ``observe_internal(label)`` buffers an internal event (assigning its
+  slot counter immediately);
+* ``observe_message(timestamp)`` flushes the buffer — every pending
+  event's ``succ`` is the new message's timestamp, its ``prev`` the
+  previous one — and emits the completed triples;
+* ``finish()`` flushes the tail with the all-infinity ``succ``.
+
+Feed it the message timestamps produced live by
+:class:`~repro.clocks.online.OnlineProcessClock` and internal events get
+their triples with the minimum possible latency: one message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, List, Tuple
+
+from repro.clocks.events import EventTimestamp
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import ClockError
+
+Process = Hashable
+
+
+@dataclass(frozen=True)
+class EmittedEvent:
+    """A completed internal-event record."""
+
+    label: str
+    slot: int
+    timestamp: EventTimestamp
+
+
+class StreamingEventTimestamper:
+    """Per-process online assigner of ``(prev, succ, counter)`` triples."""
+
+    def __init__(self, process: Process, vector_size: int):
+        if vector_size < 0:
+            raise ClockError("vector size must be non-negative")
+        self._process = process
+        self._size = vector_size
+        self._previous: VectorTimestamp = VectorTimestamp.zeros(vector_size)
+        self._slot = 0
+        self._counter = 0
+        self._pending: List[Tuple[str, int]] = []  # (label, counter)
+        self._finished = False
+
+    @property
+    def process(self) -> Process:
+        return self._process
+
+    @property
+    def pending_count(self) -> int:
+        """Internal events still waiting for their ``succ`` message."""
+        return len(self._pending)
+
+    def observe_internal(self, label: str = "event") -> int:
+        """Buffer one internal event; returns its ``c(e)`` counter."""
+        self._require_active()
+        self._counter += 1
+        self._pending.append((label, self._counter))
+        return self._counter
+
+    def observe_message(
+        self, timestamp: VectorTimestamp
+    ) -> List[EmittedEvent]:
+        """A message (send or receive) completed on this process.
+
+        Flushes all buffered internal events: their ``succ`` is this
+        message's timestamp.  Per Figure 5 both sides agree on it, so
+        the same value works for sends and receives.
+        """
+        self._require_active()
+        if len(timestamp) != self._size:
+            raise ClockError(
+                f"message timestamp size {len(timestamp)} does not match "
+                f"the stream's vector size {self._size}"
+            )
+        if not self._previous <= timestamp:
+            raise ClockError(
+                "message timestamps must be non-decreasing on a process"
+            )
+        emitted = self._flush(succ=timestamp)
+        self._previous = timestamp
+        self._slot += 1
+        self._counter = 0  # the paper resets c on external events
+        return emitted
+
+    def finish(self) -> List[EmittedEvent]:
+        """End of the local execution: flush with the infinity vector."""
+        self._require_active()
+        self._finished = True
+        return self._flush(succ=VectorTimestamp.infinities(self._size))
+
+    def _flush(self, succ: VectorTimestamp) -> List[EmittedEvent]:
+        emitted = [
+            EmittedEvent(
+                label,
+                self._slot,
+                EventTimestamp(self._previous, succ, counter, self._process),
+            )
+            for label, counter in self._pending
+        ]
+        self._pending.clear()
+        return emitted
+
+    def _require_active(self) -> None:
+        if self._finished:
+            raise ClockError("stream already finished")

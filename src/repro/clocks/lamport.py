@@ -1,0 +1,50 @@
+"""Scalar Lamport clocks — the consistent-but-not-characterizing baseline.
+
+For a synchronous message ``m`` between ``P_i`` and ``P_j`` the shared
+event rule is ``c := max(c_i, c_j) + 1``; both processes adopt ``c`` and
+it becomes ``m``'s timestamp.  This guarantees ``m1 ↦ m2 ⇒ c(m1) <
+c(m2)`` but the converse fails: concurrent messages still receive
+ordered integers.  The benchmarks use this clock to illustrate what the
+extra vector components in the online algorithm buy (a *complete*
+characterization, Equation (1)).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.clocks.base import MessageTimestamper, TimestampAssignment
+from repro.sim.computation import Process, SyncComputation, SyncMessage
+
+
+class LamportMessageClock(MessageTimestamper[int]):
+    """Scalar logical clocks over atomic synchronous messages."""
+
+    characterizes_order = False
+
+    def __init__(self, processes: Tuple[Process, ...]):
+        self._processes = tuple(processes)
+
+    @classmethod
+    def for_topology(cls, topology) -> "LamportMessageClock":
+        return cls(topology.vertices)
+
+    @property
+    def timestamp_size(self) -> int:
+        """One scalar."""
+        return 1
+
+    def timestamp_computation(
+        self, computation: SyncComputation
+    ) -> TimestampAssignment:
+        local: Dict[Process, int] = {p: 0 for p in self._processes}
+        timestamps: Dict[SyncMessage, int] = {}
+        for message in computation.messages:
+            stamped = max(local[message.sender], local[message.receiver]) + 1
+            local[message.sender] = stamped
+            local[message.receiver] = stamped
+            timestamps[message] = stamped
+        return TimestampAssignment(computation, timestamps)
+
+    def precedes(self, ts1: int, ts2: int) -> bool:
+        return ts1 < ts2

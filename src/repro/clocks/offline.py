@@ -1,0 +1,142 @@
+"""The paper's offline algorithm (Figure 9, Section 4).
+
+Given the *completed* computation, the offline algorithm:
+
+1. builds the message poset ``(M, ↦)`` and takes its width ``w``
+   (Theorem 8 proves ``w <= floor(N/2)``, because each message occupies
+   two processes and ``floor(N/2)+1`` messages must share one);
+2. constructs a chain realizer ``{L_1, .., L_w}`` with
+   ``∩ L_i = (M, ↦)`` (we use the constructive chain-forcing lemma over
+   a minimum chain partition — see :mod:`repro.core.linear_extensions`);
+3. stamps each message ``m`` with ``V_m[i] =`` the number of messages
+   before ``m`` in ``L_i``.
+
+The resulting vectors characterize ``↦`` with ``w`` components, and for
+comparable messages *every* component moves, so the precedence test is
+the same strict vector order as everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.clocks.base import MessageTimestamper, TimestampAssignment
+from repro.core.chains import (
+    greedy_chain_partition,
+    minimum_chain_partition,
+    width,
+)
+from repro.core.linear_extensions import (
+    ranks_in_extension,
+    realizer_from_chain_partition,
+)
+from repro.core.poset import Poset
+from repro.core.vector import VectorTimestamp
+from repro.order.message_order import message_poset
+from repro.sim.computation import SyncComputation, SyncMessage
+
+
+class OfflineRealizerClock(MessageTimestamper[VectorTimestamp]):
+    """Figure 9: width-sized vectors from a chain realizer.
+
+    The clock is stateless until :meth:`timestamp_computation` runs;
+    afterwards :attr:`timestamp_size`, :attr:`realizer` and
+    :attr:`chain_partition` describe the last computation processed.
+    """
+
+    characterizes_order = True
+
+    def __init__(self, chain_strategy: str = "matching"):
+        if chain_strategy not in ("matching", "greedy"):
+            raise ValueError(
+                f"unknown chain_strategy {chain_strategy!r}; "
+                "expected 'matching' or 'greedy'"
+            )
+        #: "matching" uses the Dilworth-optimal partition (vector size =
+        #: width); "greedy" peels longest chains — the DESIGN.md §6
+        #: ablation, possibly producing more (= larger vectors).
+        self._chain_strategy = chain_strategy
+        self._last_width: Optional[int] = None
+        self._last_realizer: Optional[List[List[SyncMessage]]] = None
+        self._last_chains: Optional[List[List[SyncMessage]]] = None
+
+    @property
+    def timestamp_size(self) -> int:
+        if self._last_width is None:
+            raise RuntimeError(
+                "timestamp_size is known only after timestamp_computation"
+            )
+        return self._last_width
+
+    @property
+    def realizer(self) -> List[List[SyncMessage]]:
+        if self._last_realizer is None:
+            raise RuntimeError(
+                "realizer is known only after timestamp_computation"
+            )
+        return [list(extension) for extension in self._last_realizer]
+
+    @property
+    def chain_partition(self) -> List[List[SyncMessage]]:
+        if self._last_chains is None:
+            raise RuntimeError(
+                "chain partition is known only after timestamp_computation"
+            )
+        return [list(chain) for chain in self._last_chains]
+
+    def timestamp_computation(
+        self, computation: SyncComputation
+    ) -> TimestampAssignment:
+        poset = message_poset(computation)
+        return self.timestamp_poset(computation, poset)
+
+    def timestamp_poset(
+        self, computation: SyncComputation, poset: Poset
+    ) -> TimestampAssignment:
+        """Timestamp against a caller-supplied message poset.
+
+        Exposed so benchmarks can reuse one ground-truth poset for both
+        the oracle check and the offline stamping.
+        """
+        if len(poset) == 0:
+            self._last_width = 0
+            self._last_realizer = []
+            self._last_chains = []
+            return TimestampAssignment(computation, {})
+        if self._chain_strategy == "matching":
+            chains = minimum_chain_partition(poset)
+        else:
+            chains = greedy_chain_partition(poset)
+        realizer = realizer_from_chain_partition(poset, chains)
+        self._last_chains = chains
+        self._last_realizer = realizer
+        self._last_width = len(realizer)
+
+        rank_maps = [ranks_in_extension(ext) for ext in realizer]
+        timestamps: Dict[SyncMessage, VectorTimestamp] = {
+            message: VectorTimestamp(
+                ranks[message] for ranks in rank_maps
+            )
+            for message in poset.elements
+        }
+        return TimestampAssignment(computation, timestamps)
+
+    def precedes(self, ts1: VectorTimestamp, ts2: VectorTimestamp) -> bool:
+        return ts1 < ts2
+
+
+def offline_vector_size(computation: SyncComputation) -> int:
+    """The number of components Figure 9 uses: ``width(M, ↦)``."""
+    poset = message_poset(computation)
+    if len(poset) == 0:
+        return 0
+    return width(poset)
+
+
+def theorem8_bound(computation: SyncComputation) -> int:
+    """``floor(N/2)`` over the *active* processes of the computation.
+
+    Theorem 8's counting argument involves only processes that carry
+    messages, so the bound is stated on the active population.
+    """
+    return len(computation.active_processes()) // 2

@@ -1,0 +1,275 @@
+"""Chains, antichains, width, and minimum chain partitions.
+
+Theorem 8 of the paper bounds the *width* of the message poset of a
+synchronous computation by ``floor(N/2)`` and then invokes Dilworth's
+theorem (``dim(P) <= width(P)``) to obtain the offline algorithm.  The
+constructive ingredient is a **minimum chain partition**, which this
+module computes with the classical reduction to maximum bipartite
+matching (Fulkerson):
+
+    minimum number of chains covering P  =  |P| - maximum matching
+
+in the bipartite graph with a left and a right copy of every element and
+an edge ``x_left — y_right`` whenever ``x < y``.  The matching is found
+with our own Hopcroft–Karp implementation — no external graph library is
+involved.
+
+The module also extracts a *maximum antichain* (the width witness) from a
+minimum vertex cover via Kőnig's theorem, and offers a greedy
+longest-chain-peeling partition used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import sys
+from collections import deque
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.poset import Poset
+
+Element = Hashable
+
+_UNMATCHED = object()
+
+
+class BipartiteMatcher:
+    """Hopcroft–Karp maximum matching on an explicit bipartite graph.
+
+    ``adjacency`` maps each left vertex to the iterable of right vertices
+    it may be matched with.  Left and right vertex sets may overlap as
+    Python values; they are treated as disjoint sides.
+    """
+
+    def __init__(
+        self,
+        left: Sequence[Element],
+        right: Sequence[Element],
+        adjacency: Dict[Element, Sequence[Element]],
+    ):
+        self._left = list(left)
+        self._right = list(right)
+        self._adjacency = {u: list(adjacency.get(u, ())) for u in self._left}
+        self._match_left: Dict[Element, Element] = {}
+        self._match_right: Dict[Element, Element] = {}
+        self._solved = False
+
+    # ------------------------------------------------------------------
+    def solve(self) -> Dict[Element, Element]:
+        """Run the algorithm; returns the left-to-right matching map."""
+        if self._solved:
+            return dict(self._match_left)
+        # Augmenting-path DFS recursion depth is bounded by the number of
+        # left vertices; posets that are near-chains can hit Python's
+        # default limit, so give ourselves headroom for this call.
+        needed = len(self._left) + 100
+        old_limit = sys.getrecursionlimit()
+        if needed > old_limit:
+            sys.setrecursionlimit(needed + old_limit)
+        try:
+            self._run_phases()
+        finally:
+            sys.setrecursionlimit(old_limit)
+        self._solved = True
+        return dict(self._match_left)
+
+    def _run_phases(self) -> None:
+        while True:
+            layers = self._bfs_layers()
+            if layers is None:
+                break
+            augmented = 0
+            for u in self._left:
+                if u not in self._match_left:
+                    if self._dfs_augment(u, layers):
+                        augmented += 1
+            if augmented == 0:
+                break
+
+    def matching_size(self) -> int:
+        self.solve()
+        return len(self._match_left)
+
+    # ------------------------------------------------------------------
+    def _bfs_layers(self) -> Optional[Dict[Element, int]]:
+        """Layer left vertices by shortest alternating path from a free one.
+
+        Returns ``None`` when no augmenting path exists.
+        """
+        layers: Dict[Element, int] = {}
+        queue: deque = deque()
+        for u in self._left:
+            if u not in self._match_left:
+                layers[u] = 0
+                queue.append(u)
+        found_free_right = False
+        while queue:
+            u = queue.popleft()
+            for v in self._adjacency[u]:
+                matched = self._match_right.get(v, _UNMATCHED)
+                if matched is _UNMATCHED:
+                    found_free_right = True
+                elif matched not in layers:
+                    layers[matched] = layers[u] + 1
+                    queue.append(matched)
+        return layers if found_free_right else None
+
+    def _dfs_augment(self, u: Element, layers: Dict[Element, int]) -> bool:
+        for v in self._adjacency[u]:
+            matched = self._match_right.get(v, _UNMATCHED)
+            if matched is _UNMATCHED:
+                self._match_left[u] = v
+                self._match_right[v] = u
+                return True
+            if layers.get(matched) == layers.get(u, -2) + 1:
+                if self._dfs_augment(matched, layers):
+                    self._match_left[u] = v
+                    self._match_right[v] = u
+                    return True
+        # Dead end: remove u from this phase's layering.
+        layers.pop(u, None)
+        return False
+
+    # ------------------------------------------------------------------
+    def minimum_vertex_cover(self) -> Tuple[Set[Element], Set[Element]]:
+        """Kőnig's construction: ``(left_cover, right_cover)``.
+
+        Left vertices *not* reachable by an alternating path from a free
+        left vertex, plus right vertices that *are* reachable, form a
+        minimum vertex cover of the bipartite graph.
+        """
+        self.solve()
+        visited_left: Set[Element] = set()
+        visited_right: Set[Element] = set()
+        queue: deque = deque(
+            u for u in self._left if u not in self._match_left
+        )
+        visited_left.update(queue)
+        while queue:
+            u = queue.popleft()
+            for v in self._adjacency[u]:
+                if v in visited_right:
+                    continue
+                visited_right.add(v)
+                matched = self._match_right.get(v, _UNMATCHED)
+                if matched is not _UNMATCHED and matched not in visited_left:
+                    visited_left.add(matched)
+                    queue.append(matched)
+        left_cover = {u for u in self._left if u not in visited_left}
+        right_cover = {v for v in self._right if v in visited_right}
+        return left_cover, right_cover
+
+
+# ----------------------------------------------------------------------
+# Dilworth machinery on posets
+# ----------------------------------------------------------------------
+def _comparability_matcher(poset: Poset) -> BipartiteMatcher:
+    elements = list(poset.elements)
+    adjacency = {
+        x: [y for y in poset.strictly_above(x)] for x in elements
+    }
+    # Sort successor lists deterministically by insertion order.
+    index = {e: i for i, e in enumerate(elements)}
+    for x in adjacency:
+        adjacency[x].sort(key=index.__getitem__)
+    return BipartiteMatcher(elements, elements, adjacency)
+
+
+def minimum_chain_partition(poset: Poset) -> List[List[Element]]:
+    """Partition the poset into the fewest chains (Dilworth/Fulkerson).
+
+    Each returned chain is sorted bottom-to-top.  The number of chains
+    equals :func:`width`.
+    """
+    matcher = _comparability_matcher(poset)
+    match_left = matcher.solve()
+    # Successor pointers along matched edges form the chains.
+    has_predecessor: Set[Element] = set(match_left.values())
+    chains: List[List[Element]] = []
+    for element in poset.elements:
+        if element in has_predecessor:
+            continue
+        chain = [element]
+        current = element
+        while current in match_left:
+            current = match_left[current]
+            chain.append(current)
+        chains.append(chain)
+    return chains
+
+
+def width(poset: Poset) -> int:
+    """The size of the largest antichain (equivalently, of the minimum
+    chain partition, by Dilworth's theorem).
+
+    >>> width(Poset.antichain("abc"))
+    3
+    >>> width(Poset.chain("abc"))
+    1
+    """
+    if len(poset) == 0:
+        return 0
+    matcher = _comparability_matcher(poset)
+    return len(poset) - matcher.matching_size()
+
+
+def maximum_antichain(poset: Poset) -> List[Element]:
+    """A concrete antichain of size :func:`width` (Kőnig extraction)."""
+    if len(poset) == 0:
+        return []
+    matcher = _comparability_matcher(poset)
+    left_cover, right_cover = matcher.minimum_vertex_cover()
+    antichain = [
+        e
+        for e in poset.elements
+        if e not in left_cover and e not in right_cover
+    ]
+    assert poset.is_antichain(antichain), "Kőnig extraction failed"
+    return antichain
+
+
+def greedy_chain_partition(poset: Poset) -> List[List[Element]]:
+    """Partition into chains by repeatedly peeling a longest chain.
+
+    Not guaranteed minimum; used by ablation benchmarks to quantify how
+    much the matching-based partition buys the offline algorithm.
+    """
+    remaining = poset
+    chains: List[List[Element]] = []
+    while len(remaining) > 0:
+        chain = remaining.longest_chain()
+        chains.append(chain)
+        chain_set = set(chain)
+        rest = [e for e in remaining.elements if e not in chain_set]
+        remaining = remaining.restricted_to(rest)
+    return chains
+
+
+def antichain_partition(poset: Poset) -> List[List[Element]]:
+    """Mirsky's dual: partition into antichains by element height."""
+    levels: Dict[Element, int] = {}
+    for element in poset.linear_extension():
+        below = poset.strictly_below(element)
+        levels[element] = (
+            1 + max((levels[b] for b in below), default=0) if below else 1
+        )
+    buckets: Dict[int, List[Element]] = {}
+    for element in poset.elements:
+        buckets.setdefault(levels[element], []).append(element)
+    return [buckets[level] for level in sorted(buckets)]
+
+
+def is_chain_partition(
+    poset: Poset, chains: Iterable[Sequence[Element]]
+) -> bool:
+    """Validate that ``chains`` partitions the poset into chains."""
+    seen: Set[Element] = set()
+    for chain in chains:
+        items = list(chain)
+        for i in range(len(items) - 1):
+            if not poset.less(items[i], items[i + 1]):
+                return False
+        for item in items:
+            if item in seen:
+                return False
+            seen.add(item)
+    return seen == set(poset.elements)

@@ -1,0 +1,104 @@
+"""Order ideals (down-sets): the lattice of consistent global states.
+
+Mattern's classical observation: the consistent global states of a
+computation are exactly the order ideals of its event poset, and they
+form a distributive lattice under union/intersection.  For a
+synchronous computation the events are the messages, so the ideals of
+``(M, ↦)`` are the consistent *message* cuts — the structure behind
+checkpointing and predicate detection.
+
+This module enumerates ideals (exponential in the worst case, guarded by
+a limit), tests down-set-ness, and exposes the lattice operations the
+tests verify distributivity on.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Hashable, Iterable, Iterator, List, Set
+
+from repro.core.poset import Poset
+from repro.exceptions import PosetError
+
+Element = Hashable
+
+
+def is_down_set(poset: Poset, subset: Iterable[Element]) -> bool:
+    """True when the subset contains everything below each member."""
+    chosen: Set[Element] = set(subset)
+    for element in chosen:
+        if element not in poset:
+            raise PosetError(f"element {element!r} not in poset")
+        if not poset.strictly_below(element) <= chosen:
+            return False
+    return True
+
+
+def down_closure(poset: Poset, subset: Iterable[Element]) -> FrozenSet[Element]:
+    """The smallest ideal containing ``subset``."""
+    closure: Set[Element] = set()
+    for element in subset:
+        if element not in poset:
+            raise PosetError(f"element {element!r} not in poset")
+        closure.add(element)
+        closure.update(poset.strictly_below(element))
+    return frozenset(closure)
+
+
+def all_ideals(
+    poset: Poset, limit: int = 100_000
+) -> Iterator[FrozenSet[Element]]:
+    """Yield every ideal, smallest first (by cardinality layer).
+
+    Enumeration walks the lattice level by level: an ideal of size k+1
+    is an ideal of size k plus one element minimal in the complement.
+    Raises :class:`PosetError` when more than ``limit`` ideals exist.
+    """
+    current: Set[FrozenSet[Element]] = {frozenset()}
+    produced = 0
+    while current:
+        next_layer: Set[FrozenSet[Element]] = set()
+        for ideal in sorted(current, key=lambda s: sorted(map(repr, s))):
+            produced += 1
+            if produced > limit:
+                raise PosetError(
+                    f"poset has more than {limit} ideals; raise the limit"
+                )
+            yield ideal
+            for element in poset.elements:
+                if element in ideal:
+                    continue
+                if poset.strictly_below(element) <= ideal:
+                    next_layer.add(ideal | {element})
+        current = next_layer
+
+
+def ideal_count(poset: Poset, limit: int = 100_000) -> int:
+    """The number of ideals (consistent global states)."""
+    return sum(1 for _ in all_ideals(poset, limit=limit))
+
+
+def ideal_join(a: FrozenSet[Element], b: FrozenSet[Element]) -> FrozenSet[Element]:
+    """Lattice join of two ideals (their union is again an ideal)."""
+    return a | b
+
+
+def ideal_meet(a: FrozenSet[Element], b: FrozenSet[Element]) -> FrozenSet[Element]:
+    """Lattice meet of two ideals (their intersection)."""
+    return a & b
+
+
+def maximal_elements_of_ideal(
+    poset: Poset, ideal: FrozenSet[Element]
+) -> List[Element]:
+    """The antichain of maximal elements — the ideal's *frontier*.
+
+    Ideals are in bijection with antichains (an ideal is the down
+    closure of its frontier), which is how consistent cuts are usually
+    reported to users.
+    """
+    return [
+        element
+        for element in poset.elements
+        if element in ideal
+        and not any(other in ideal for other in poset.strictly_above(element))
+    ]

@@ -1,0 +1,376 @@
+"""Finite partially ordered sets.
+
+The paper's central object is the poset ``(M, ↦)`` formed by the messages
+of a synchronous computation under the *synchronously precedes* relation.
+This module provides a small, self-contained poset implementation with
+exactly the operations the algorithms need:
+
+* construction from a cover relation or from an arbitrary (acyclic)
+  relation, with transitive closure computed internally;
+* comparability and concurrency tests;
+* minimal/maximal elements, down-sets and up-sets;
+* transitive reduction (the covering relation), used for drawing and for
+  efficient chain searches;
+* enumeration of all ordered/incomparable pairs, used by the encoding
+  checker and by the dimension machinery.
+
+Elements may be any hashable values.  Iteration order over elements is
+the insertion order, which keeps every algorithm in the library
+deterministic for a fixed input.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import NotAPartialOrderError, PosetError
+
+Element = Hashable
+
+
+class Poset:
+    """An irreflexive, transitive order on a finite set of elements.
+
+    The constructor takes the *strict* order as an iterable of
+    ``(smaller, larger)`` pairs; the transitive closure is computed, and
+    a cycle (which would make some element smaller than itself) raises
+    :class:`NotAPartialOrderError`.
+
+    >>> p = Poset("abc", [("a", "b"), ("b", "c")])
+    >>> p.less("a", "c")
+    True
+    >>> p.concurrent("a", "a")
+    False
+    """
+
+    __slots__ = ("_elements", "_index", "_below", "_above")
+
+    def __init__(
+        self,
+        elements: Iterable[Element],
+        relation: Iterable[Tuple[Element, Element]] = (),
+    ):
+        self._elements: List[Element] = []
+        self._index: Dict[Element, int] = {}
+        for element in elements:
+            if element in self._index:
+                raise PosetError(f"duplicate element {element!r}")
+            self._index[element] = len(self._elements)
+            self._elements.append(element)
+
+        # _below[x] = set of elements strictly below x (its down-set minus x).
+        self._below: Dict[Element, Set[Element]] = {
+            element: set() for element in self._elements
+        }
+        self._above: Dict[Element, Set[Element]] = {
+            element: set() for element in self._elements
+        }
+
+        successors: Dict[Element, Set[Element]] = {
+            element: set() for element in self._elements
+        }
+        for smaller, larger in relation:
+            if smaller not in self._index:
+                raise PosetError(f"unknown element {smaller!r} in relation")
+            if larger not in self._index:
+                raise PosetError(f"unknown element {larger!r} in relation")
+            if smaller == larger:
+                raise NotAPartialOrderError(
+                    f"relation is not irreflexive: {smaller!r} < {smaller!r}"
+                )
+            successors[smaller].add(larger)
+
+        self._close_transitively(successors)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _close_transitively(
+        self, successors: Dict[Element, Set[Element]]
+    ) -> None:
+        """Fill ``_below``/``_above`` with the transitive closure.
+
+        Processes elements in reverse topological order so each element's
+        up-set is the union of its direct successors' up-sets.  A cycle is
+        detected by the topological sort running short.
+        """
+        order = _topological_order(self._elements, successors)
+        if order is None:
+            raise NotAPartialOrderError("relation contains a cycle")
+
+        strictly_above: Dict[Element, Set[Element]] = {}
+        for element in reversed(order):
+            above: Set[Element] = set()
+            for succ in successors[element]:
+                above.add(succ)
+                above.update(strictly_above[succ])
+            strictly_above[element] = above
+
+        for element, above in strictly_above.items():
+            self._above[element] = above
+            for other in above:
+                self._below[other].add(element)
+
+    @classmethod
+    def from_cover_relation(
+        cls,
+        elements: Iterable[Element],
+        covers: Iterable[Tuple[Element, Element]],
+    ) -> "Poset":
+        """Build a poset from its covering (Hasse diagram) relation."""
+        return cls(elements, covers)
+
+    @classmethod
+    def chain(cls, elements: Sequence[Element]) -> "Poset":
+        """A totally ordered poset in the order of ``elements``."""
+        pairs = [
+            (elements[i], elements[i + 1]) for i in range(len(elements) - 1)
+        ]
+        return cls(elements, pairs)
+
+    @classmethod
+    def antichain(cls, elements: Iterable[Element]) -> "Poset":
+        """A poset in which every pair of elements is incomparable."""
+        return cls(elements, ())
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._index
+
+    @property
+    def elements(self) -> Tuple[Element, ...]:
+        """The elements in insertion order."""
+        return tuple(self._elements)
+
+    def _require(self, element: Element) -> None:
+        if element not in self._index:
+            raise PosetError(f"element {element!r} not in poset")
+
+    def less(self, x: Element, y: Element) -> bool:
+        """True when ``x`` is strictly below ``y``."""
+        self._require(x)
+        self._require(y)
+        return y in self._above[x]
+
+    def less_equal(self, x: Element, y: Element) -> bool:
+        """True when ``x == y`` or ``x`` is strictly below ``y``."""
+        return x == y or self.less(x, y)
+
+    def comparable(self, x: Element, y: Element) -> bool:
+        """True when ``x < y`` or ``y < x`` (distinct comparable pair)."""
+        return self.less(x, y) or self.less(y, x)
+
+    def concurrent(self, x: Element, y: Element) -> bool:
+        """True when ``x`` and ``y`` are distinct and incomparable.
+
+        This is the ``m1 ‖ m2`` relation of Section 2.
+        """
+        self._require(x)
+        self._require(y)
+        return x != y and not self.comparable(x, y)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def strictly_below(self, element: Element) -> FrozenSet[Element]:
+        """All elements strictly less than ``element``."""
+        self._require(element)
+        return frozenset(self._below[element])
+
+    def strictly_above(self, element: Element) -> FrozenSet[Element]:
+        """All elements strictly greater than ``element``."""
+        self._require(element)
+        return frozenset(self._above[element])
+
+    def down_set(self, element: Element) -> FrozenSet[Element]:
+        """The principal ideal: ``element`` and all elements below it."""
+        return self.strictly_below(element) | {element}
+
+    def up_set(self, element: Element) -> FrozenSet[Element]:
+        """The principal filter: ``element`` and all elements above it."""
+        return self.strictly_above(element) | {element}
+
+    def minimal_elements(self) -> List[Element]:
+        """Elements with nothing below them.
+
+        The paper calls such messages *minimal messages* in the induction
+        of Theorem 4.
+        """
+        return [e for e in self._elements if not self._below[e]]
+
+    def maximal_elements(self) -> List[Element]:
+        """Elements with nothing above them."""
+        return [e for e in self._elements if not self._above[e]]
+
+    def cover_pairs(self) -> List[Tuple[Element, Element]]:
+        """The transitive reduction as ``(lower, upper)`` pairs.
+
+        ``y`` covers ``x`` when ``x < y`` and no ``z`` has ``x < z < y``.
+        """
+        covers: List[Tuple[Element, Element]] = []
+        for x in self._elements:
+            above_x = self._above[x]
+            for y in self._elements:
+                if y not in above_x:
+                    continue
+                if any(z in above_x and y in self._above[z] for z in above_x):
+                    continue
+                covers.append((x, y))
+        return covers
+
+    def relation_pairs(self) -> List[Tuple[Element, Element]]:
+        """Every ordered pair ``(x, y)`` with ``x < y``."""
+        pairs: List[Tuple[Element, Element]] = []
+        for x in self._elements:
+            for y in self._elements:
+                if y in self._above[x]:
+                    pairs.append((x, y))
+        return pairs
+
+    def incomparable_pairs(self) -> List[Tuple[Element, Element]]:
+        """Every unordered incomparable pair, listed once (x before y)."""
+        pairs: List[Tuple[Element, Element]] = []
+        for i, x in enumerate(self._elements):
+            for y in self._elements[i + 1 :]:
+                if not self.comparable(x, y):
+                    pairs.append((x, y))
+        return pairs
+
+    def restricted_to(self, subset: Iterable[Element]) -> "Poset":
+        """The induced sub-poset on ``subset``."""
+        keep = list(dict.fromkeys(subset))
+        keep_set = set(keep)
+        for element in keep:
+            self._require(element)
+        pairs = [
+            (x, y)
+            for x in keep
+            for y in self._above[x]
+            if y in keep_set
+        ]
+        return Poset(keep, pairs)
+
+    def dual(self) -> "Poset":
+        """The order-reversed poset."""
+        pairs = [(y, x) for (x, y) in self.relation_pairs()]
+        return Poset(self._elements, pairs)
+
+    # ------------------------------------------------------------------
+    # Chains within the poset
+    # ------------------------------------------------------------------
+    def is_chain(self, elements: Sequence[Element]) -> bool:
+        """True when the given elements are pairwise comparable."""
+        items = list(elements)
+        return all(
+            items[i] == items[j] or self.comparable(items[i], items[j])
+            for i in range(len(items))
+            for j in range(i + 1, len(items))
+        )
+
+    def is_antichain(self, elements: Sequence[Element]) -> bool:
+        """True when the given elements are pairwise incomparable."""
+        items = list(elements)
+        return all(
+            not self.comparable(items[i], items[j]) and items[i] != items[j]
+            for i in range(len(items))
+            for j in range(i + 1, len(items))
+        )
+
+    def longest_chain(self) -> List[Element]:
+        """A longest chain, bottom to top (the poset's height witness)."""
+        best_to: Dict[Element, List[Element]] = {}
+        for element in self.linear_extension():
+            best_prefix: List[Element] = []
+            for lower in self._below[element]:
+                candidate = best_to[lower]
+                if len(candidate) > len(best_prefix):
+                    best_prefix = candidate
+            best_to[element] = best_prefix + [element]
+        if not best_to:
+            return []
+        return max(best_to.values(), key=len)
+
+    def height(self) -> int:
+        """Size of the longest chain (number of elements in it)."""
+        return len(self.longest_chain())
+
+    def linear_extension(self) -> List[Element]:
+        """A deterministic linear extension (topological order)."""
+        successors = {e: set(self._cover_successors(e)) for e in self._elements}
+        order = _topological_order(self._elements, successors)
+        assert order is not None  # construction guaranteed acyclicity
+        return order
+
+    def _cover_successors(self, element: Element) -> List[Element]:
+        above = self._above[element]
+        return [
+            y
+            for y in above
+            if not any(z in above and y in self._above[z] for z in above)
+        ]
+
+    # ------------------------------------------------------------------
+    # Equality / presentation
+    # ------------------------------------------------------------------
+    def same_order_as(self, other: "Poset") -> bool:
+        """True when both posets have equal element sets and equal orders."""
+        if set(self._elements) != set(other._elements):
+            return False
+        return all(
+            self._above[e] == other._above[e] for e in self._elements
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Poset({len(self._elements)} elements, "
+            f"{len(self.relation_pairs())} ordered pairs)"
+        )
+
+
+def _topological_order(
+    elements: Sequence[Element],
+    successors: Dict[Element, Set[Element]],
+) -> "List[Element] | None":
+    """Kahn's algorithm; returns ``None`` when the relation has a cycle.
+
+    Ties are broken by insertion order of ``elements``, which makes every
+    downstream algorithm deterministic.
+    """
+    index = {element: position for position, element in enumerate(elements)}
+    indegree: Dict[Element, int] = {e: 0 for e in elements}
+    for element in elements:
+        for succ in successors.get(element, ()):
+            indegree[succ] += 1
+
+    ready = [e for e in elements if indegree[e] == 0]
+    order: List[Element] = []
+    position = 0
+    while position < len(ready):
+        current = ready[position]
+        position += 1
+        order.append(current)
+        for succ in sorted(successors.get(current, ()), key=index.__getitem__):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(elements):
+        return None
+    return order

@@ -1,0 +1,234 @@
+"""Vector timestamps and the *vector order* of Equation (2).
+
+The paper compares timestamps with the standard strict vector order:
+
+    u < v  iff  (for all k: u[k] <= v[k]) and (exists j: u[j] < v[j])
+
+This module provides an immutable :class:`VectorTimestamp` value type
+implementing that order, plus the component-wise ``join`` (maximum) used
+by every clock algorithm in the paper, and an :data:`INFINITY` sentinel
+component used by the internal-event timestamps of Section 5 (where
+``succ(e)`` is "a vector where all elements are infinity" when no message
+follows ``e``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+#: Component value used for the "no successor message" vector of Section 5.
+INFINITY: float = math.inf
+
+
+class VectorTimestamp:
+    """An immutable vector of numeric components with the paper's order.
+
+    Instances behave like small tuples: they support indexing, iteration,
+    ``len``, equality and hashing.  The rich comparisons implement the
+    *vector order* of Equation (2); note this is a partial order, so
+    ``not (u < v)`` does **not** imply ``v <= u``.
+
+    >>> u = VectorTimestamp([1, 0, 0])
+    >>> v = VectorTimestamp([1, 1, 1])
+    >>> u < v
+    True
+    >>> w = VectorTimestamp([0, 2, 0])
+    >>> u < w or w < u
+    False
+    >>> u.concurrent_with(w)
+    True
+    """
+
+    __slots__ = ("_components",)
+
+    def __init__(self, components: Iterable[Number]):
+        self._components: Tuple[Number, ...] = tuple(components)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, size: int) -> "VectorTimestamp":
+        """Return the all-zero vector of ``size`` components.
+
+        This is the initial value of every process-local vector in the
+        online algorithm (Figure 5, "initially 0") and the ``prev(e)``
+        of an event with no preceding message (Section 5).
+        """
+        if size < 0:
+            raise ValueError(f"vector size must be non-negative, got {size}")
+        return cls((0,) * size)
+
+    @classmethod
+    def infinities(cls, size: int) -> "VectorTimestamp":
+        """Return the all-infinity vector used as ``succ(e)`` sentinel."""
+        if size < 0:
+            raise ValueError(f"vector size must be non-negative, got {size}")
+        return cls((INFINITY,) * size)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def __iter__(self) -> Iterator[Number]:
+        return iter(self._components)
+
+    def __getitem__(self, index):
+        return self._components[index]
+
+    @property
+    def components(self) -> Tuple[Number, ...]:
+        """The underlying tuple of components."""
+        return self._components
+
+    # ------------------------------------------------------------------
+    # Equality / hashing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VectorTimestamp):
+            return self._components == other._components
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self._components)
+
+    # ------------------------------------------------------------------
+    # Vector order (Equation 2)
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "VectorTimestamp") -> None:
+        if not isinstance(other, VectorTimestamp):
+            raise TypeError(
+                f"cannot compare VectorTimestamp with {type(other).__name__}"
+            )
+        if len(self) != len(other):
+            raise ValueError(
+                "cannot compare vectors of different sizes: "
+                f"{len(self)} vs {len(other)}"
+            )
+
+    def __le__(self, other: "VectorTimestamp") -> bool:
+        """Component-wise ``<=`` (reflexive closure of the vector order)."""
+        self._check_compatible(other)
+        return all(a <= b for a, b in zip(self._components, other._components))
+
+    def __lt__(self, other: "VectorTimestamp") -> bool:
+        """The strict vector order of Equation (2)."""
+        self._check_compatible(other)
+        return self <= other and self._components != other._components
+
+    def __ge__(self, other: "VectorTimestamp") -> bool:
+        self._check_compatible(other)
+        return other <= self
+
+    def __gt__(self, other: "VectorTimestamp") -> bool:
+        self._check_compatible(other)
+        return other < self
+
+    def concurrent_with(self, other: "VectorTimestamp") -> bool:
+        """True when neither vector is below the other (``u ‖ v``).
+
+        Two *distinct* messages with equal vectors are also reported as
+        concurrent-or-equal by the order test; callers that need the
+        paper's exact semantics compare with :meth:`__lt__` directly.
+        """
+        self._check_compatible(other)
+        return not self < other and not other < self and self != other
+
+    def comparable_with(self, other: "VectorTimestamp") -> bool:
+        """True when one vector is strictly below the other."""
+        return self < other or other < self
+
+    # ------------------------------------------------------------------
+    # Operations used by the clock algorithms
+    # ------------------------------------------------------------------
+    def join(self, other: "VectorTimestamp") -> "VectorTimestamp":
+        """Component-wise maximum (lines (5) and (9) of Figure 5)."""
+        self._check_compatible(other)
+        return VectorTimestamp(
+            max(a, b) for a, b in zip(self._components, other._components)
+        )
+
+    def meet(self, other: "VectorTimestamp") -> "VectorTimestamp":
+        """Component-wise minimum (dual of :meth:`join`)."""
+        self._check_compatible(other)
+        return VectorTimestamp(
+            min(a, b) for a, b in zip(self._components, other._components)
+        )
+
+    def incremented(self, index: int, amount: Number = 1) -> "VectorTimestamp":
+        """Return a copy with ``amount`` added to component ``index``.
+
+        This is the ``v_i[g]++`` of lines (6) and (10) of Figure 5.
+        """
+        if not 0 <= index < len(self._components):
+            raise IndexError(
+                f"component index {index} out of range for size {len(self)}"
+            )
+        parts = list(self._components)
+        parts[index] += amount
+        return VectorTimestamp(parts)
+
+    def with_component(self, index: int, value: Number) -> "VectorTimestamp":
+        """Return a copy with component ``index`` replaced by ``value``."""
+        if not 0 <= index < len(self._components):
+            raise IndexError(
+                f"component index {index} out of range for size {len(self)}"
+            )
+        parts = list(self._components)
+        parts[index] = value
+        return VectorTimestamp(parts)
+
+    def is_zero(self) -> bool:
+        """True when every component equals zero."""
+        return all(c == 0 for c in self._components)
+
+    def sum(self) -> Number:
+        """Sum of the components (useful as a crude Lamport-style bound)."""
+        return sum(self._components)
+
+    # ------------------------------------------------------------------
+    # Presentation
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        inner = ",".join(
+            "inf" if c == INFINITY else str(c) for c in self._components
+        )
+        return f"({inner})"
+
+
+def join_all(vectors: Sequence[VectorTimestamp]) -> VectorTimestamp:
+    """Component-wise maximum of a non-empty sequence of vectors."""
+    if not vectors:
+        raise ValueError("join_all requires at least one vector")
+    result = vectors[0]
+    for vector in vectors[1:]:
+        result = result.join(vector)
+    return result
+
+
+def dominates(u: VectorTimestamp, v: VectorTimestamp) -> bool:
+    """True when ``u`` is component-wise greater than or equal to ``v``."""
+    return v <= u
+
+
+def strictly_dominates(u: VectorTimestamp, v: VectorTimestamp) -> bool:
+    """True when ``u`` is component-wise strictly greater than ``v``.
+
+    This is stronger than the vector order: *every* component must grow.
+    The offline algorithm's timestamps have this property for comparable
+    messages because ranks differ in every linear extension.
+    """
+    if len(u) != len(v):
+        raise ValueError("cannot compare vectors of different sizes")
+    return all(a > b for a, b in zip(u, v))

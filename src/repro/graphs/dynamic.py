@@ -1,0 +1,234 @@
+"""Dynamic topologies: growing an edge decomposition online.
+
+The paper's client–server discussion (Section 3.3) implies a dynamic
+reality: clients join and leave, yet the timestamp size should stay at
+the server count.  This module makes that concrete:
+
+* :class:`DynamicDecomposition` grows an edge decomposition as channels
+  appear — a new channel joins an existing star when one of its
+  endpoints already roots one, and only otherwise opens a new group;
+* :class:`DynamicOnlineSystem` runs the Figure 5 algorithm over the
+  growing system.  When a new group appears, every local vector is
+  padded with a zero component.
+
+**Why padding is sound.**  Running the grown decomposition from the
+start would have produced identical vectors: components of groups that
+did not exist yet are zero for every earlier message, and the increments
+``e(m)`` of old messages are unchanged.  Therefore Equation (1) holds
+across the *entire* history, mixing pre- and post-growth messages —
+verified exhaustively in ``tests/graphs/test_dynamic.py``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional
+
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import DecompositionError, GraphError
+from repro.graphs.decomposition import (
+    EdgeDecomposition,
+    StarGroup,
+    TriangleGroup,
+)
+from repro.graphs.graph import Edge, UndirectedGraph
+
+if TYPE_CHECKING:  # runtime imports are deferred to break a cycle:
+    # sim.computation imports graphs.graph, which loads this package.
+    from repro.clocks.base import TimestampAssignment
+    from repro.sim.computation import SyncComputation, SyncMessage
+
+Vertex = Hashable
+
+
+class DynamicDecomposition:
+    """An edge decomposition that grows with the topology.
+
+    Starts from an existing :class:`EdgeDecomposition` (or empty) and
+    absorbs new channels.  Existing group indices never change, so
+    vector components keep their meaning as the system grows — the
+    property the padding argument in the module docstring relies on.
+    """
+
+    def __init__(self, base: Optional[EdgeDecomposition] = None):
+        self._graph = UndirectedGraph()
+        # Mutable group records: ("star", root, [edges]) or
+        # ("triangle", corners, [edges]).
+        self._groups: List[list] = []
+        self._star_of_root: Dict[Vertex, int] = {}
+        self._group_of_edge: Dict[Edge, int] = {}
+        if base is not None:
+            self._absorb(base)
+
+    def _absorb(self, base: EdgeDecomposition) -> None:
+        for vertex in base.graph.vertices:
+            self._graph.add_vertex(vertex)
+        for index, group in enumerate(base.groups):
+            if isinstance(group, StarGroup):
+                self._groups.append(["star", group.root, list(group.edges)])
+                self._star_of_root[group.root] = index
+            elif isinstance(group, TriangleGroup):
+                self._groups.append(
+                    ["triangle", group.corners, list(group.edges)]
+                )
+            else:  # pragma: no cover - EdgeDecomposition validated already
+                raise DecompositionError(f"unknown group {group!r}")
+            for edge in group.edges:
+                self._graph.add_edge(*edge.endpoints)
+                self._group_of_edge[edge] = index
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Current number of edge groups (= current vector size)."""
+        return len(self._groups)
+
+    @property
+    def graph(self) -> UndirectedGraph:
+        return self._graph
+
+    def add_process(self, process: Vertex) -> None:
+        """Introduce a process with no channels yet (free)."""
+        self._graph.add_vertex(process)
+
+    def add_channel(self, u: Vertex, v: Vertex) -> int:
+        """Add a channel; returns its group index.
+
+        Joins the star rooted at ``u`` or ``v`` when one exists (keeping
+        the vector size unchanged); otherwise opens a fresh star rooted
+        at ``u``.  Adding an existing channel is a no-op returning its
+        current group.
+        """
+        edge = Edge(u, v)
+        existing = self._group_of_edge.get(edge)
+        if existing is not None:
+            return existing
+        self._graph.add_edge(u, v)
+        for root in (u, v):
+            index = self._star_of_root.get(root)
+            if index is not None:
+                self._groups[index][2].append(edge)
+                self._group_of_edge[edge] = index
+                return index
+        index = len(self._groups)
+        self._groups.append(["star", u, [edge]])
+        self._star_of_root[u] = index
+        self._group_of_edge[edge] = index
+        return index
+
+    def group_index_of(self, u: Vertex, v: Vertex) -> int:
+        edge = Edge(u, v)
+        try:
+            return self._group_of_edge[edge]
+        except KeyError:
+            raise GraphError(f"channel {edge!r} not in the system") from None
+
+    def snapshot(self) -> EdgeDecomposition:
+        """A validated immutable :class:`EdgeDecomposition` of the
+        current state (usable with :class:`OnlineEdgeClock`)."""
+        groups = []
+        for record in self._groups:
+            if record[0] == "star":
+                groups.append(StarGroup(record[1], tuple(record[2])))
+            else:
+                groups.append(
+                    TriangleGroup(record[1], tuple(record[2]))
+                )
+        return EdgeDecomposition(self._graph, groups)
+
+
+def pad_vector(vector: VectorTimestamp, size: int) -> VectorTimestamp:
+    """Zero-pad a vector up to ``size`` components (identity if equal)."""
+    if len(vector) > size:
+        raise ValueError(
+            f"cannot shrink a vector of size {len(vector)} to {size}"
+        )
+    if len(vector) == size:
+        return vector
+    return VectorTimestamp(
+        tuple(vector.components) + (0,) * (size - len(vector))
+    )
+
+
+class DynamicOnlineSystem:
+    """The Figure 5 algorithm over a growing system.
+
+    Drives the message handshake directly over the
+    :class:`DynamicDecomposition`; local vectors (and previously issued
+    timestamps, on demand via :meth:`assignment`) are zero-padded as
+    groups appear.
+    """
+
+    def __init__(self, base: Optional[EdgeDecomposition] = None):
+        self._decomposition = DynamicDecomposition(base)
+        self._vectors: Dict[Vertex, VectorTimestamp] = {
+            p: VectorTimestamp.zeros(self._decomposition.size)
+            for p in self._decomposition.graph.vertices
+        }
+        self._messages: List["SyncMessage"] = []
+        self._timestamps: List[VectorTimestamp] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def decomposition(self) -> DynamicDecomposition:
+        return self._decomposition
+
+    @property
+    def vector_size(self) -> int:
+        return self._decomposition.size
+
+    def join(self, process: Vertex) -> None:
+        """A new process joins (no channels yet)."""
+        self._decomposition.add_process(process)
+        self._vectors.setdefault(
+            process, VectorTimestamp.zeros(self._decomposition.size)
+        )
+
+    def connect(self, u: Vertex, v: Vertex) -> int:
+        """Open a channel; pads state if a new group appeared."""
+        for process in (u, v):
+            if process not in self._vectors:
+                self.join(process)
+        return self._decomposition.add_channel(u, v)
+
+    def send_message(self, sender: Vertex, receiver: Vertex) -> VectorTimestamp:
+        """One synchronous message over an existing channel."""
+        from repro.sim.computation import SyncMessage
+
+        group = self._decomposition.group_index_of(sender, receiver)
+        size = self._decomposition.size
+        merged = pad_vector(self._vectors[sender], size).join(
+            pad_vector(self._vectors[receiver], size)
+        )
+        stamped = merged.incremented(group)
+        self._vectors[sender] = stamped
+        self._vectors[receiver] = stamped
+        message = SyncMessage(
+            index=len(self._messages),
+            sender=sender,
+            receiver=receiver,
+            name=f"m{len(self._messages) + 1}",
+        )
+        self._messages.append(message)
+        self._timestamps.append(stamped)
+        return stamped
+
+    # ------------------------------------------------------------------
+    def as_computation(self) -> "SyncComputation":
+        """The history as a computation over the *final* topology."""
+        from repro.sim.computation import SyncComputation
+
+        return SyncComputation(self._decomposition.graph, self._messages)
+
+    def assignment(self) -> "TimestampAssignment":
+        """All issued timestamps, zero-padded to the final vector size."""
+        from repro.clocks.base import TimestampAssignment
+
+        size = self._decomposition.size
+        computation = self.as_computation()
+        return TimestampAssignment(
+            computation,
+            {
+                message: pad_vector(stamp, size)
+                for message, stamp in zip(self._messages, self._timestamps)
+            },
+        )

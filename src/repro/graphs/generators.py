@@ -1,0 +1,316 @@
+"""Communication-topology generators.
+
+Families used throughout the paper's discussion and our benchmarks:
+
+* ``star_topology`` / ``triangle_topology`` — the totally-ordered cases
+  of Lemma 1 (an integer timestamp suffices);
+* ``complete_topology`` — the worst case for edge decomposition
+  (``N-3`` stars and one triangle, Figure 3);
+* ``tree_topology`` / ``paper_fig4_tree`` — the favourable case where
+  the decomposition size stays constant as leaves are added (Figure 4);
+* ``client_server_topology`` — one star per server, so the vector size
+  equals the number of servers regardless of the client population;
+* ``disjoint_triangles`` — the topology showing ``β(G) = 2·α(G)`` is
+  tight (Section 3.3);
+* ``paper_fig2b_graph`` — our reconstruction of the 11-node topology of
+  Figure 2(b) on which Figure 8 traces the decomposition algorithm;
+* ``random_gnp`` / ``random_tree`` / ``random_connected`` — randomised
+  families for property tests and sweeps, driven by a caller-supplied
+  :class:`random.Random` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from repro.graphs.graph import UndirectedGraph
+
+
+def process_names(count: int, prefix: str = "P") -> List[str]:
+    """Standard process names ``P1 .. P<count>``."""
+    if count < 0:
+        raise ValueError("process count must be non-negative")
+    return [f"{prefix}{i}" for i in range(1, count + 1)]
+
+
+def star_topology(leaf_count: int, center: str = "P1") -> UndirectedGraph:
+    """A star with ``leaf_count`` leaves rooted at ``center``."""
+    leaves = [f"{center}_leaf{i}" for i in range(1, leaf_count + 1)]
+    graph = UndirectedGraph([center] + leaves)
+    for leaf in leaves:
+        graph.add_edge(center, leaf)
+    return graph
+
+
+def triangle_topology(
+    names: Sequence[str] = ("P1", "P2", "P3"),
+) -> UndirectedGraph:
+    """The 3-cycle topology of Lemma 1."""
+    a, b, c = names
+    return UndirectedGraph([a, b, c], [(a, b), (b, c), (a, c)])
+
+
+def path_topology(count: int) -> UndirectedGraph:
+    """A simple path ``P1 - P2 - ... - Pn``."""
+    names = process_names(count)
+    graph = UndirectedGraph(names)
+    for left, right in zip(names, names[1:]):
+        graph.add_edge(left, right)
+    return graph
+
+
+def ring_topology(count: int) -> UndirectedGraph:
+    """A cycle topology; requires at least three processes."""
+    if count < 3:
+        raise ValueError("a ring requires at least 3 processes")
+    graph = path_topology(count)
+    names = graph.vertices
+    graph.add_edge(names[-1], names[0])
+    return graph
+
+
+def complete_topology(count: int) -> UndirectedGraph:
+    """The fully-connected topology of Figure 2(a)."""
+    names = process_names(count)
+    graph = UndirectedGraph(names)
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            graph.add_edge(u, v)
+    return graph
+
+
+def complete_bipartite_topology(
+    left_count: int, right_count: int
+) -> UndirectedGraph:
+    """``K_{m,n}``; with ``m`` servers this is the client–server shape."""
+    lefts = [f"L{i}" for i in range(1, left_count + 1)]
+    rights = [f"R{i}" for i in range(1, right_count + 1)]
+    graph = UndirectedGraph(lefts + rights)
+    for u in lefts:
+        for v in rights:
+            graph.add_edge(u, v)
+    return graph
+
+
+def client_server_topology(
+    server_count: int, client_count: int, full_mesh: bool = True
+) -> UndirectedGraph:
+    """Clients talk only to servers through synchronous RPC (Section 3.3).
+
+    With ``full_mesh`` every client can reach every server; otherwise
+    each client is attached to one server round-robin.  Either way the
+    edge set decomposes into ``server_count`` stars.
+    """
+    servers = [f"S{i}" for i in range(1, server_count + 1)]
+    clients = [f"C{i}" for i in range(1, client_count + 1)]
+    graph = UndirectedGraph(servers + clients)
+    for position, client in enumerate(clients):
+        if full_mesh:
+            for server in servers:
+                graph.add_edge(client, server)
+        else:
+            graph.add_edge(client, servers[position % server_count])
+    return graph
+
+
+def tree_topology(
+    hub_count: int, leaves_per_hub: int
+) -> UndirectedGraph:
+    """A caterpillar tree: a path of hubs, each with its own leaves.
+
+    Its optimal edge decomposition is ``hub_count`` stars no matter how
+    many leaves each hub has — the paper's "tree topologies scale" claim.
+    """
+    if hub_count < 1:
+        raise ValueError("need at least one hub")
+    hubs = [f"H{i}" for i in range(1, hub_count + 1)]
+    graph = UndirectedGraph(hubs)
+    for left, right in zip(hubs, hubs[1:]):
+        graph.add_edge(left, right)
+    for number, hub in enumerate(hubs, start=1):
+        for leaf in range(1, leaves_per_hub + 1):
+            graph.add_edge(hub, f"H{number}_leaf{leaf}")
+    return graph
+
+
+def paper_fig4_tree() -> UndirectedGraph:
+    """The 20-process tree of Figure 4, reconstructed.
+
+    The figure shows a tree whose edges split into three stars
+    ``E1, E2, E3``.  We build three hubs in a path with 6, 5 and 6
+    leaves respectively: 3 + 17 = 20 processes, 19 edges, and the
+    optimal decomposition is the three hub-rooted stars.
+    """
+    hubs = ["H1", "H2", "H3"]
+    graph = UndirectedGraph(hubs)
+    graph.add_edge("H1", "H2")
+    graph.add_edge("H2", "H3")
+    for hub, leaf_count in zip(hubs, (6, 5, 6)):
+        for leaf in range(1, leaf_count + 1):
+            graph.add_edge(hub, f"{hub}_leaf{leaf}")
+    assert graph.vertex_count() == 20
+    return graph
+
+
+def paper_fig2b_graph() -> UndirectedGraph:
+    """Reconstruction of the Figure 2(b)/Figure 8 topology on ``a .. k``.
+
+    The original figure is only available as a picture; this graph is
+    built so that the Figure 7 algorithm reproduces the narrated run of
+    Figure 8 exactly:
+
+    1. first step: node ``a`` has degree 1, so the star rooted at ``b``
+       (edges ``ab, bc, bj``) is output;
+    2. second step: triangle ``(d, e, f)`` has ``degree(d) =
+       degree(e) = 2`` and is output;
+    3. third step: edge ``(g, h)`` has the most adjacent edges (7), so
+       the stars rooted at ``h`` and at ``g`` are output;
+    4. looping back to the first step, edge ``(j, k)`` is output, and
+       the algorithm exits.
+
+    The result — 4 stars and 1 triangle — is optimal: the five pairwise
+    non-adjacent edges ``ab, de, cg, fh, jk`` each require their own
+    group (any two edges inside one star or triangle are adjacent).
+    """
+    vertices = list("abcdefghijk")
+    edges = [
+        ("a", "b"),
+        ("b", "c"),
+        ("b", "j"),
+        ("d", "e"),
+        ("d", "f"),
+        ("e", "f"),
+        ("g", "h"),
+        ("c", "g"),
+        ("c", "h"),
+        ("f", "h"),
+        ("i", "g"),
+        ("i", "h"),
+        ("j", "h"),
+        ("j", "k"),
+        ("k", "g"),
+    ]
+    return UndirectedGraph(vertices, edges)
+
+
+def federated_topology(
+    cluster_count: int,
+    clients_per_cluster: int,
+    servers_per_cluster: int = 1,
+) -> UndirectedGraph:
+    """A federation of client–server clusters linked by a gateway ring.
+
+    Each cluster has its own servers and clients; the first server of
+    each cluster doubles as a gateway connected to the next cluster's
+    gateway.  The edge set decomposes into one star per server (the
+    gateway links join the gateway servers' stars), so the timestamp
+    size is ``cluster_count * servers_per_cluster`` — independent of the
+    client population, the federated version of the Section 3.3 claim.
+    """
+    if cluster_count < 1 or servers_per_cluster < 1:
+        raise ValueError("need at least one cluster and one server each")
+    graph = UndirectedGraph()
+    gateways = []
+    for cluster in range(1, cluster_count + 1):
+        servers = [
+            f"F{cluster}_S{i}" for i in range(1, servers_per_cluster + 1)
+        ]
+        gateways.append(servers[0])
+        for server in servers:
+            graph.add_vertex(server)
+        for client_number in range(1, clients_per_cluster + 1):
+            client = f"F{cluster}_C{client_number}"
+            for server in servers:
+                graph.add_edge(client, server)
+    for left, right in zip(gateways, gateways[1:]):
+        graph.add_edge(left, right)
+    if len(gateways) > 2:
+        graph.add_edge(gateways[-1], gateways[0])
+    return graph
+
+
+def disjoint_triangles(count: int) -> UndirectedGraph:
+    """``count`` vertex-disjoint triangles: ``α = count``, ``β = 2·count``.
+
+    This is the family the paper uses to show that the
+    ``β(G) <= 2·α(G)`` bound is tight.
+    """
+    graph = UndirectedGraph()
+    for t in range(1, count + 1):
+        a, b, c = f"T{t}x", f"T{t}y", f"T{t}z"
+        graph.add_edge(a, b)
+        graph.add_edge(b, c)
+        graph.add_edge(a, c)
+    return graph
+
+
+def grid_topology(rows: int, cols: int) -> UndirectedGraph:
+    """A rows × cols mesh, a common multiprocessor interconnect."""
+    graph = UndirectedGraph(
+        [f"G{r}_{c}" for r in range(rows) for c in range(cols)]
+    )
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                graph.add_edge(f"G{r}_{c}", f"G{r}_{c + 1}")
+            if r + 1 < rows:
+                graph.add_edge(f"G{r}_{c}", f"G{r + 1}_{c}")
+    return graph
+
+
+def hypercube_topology(dimensions: int) -> UndirectedGraph:
+    """The ``d``-dimensional hypercube on ``2^d`` processes."""
+    if dimensions < 0:
+        raise ValueError("dimension must be non-negative")
+    size = 1 << dimensions
+    names = [f"Q{i:0{max(dimensions, 1)}b}" for i in range(size)]
+    graph = UndirectedGraph(names)
+    for i in range(size):
+        for bit in range(dimensions):
+            j = i ^ (1 << bit)
+            if i < j:
+                graph.add_edge(names[i], names[j])
+    return graph
+
+
+def random_gnp(
+    count: int, probability: float, rng: random.Random
+) -> UndirectedGraph:
+    """Erdős–Rényi ``G(n, p)`` on ``P1 .. Pn``."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must lie in [0, 1]")
+    names = process_names(count)
+    graph = UndirectedGraph(names)
+    for i, u in enumerate(names):
+        for v in names[i + 1 :]:
+            if rng.random() < probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def random_tree(count: int, rng: random.Random) -> UndirectedGraph:
+    """A uniform-ish random tree: attach each vertex to a random earlier one."""
+    names = process_names(count)
+    graph = UndirectedGraph(names)
+    for position in range(1, count):
+        parent = rng.randrange(position)
+        graph.add_edge(names[parent], names[position])
+    return graph
+
+
+def random_connected(
+    count: int, extra_edge_count: int, rng: random.Random
+) -> UndirectedGraph:
+    """A random tree plus ``extra_edge_count`` random chords."""
+    graph = random_tree(count, rng)
+    names = list(graph.vertices)
+    attempts = 0
+    added = 0
+    while added < extra_edge_count and attempts < 50 * (extra_edge_count + 1):
+        attempts += 1
+        u, v = rng.sample(names, 2)
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph

@@ -1,0 +1,367 @@
+"""Undirected graphs modelling communication topologies (Section 3.1).
+
+The communication topology of a synchronous system is an undirected
+graph ``G = (V, E)`` whose vertices are processes and whose edges are
+the pairs of processes that may communicate directly.  This module
+implements that graph from scratch (adjacency sets, deterministic
+iteration order) together with the structural predicates the paper's
+algorithms rely on: star and triangle recognition, degrees, acyclicity,
+connected components and triangle enumeration.
+
+Edges are *unordered* pairs; :class:`Edge` normalises the endpoint order
+so ``Edge('a', 'b') == Edge('b', 'a')`` and the pair can be used as a
+dictionary key (e.g. mapping each channel to its edge group).
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import EdgeNotFoundError, GraphError, VertexNotFoundError
+
+Vertex = Hashable
+
+
+class Edge:
+    """An unordered pair of distinct vertices.
+
+    >>> Edge("b", "a") == Edge("a", "b")
+    True
+    >>> Edge("a", "b").other("a")
+    'b'
+    """
+
+    __slots__ = ("_u", "_v")
+
+    def __init__(self, u: Vertex, v: Vertex):
+        if u == v:
+            raise GraphError(f"self-loop edge at {u!r} is not allowed")
+        # Normalise by repr ordering so equal pairs hash identically even
+        # for mixed types; repr of a hashable is stable within a run.
+        first, second = sorted((u, v), key=_vertex_sort_key)
+        self._u = first
+        self._v = second
+
+    @property
+    def u(self) -> Vertex:
+        return self._u
+
+    @property
+    def v(self) -> Vertex:
+        return self._v
+
+    @property
+    def endpoints(self) -> Tuple[Vertex, Vertex]:
+        return (self._u, self._v)
+
+    def other(self, vertex: Vertex) -> Vertex:
+        """The endpoint that is not ``vertex``."""
+        if vertex == self._u:
+            return self._v
+        if vertex == self._v:
+            return self._u
+        raise GraphError(f"{vertex!r} is not an endpoint of {self!r}")
+
+    def incident_to(self, vertex: Vertex) -> bool:
+        return vertex == self._u or vertex == self._v
+
+    def shares_endpoint(self, other: "Edge") -> bool:
+        """True when the two edges have a common endpoint (are adjacent)."""
+        return (
+            self._u == other._u
+            or self._u == other._v
+            or self._v == other._u
+            or self._v == other._v
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Edge):
+            return self._u == other._u and self._v == other._v
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._u, self._v))
+
+    def __iter__(self) -> Iterator[Vertex]:
+        return iter((self._u, self._v))
+
+    def __repr__(self) -> str:
+        return f"({self._u!r},{self._v!r})"
+
+
+def _vertex_sort_key(vertex: Vertex) -> Tuple[str, str]:
+    return (type(vertex).__name__, repr(vertex))
+
+
+def as_edge(edge_like) -> Edge:
+    """Coerce an :class:`Edge` or a 2-tuple into an :class:`Edge`."""
+    if isinstance(edge_like, Edge):
+        return edge_like
+    u, v = edge_like
+    return Edge(u, v)
+
+
+class UndirectedGraph:
+    """A finite simple undirected graph with deterministic iteration.
+
+    Vertices and edges iterate in insertion order, so every algorithm in
+    the library produces reproducible output for a fixed input.
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        edges: Iterable = (),
+    ):
+        self._adjacency: Dict[Vertex, Set[Vertex]] = {}
+        self._vertex_order: List[Vertex] = []
+        self._edge_order: List[Edge] = []
+        self._edge_set: Set[Edge] = set()
+        for vertex in vertices:
+            self.add_vertex(vertex)
+        for edge in edges:
+            self.add_edge(*as_edge(edge).endpoints)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add_vertex(self, vertex: Vertex) -> None:
+        if vertex not in self._adjacency:
+            self._adjacency[vertex] = set()
+            self._vertex_order.append(vertex)
+
+    def add_edge(self, u: Vertex, v: Vertex) -> Edge:
+        edge = Edge(u, v)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if edge not in self._edge_set:
+            self._edge_set.add(edge)
+            self._edge_order.append(edge)
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+        return edge
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> None:
+        edge = Edge(u, v)
+        if edge not in self._edge_set:
+            raise EdgeNotFoundError(f"edge {edge!r} not in graph")
+        self._edge_set.remove(edge)
+        self._edge_order.remove(edge)
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+
+    def remove_edges(self, edges: Iterable) -> None:
+        for edge_like in list(edges):
+            edge = as_edge(edge_like)
+            self.remove_edge(edge.u, edge.v)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> Tuple[Vertex, ...]:
+        return tuple(self._vertex_order)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        return tuple(self._edge_order)
+
+    def vertex_count(self) -> int:
+        return len(self._vertex_order)
+
+    def edge_count(self) -> int:
+        return len(self._edge_order)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._adjacency
+
+    def has_edge(self, u: Vertex, v: Vertex) -> bool:
+        if u == v:
+            return False
+        return Edge(u, v) in self._edge_set
+
+    def neighbors(self, vertex: Vertex) -> List[Vertex]:
+        """Neighbours of ``vertex`` in deterministic (insertion) order."""
+        self._require_vertex(vertex)
+        adjacent = self._adjacency[vertex]
+        return [v for v in self._vertex_order if v in adjacent]
+
+    def degree(self, vertex: Vertex) -> int:
+        self._require_vertex(vertex)
+        return len(self._adjacency[vertex])
+
+    def degrees(self) -> Dict[Vertex, int]:
+        return {v: len(self._adjacency[v]) for v in self._vertex_order}
+
+    def max_degree(self) -> int:
+        if not self._vertex_order:
+            return 0
+        return max(len(self._adjacency[v]) for v in self._vertex_order)
+
+    def incident_edges(self, vertex: Vertex) -> List[Edge]:
+        """Edges incident to ``vertex`` in deterministic order."""
+        self._require_vertex(vertex)
+        return [e for e in self._edge_order if e.incident_to(vertex)]
+
+    def adjacent_edge_count(self, edge_like) -> int:
+        """Number of edges sharing an endpoint with the given edge.
+
+        Step three of the Figure 7 algorithm picks the edge maximising
+        this quantity.
+        """
+        edge = as_edge(edge_like)
+        if edge not in self._edge_set:
+            raise EdgeNotFoundError(f"edge {edge!r} not in graph")
+        return (
+            self.degree(edge.u) + self.degree(edge.v) - 2
+        )
+
+    def _require_vertex(self, vertex: Vertex) -> None:
+        if vertex not in self._adjacency:
+            raise VertexNotFoundError(f"vertex {vertex!r} not in graph")
+
+    # ------------------------------------------------------------------
+    # Structure predicates (Section 3.1)
+    # ------------------------------------------------------------------
+    def is_star(self) -> Optional[Vertex]:
+        """When every edge shares one common vertex, return that root.
+
+        Following the paper, a star is defined by its *edge set*: there
+        must exist a vertex incident to every edge.  A graph with no
+        edges is trivially a star (any vertex works; we return the first
+        vertex, or ``None`` for the empty graph).  Returns ``None`` when
+        the graph is not a star.
+        """
+        if not self._edge_order:
+            return self._vertex_order[0] if self._vertex_order else None
+        first = self._edge_order[0]
+        for candidate in first.endpoints:
+            if all(e.incident_to(candidate) for e in self._edge_order):
+                return candidate
+        return None
+
+    def is_triangle(self) -> Optional[Tuple[Vertex, Vertex, Vertex]]:
+        """When the edge set is exactly a triangle, return its corners."""
+        if len(self._edge_order) != 3:
+            return None
+        corners: Set[Vertex] = set()
+        for edge in self._edge_order:
+            corners.update(edge.endpoints)
+        if len(corners) != 3:
+            return None
+        ordered = [v for v in self._vertex_order if v in corners]
+        a, b, c = ordered
+        if self.has_edge(a, b) and self.has_edge(b, c) and self.has_edge(a, c):
+            return (a, b, c)
+        return None
+
+    def triangles(self) -> List[Tuple[Vertex, Vertex, Vertex]]:
+        """All triangles, each listed once with vertices in graph order."""
+        order = {v: i for i, v in enumerate(self._vertex_order)}
+        found: List[Tuple[Vertex, Vertex, Vertex]] = []
+        for edge in self._edge_order:
+            u, v = edge.endpoints
+            if order[u] > order[v]:
+                u, v = v, u
+            for w in self._vertex_order:
+                if order[w] <= order[v]:
+                    continue
+                if self.has_edge(u, w) and self.has_edge(v, w):
+                    found.append((u, v, w))
+        return found
+
+    def is_acyclic(self) -> bool:
+        """True when the graph is a forest."""
+        visited: Set[Vertex] = set()
+        for root in self._vertex_order:
+            if root in visited:
+                continue
+            stack: List[Tuple[Vertex, Optional[Vertex]]] = [(root, None)]
+            visited.add(root)
+            while stack:
+                current, parent = stack.pop()
+                for nxt in self._adjacency[current]:
+                    if nxt == parent:
+                        continue
+                    if nxt in visited:
+                        return False
+                    visited.add(nxt)
+                    stack.append((nxt, current))
+        return True
+
+    def connected_components(self) -> List[List[Vertex]]:
+        """Vertex lists of the connected components, deterministic order."""
+        seen: Set[Vertex] = set()
+        components: List[List[Vertex]] = []
+        for root in self._vertex_order:
+            if root in seen:
+                continue
+            component = [root]
+            seen.add(root)
+            frontier = [root]
+            while frontier:
+                current = frontier.pop()
+                for nxt in self.neighbors(current):
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        component.append(nxt)
+                        frontier.append(nxt)
+            components.append(component)
+        return components
+
+    def is_connected(self) -> bool:
+        if not self._vertex_order:
+            return True
+        return len(self.connected_components()) == 1
+
+    # ------------------------------------------------------------------
+    # Derivations
+    # ------------------------------------------------------------------
+    def copy(self) -> "UndirectedGraph":
+        return UndirectedGraph(self._vertex_order, self._edge_order)
+
+    def subgraph_of_edges(self, edges: Iterable) -> "UndirectedGraph":
+        """Graph with all original vertices but only the given edges.
+
+        Matches the paper's convention that an edge group ``E_i`` forms
+        the graph ``(V, E_i)``.
+        """
+        kept = [as_edge(e) for e in edges]
+        for edge in kept:
+            if edge not in self._edge_set:
+                raise EdgeNotFoundError(f"edge {edge!r} not in graph")
+        return UndirectedGraph(self._vertex_order, kept)
+
+    def induced_subgraph(self, vertices: Iterable[Vertex]) -> "UndirectedGraph":
+        keep = [v for v in self._vertex_order if v in set(vertices)]
+        keep_set = set(keep)
+        edges = [
+            e
+            for e in self._edge_order
+            if e.u in keep_set and e.v in keep_set
+        ]
+        return UndirectedGraph(keep, edges)
+
+    def to_networkx(self):  # pragma: no cover - thin optional interop
+        """Export to a ``networkx.Graph`` (test-only cross-check helper)."""
+        import networkx
+
+        graph = networkx.Graph()
+        graph.add_nodes_from(self._vertex_order)
+        graph.add_edges_from(e.endpoints for e in self._edge_order)
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"UndirectedGraph({self.vertex_count()} vertices, "
+            f"{self.edge_count()} edges)"
+        )

@@ -1,0 +1,61 @@
+"""Topology inference from observed traffic.
+
+Deployed monitors often receive message logs without a declared
+communication topology.  For decomposition purposes the *observed*
+topology — one vertex per process seen, one edge per channel used — is
+sufficient: the online algorithm only needs a group for channels that
+actually carry messages.
+
+Note the caveat for re-timestamping: a decomposition of the observed
+topology is valid for the observed computation, but if new channels
+appear later, use :class:`repro.graphs.dynamic.DynamicDecomposition` to
+grow it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, List, Tuple
+
+from repro.graphs.graph import UndirectedGraph
+
+if TYPE_CHECKING:  # deferred: sim.computation imports graphs.graph
+    from repro.sim.computation import SyncComputation
+
+
+def infer_topology(computation: "SyncComputation") -> UndirectedGraph:
+    """The observed topology: active processes and used channels only."""
+    graph = UndirectedGraph()
+    for process in computation.active_processes():
+        graph.add_vertex(process)
+    for sender, receiver in computation.channels_used():
+        graph.add_edge(sender, receiver)
+    return graph
+
+
+def infer_topology_from_pairs(
+    pairs: Iterable[Tuple[object, object]],
+) -> UndirectedGraph:
+    """Observed topology straight from raw ``(sender, receiver)`` logs."""
+    graph = UndirectedGraph()
+    for sender, receiver in pairs:
+        graph.add_edge(sender, receiver)
+    return graph
+
+
+def restrict_to_observed(
+    computation: "SyncComputation",
+) -> "SyncComputation":
+    """Re-home the computation onto its observed topology.
+
+    Useful before decomposition: idle processes and unused channels
+    contribute nothing but can inflate vertex-cover-based bounds.
+    """
+    from repro.sim.computation import SyncComputation
+
+    topology = infer_topology(computation)
+    pairs: List[Tuple[object, object]] = [
+        (message.sender, message.receiver)
+        for message in computation.messages
+    ]
+    rehomed = SyncComputation.from_pairs(topology, pairs)
+    return rehomed

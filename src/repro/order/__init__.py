@@ -1,0 +1,61 @@
+"""Ground-truth order relations and the encoding checker."""
+
+from repro.order.checker import (
+    CheckReport,
+    Violation,
+    assert_characterizes,
+    check_encoding,
+)
+from repro.order.cuts import (
+    Cut,
+    cut_from_messages,
+    cut_of_everything,
+    is_consistent,
+    snapshot_at,
+    subcomputation,
+)
+from repro.order.happened_before import (
+    all_events,
+    causal_chain_exists,
+    happened_before,
+    happened_before_poset,
+    timeline_cover_pairs,
+)
+from repro.order.message_order import (
+    concurrent_messages,
+    covering_pairs,
+    direct_precedence_pairs,
+    directly_precedes,
+    longest_chain_size_between,
+    message_poset,
+    minimal_messages,
+    synchronous_chains_between,
+    synchronously_precedes,
+)
+
+__all__ = [
+    "CheckReport",
+    "Cut",
+    "Violation",
+    "cut_from_messages",
+    "cut_of_everything",
+    "is_consistent",
+    "snapshot_at",
+    "subcomputation",
+    "all_events",
+    "assert_characterizes",
+    "causal_chain_exists",
+    "check_encoding",
+    "concurrent_messages",
+    "covering_pairs",
+    "direct_precedence_pairs",
+    "directly_precedes",
+    "happened_before",
+    "happened_before_poset",
+    "longest_chain_size_between",
+    "message_poset",
+    "minimal_messages",
+    "synchronous_chains_between",
+    "synchronously_precedes",
+    "timeline_cover_pairs",
+]

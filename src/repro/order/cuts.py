@@ -1,0 +1,173 @@
+"""Consistent cuts of synchronous computations.
+
+A *cut* keeps a prefix of every process's message projection.  Because a
+synchronous message is one atomic event on two timelines, a cut is
+**consistent** exactly when (a) both participants agree on whether each
+message is kept, and (b) the kept set is a down-set of ``(M, ↦)``.
+Consistent cuts are in bijection with the ideals of the message poset
+(:mod:`repro.core.ideals`).
+
+The practical constructor is :func:`snapshot_at`: with characterizing
+vector timestamps, ``{m : v(m) ≤ frontier}`` is always a consistent cut
+— the vector-frontier snapshot used by checkpointing.  Recovery's
+surviving set (:mod:`repro.apps.recovery`) is also a consistent cut,
+which the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Set
+
+from repro.clocks.base import TimestampAssignment
+from repro.core.poset import Poset
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import SimulationError
+from repro.sim.computation import Process, SyncComputation, SyncMessage
+
+
+@dataclass(frozen=True)
+class Cut:
+    """Per-process prefix lengths (how many messages each process keeps)."""
+
+    kept: Mapping[Process, int]
+
+    def messages(self, computation: SyncComputation) -> FrozenSet[SyncMessage]:
+        """Messages kept by *both* of their participants."""
+        included: Set[SyncMessage] = set()
+        for message in computation.messages:
+            if self._keeps(computation, message.sender, message) and (
+                self._keeps(computation, message.receiver, message)
+            ):
+                included.add(message)
+        return frozenset(included)
+
+    def _keeps(
+        self,
+        computation: SyncComputation,
+        process: Process,
+        message: SyncMessage,
+    ) -> bool:
+        projection = computation.process_messages(process)
+        keep = self.kept.get(process, 0)
+        return message in projection[:keep]
+
+    def validate_against(self, computation: SyncComputation) -> None:
+        for process, keep in self.kept.items():
+            projection = computation.process_messages(process)
+            if not 0 <= keep <= len(projection):
+                raise SimulationError(
+                    f"cut keeps {keep} messages of {process!r}, which has "
+                    f"only {len(projection)}"
+                )
+
+
+def cut_from_messages(
+    computation: SyncComputation, messages: FrozenSet[SyncMessage]
+) -> Cut:
+    """The per-process prefix lengths matching a message set.
+
+    Raises :class:`SimulationError` when the set is not prefix-shaped on
+    some process (such a set cannot be any cut).
+    """
+    kept: Dict[Process, int] = {}
+    for process in computation.processes:
+        projection = computation.process_messages(process)
+        count = 0
+        for message in projection:
+            if message in messages:
+                count += 1
+            else:
+                break
+        # Everything after the first excluded message must be excluded.
+        if any(m in messages for m in projection[count:]):
+            raise SimulationError(
+                f"message set is not a prefix on {process!r}"
+            )
+        kept[process] = count
+    return Cut(kept)
+
+
+def is_consistent(
+    computation: SyncComputation,
+    cut: Cut,
+    poset: Poset = None,
+) -> bool:
+    """Check the two consistency conditions of the module docstring."""
+    from repro.order.message_order import message_poset
+
+    cut.validate_against(computation)
+    if poset is None:
+        poset = message_poset(computation)
+
+    # (a) participants agree: a kept message must be within *both*
+    # participants' prefixes.
+    agreed = cut.messages(computation)
+    for process in computation.processes:
+        projection = computation.process_messages(process)
+        keep = cut.kept.get(process, 0)
+        for message in projection[:keep]:
+            if message not in agreed:
+                return False
+
+    # (b) down-set under ↦.
+    for message in agreed:
+        if not poset.strictly_below(message) <= agreed:
+            return False
+    return True
+
+
+def snapshot_at(
+    computation: SyncComputation,
+    assignment: TimestampAssignment,
+    frontier: VectorTimestamp,
+) -> Cut:
+    """The consistent cut ``{m : v(m) <= frontier}``.
+
+    With characterizing timestamps this set is a down-set (if
+    ``m' ↦ m`` and ``v(m) <= frontier`` then ``v(m') < v(m)``), and the
+    per-process monotonicity of timestamps makes it prefix-shaped — so
+    the result is always consistent, which the property tests verify.
+    """
+    included = frozenset(
+        message
+        for message in computation.messages
+        if assignment.of(message) <= frontier
+    )
+    return cut_from_messages(computation, included)
+
+
+def subcomputation(
+    computation: SyncComputation, cut: Cut
+) -> SyncComputation:
+    """The computation restricted to a consistent cut's messages.
+
+    Because a consistent cut is causally closed and prefix-shaped, the
+    kept messages — re-indexed in their original execution order — form
+    a valid synchronous computation over the same topology whose message
+    poset is exactly the restriction of the original's.  This is the
+    "replay from checkpoint" artefact: recovery restarts from the cut's
+    sub-computation.
+    """
+    kept = cut.messages(computation)
+    ordered = [m for m in computation.messages if m in kept]
+    rebuilt = [
+        SyncMessage(
+            index=position,
+            sender=message.sender,
+            receiver=message.receiver,
+            name=message.name,
+        )
+        for position, message in enumerate(ordered)
+    ]
+    return SyncComputation(computation.topology, rebuilt)
+
+
+def cut_of_everything(computation: SyncComputation) -> Cut:
+    """The full cut (every message kept)."""
+    return Cut(
+        {
+            process: len(computation.process_messages(process))
+            for process in computation.processes
+        }
+    )

@@ -1,0 +1,74 @@
+"""Ground-truth happened-before over events (Section 5).
+
+With synchronous messages and their acknowledgements, a message's send
+and receive are mutually ordered with everything around them, so the
+message behaves as a single *shared event* on both participants'
+timelines.  Lamport's happened-before over internal and external events
+is then simply: the transitive closure of "consecutive on some process
+timeline", where message events belong to two timelines at once.
+
+This module builds that poset from an :class:`EventedComputation`; it is
+the oracle against which the Section 5 event timestamps (implemented in
+:mod:`repro.clocks.events`) are verified.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple, Union
+
+from repro.core.poset import Poset
+from repro.sim.computation import (
+    EventedComputation,
+    InternalEvent,
+    SyncMessage,
+)
+
+EventLike = Union[InternalEvent, SyncMessage]
+
+
+def all_events(evented: EventedComputation) -> List[EventLike]:
+    """Every event: messages (each once) then internal events.
+
+    Messages come first in execution order, then internal events in
+    process/slot order, giving a deterministic element ordering.
+    """
+    events: List[EventLike] = list(evented.computation.messages)
+    events.extend(evented.internal_events())
+    return events
+
+
+def timeline_cover_pairs(
+    evented: EventedComputation,
+) -> List[Tuple[EventLike, EventLike]]:
+    """Consecutive pairs along every process timeline."""
+    pairs: List[Tuple[EventLike, EventLike]] = []
+    for process in evented.computation.processes:
+        previous: EventLike = None
+        for kind, item in evented.process_timeline(process):
+            del kind
+            if previous is not None:
+                pairs.append((previous, item))
+            previous = item
+    return pairs
+
+
+def happened_before_poset(evented: EventedComputation) -> Poset:
+    """The happened-before order over messages and internal events."""
+    return Poset(all_events(evented), timeline_cover_pairs(evented))
+
+
+def happened_before(
+    poset: Poset, e: EventLike, f: EventLike
+) -> bool:
+    """``e → f`` relative to a precomputed happened-before poset."""
+    return poset.less(e, f)
+
+
+def causal_chain_exists(
+    poset: Poset, events: List[EventLike]
+) -> bool:
+    """True when ``events`` form a causal chain ``e1 → e2 → ... → ek``."""
+    return all(
+        poset.less(earlier, later)
+        for earlier, later in zip(events, events[1:])
+    )

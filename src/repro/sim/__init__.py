@@ -1,0 +1,89 @@
+"""Synchronous computations: model, workloads, runtime, trace I/O."""
+
+from repro.sim.computation import (
+    EventedComputation,
+    InternalEvent,
+    SyncComputation,
+    SyncMessage,
+)
+from repro.sim.paper_figures import (
+    figure1_computation,
+    figure6_computation,
+    figure6_decomposition,
+)
+from repro.sim.processes import (
+    Recv,
+    Send,
+    SimulationResult,
+    simulate,
+)
+from repro.sim.runtime import (
+    ScriptRunner,
+    SynchronousTransport,
+    compute,
+    crash,
+    receive,
+    send,
+)
+from repro.sim.trace_io import (
+    assignment_from_dict,
+    assignment_to_dict,
+    computation_from_dict,
+    computation_to_dict,
+    dumps_assignment,
+    dumps_computation,
+    loads_assignment,
+    loads_computation,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.sim.workload import (
+    adversarial_antichain_computation,
+    client_server_computation,
+    master_worker_computation,
+    phased_computation,
+    pipeline_computation,
+    random_computation,
+    ring_token_computation,
+    sequential_chain_computation,
+    tree_wave_computation,
+)
+
+__all__ = [
+    "EventedComputation",
+    "InternalEvent",
+    "Recv",
+    "ScriptRunner",
+    "Send",
+    "SimulationResult",
+    "simulate",
+    "SyncComputation",
+    "SyncMessage",
+    "SynchronousTransport",
+    "adversarial_antichain_computation",
+    "assignment_from_dict",
+    "assignment_to_dict",
+    "client_server_computation",
+    "computation_from_dict",
+    "computation_to_dict",
+    "compute",
+    "crash",
+    "dumps_assignment",
+    "dumps_computation",
+    "figure1_computation",
+    "figure6_computation",
+    "figure6_decomposition",
+    "loads_assignment",
+    "loads_computation",
+    "master_worker_computation",
+    "phased_computation",
+    "pipeline_computation",
+    "random_computation",
+    "receive",
+    "ring_token_computation",
+    "send",
+    "sequential_chain_computation",
+    "topology_from_dict",
+    "topology_to_dict",
+    "tree_wave_computation",
+]

@@ -1,0 +1,386 @@
+"""Asynchronous computations and the RSC boundary.
+
+The paper's model stands on a classical result (its references [1]
+Charron-Bost/Mattern/Tel and [16] Murty/Garg): a computation is
+*realizable with synchronous communication* (RSC) exactly when its
+messages can be totally ordered so that each message's send and receive
+are adjacent — equivalently, when it contains no **crown**:
+
+    messages m_1 .. m_k with  send(m_i) → receive(m_{i+1 mod k})
+    for every i (happened-before), k ≥ 2.
+
+This module provides the asynchronous side of that boundary:
+
+* :class:`AsyncComputation` — computations whose sends and receives are
+  separate events, validated (sends precede their receives, events per
+  process form the declared order);
+* happened-before over asynchronous events;
+* :func:`crown_graph` / :func:`find_crown` / :func:`is_rsc` — crown
+  detection via a cycle search on the "send before receive" digraph;
+* :func:`to_synchronous` — for RSC computations, the conversion to a
+  :class:`~repro.sim.computation.SyncComputation` whose message order
+  embeds the asynchronous causality (the schedule is a topological
+  order of the crown graph);
+* generators for random asynchronous computations and for the classic
+  crown counterexamples.
+
+Why it matters here: the paper's edge-group timestamps are only claimed
+for synchronous computations.  ``tests/sim/test_asynchronous.py`` shows
+a non-RSC computation on a star topology whose (asynchronous) order no
+single-integer timestamp can capture — so Lemma 1's totality genuinely
+depends on synchrony, not just on the topology.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.poset import Poset
+from repro.exceptions import InvalidComputationError, SimulationError
+from repro.graphs.graph import UndirectedGraph
+from repro.sim.computation import Process, SyncComputation
+
+Event = Tuple[str, int]  # ("send", message_id) or ("recv", message_id)
+
+
+@dataclass(frozen=True)
+class AsyncMessage:
+    """One asynchronous message: send and receive are separate events."""
+
+    ident: int
+    sender: Process
+    receiver: Process
+    name: str
+
+    def send_event(self) -> Event:
+        return ("send", self.ident)
+
+    def receive_event(self) -> Event:
+        return ("recv", self.ident)
+
+    def __repr__(self) -> str:
+        return f"{self.name}[{self.sender!r}=>{self.receiver!r}]"
+
+
+class AsyncComputation:
+    """A validated asynchronous computation.
+
+    Constructed from per-process event sequences: each process lists its
+    events as ``("send", message_id)`` / ``("recv", message_id)`` in
+    local order.  Validation checks that every message is sent exactly
+    once by its sender and received exactly once by its receiver, and
+    that no receive can causally precede its own send.
+    """
+
+    def __init__(
+        self,
+        topology: UndirectedGraph,
+        messages: Sequence[AsyncMessage],
+        process_events: Dict[Process, Sequence[Event]],
+    ):
+        self._topology = topology
+        self._messages = tuple(messages)
+        self._by_id = {m.ident: m for m in self._messages}
+        self._events: Dict[Process, Tuple[Event, ...]] = {
+            p: tuple(process_events.get(p, ())) for p in topology.vertices
+        }
+        self._validate()
+        self._hb = self._happened_before()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if len(self._by_id) != len(self._messages):
+            raise InvalidComputationError("duplicate message identifiers")
+        seen: Dict[Event, Process] = {}
+        for process, events in self._events.items():
+            for event in events:
+                kind, ident = event
+                if kind not in ("send", "recv"):
+                    raise InvalidComputationError(
+                        f"unknown event kind {kind!r}"
+                    )
+                if ident not in self._by_id:
+                    raise InvalidComputationError(
+                        f"event references unknown message id {ident}"
+                    )
+                if event in seen:
+                    raise InvalidComputationError(
+                        f"event {event!r} occurs on {seen[event]!r} "
+                        f"and {process!r}"
+                    )
+                seen[event] = process
+                message = self._by_id[ident]
+                expected = (
+                    message.sender if kind == "send" else message.receiver
+                )
+                if process != expected:
+                    raise InvalidComputationError(
+                        f"{kind} of {message.name} belongs to "
+                        f"{expected!r}, found on {process!r}"
+                    )
+        for message in self._messages:
+            if message.send_event() not in seen:
+                raise InvalidComputationError(
+                    f"{message.name} is never sent"
+                )
+            if message.receive_event() not in seen:
+                raise InvalidComputationError(
+                    f"{message.name} is never received"
+                )
+            if not self._topology.has_edge(message.sender, message.receiver):
+                raise InvalidComputationError(
+                    f"{message.name} uses a channel outside the topology"
+                )
+
+    def _happened_before(self) -> Poset:
+        """Lamport happened-before over all send/receive events."""
+        elements: List[Event] = []
+        for process in self._topology.vertices:
+            elements.extend(self._events[process])
+        pairs: List[Tuple[Event, Event]] = []
+        for process in self._topology.vertices:
+            events = self._events[process]
+            pairs.extend(zip(events, events[1:]))
+        for message in self._messages:
+            pairs.append((message.send_event(), message.receive_event()))
+        try:
+            return Poset(elements, pairs)
+        except Exception as exc:  # cycle == receive before its own send
+            raise InvalidComputationError(
+                f"event order is causally inconsistent: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> UndirectedGraph:
+        return self._topology
+
+    @property
+    def messages(self) -> Tuple[AsyncMessage, ...]:
+        return self._messages
+
+    def events_of(self, process: Process) -> Tuple[Event, ...]:
+        return self._events[process]
+
+    def happened_before(self, e: Event, f: Event) -> bool:
+        return self._hb.less(e, f)
+
+    def event_poset(self) -> Poset:
+        return self._hb
+
+    def message(self, name: str) -> AsyncMessage:
+        for message in self._messages:
+            if message.name == name:
+                return message
+        raise InvalidComputationError(f"no message named {name!r}")
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schedule(
+        cls,
+        topology: UndirectedGraph,
+        schedule: Sequence[Tuple[str, int, Process, Process]],
+    ) -> "AsyncComputation":
+        """Build from a global event schedule.
+
+        ``schedule`` lists events in global time order as tuples
+        ``(kind, message_id, sender, receiver)``; per-process orders are
+        the projections.  Message names default to ``a<id>``.
+        """
+        messages: Dict[int, AsyncMessage] = {}
+        per_process: Dict[Process, List[Event]] = {
+            p: [] for p in topology.vertices
+        }
+        for kind, ident, sender, receiver in schedule:
+            if ident not in messages:
+                messages[ident] = AsyncMessage(
+                    ident, sender, receiver, f"a{ident}"
+                )
+            message = messages[ident]
+            process = message.sender if kind == "send" else message.receiver
+            per_process[process].append((kind, ident))
+        ordered = [messages[ident] for ident in sorted(messages)]
+        return cls(topology, ordered, per_process)
+
+
+# ----------------------------------------------------------------------
+# Crowns and the RSC test
+# ----------------------------------------------------------------------
+def crown_graph(computation: AsyncComputation) -> Dict[int, Set[int]]:
+    """The digraph with an edge ``m -> m'`` when
+    ``send(m)`` happened-before (or equals... never equals)
+    ``receive(m')`` and ``m ≠ m'``.  Cycles are exactly crowns."""
+    graph: Dict[int, Set[int]] = {m.ident: set() for m in computation.messages}
+    for m in computation.messages:
+        for other in computation.messages:
+            if m.ident == other.ident:
+                continue
+            if computation.happened_before(
+                m.send_event(), other.receive_event()
+            ):
+                graph[m.ident].add(other.ident)
+    return graph
+
+
+def find_crown(computation: AsyncComputation) -> Optional[List[AsyncMessage]]:
+    """A crown (cycle of the crown graph), or ``None`` when RSC."""
+    graph = crown_graph(computation)
+    color: Dict[int, int] = {}
+    stack_path: List[int] = []
+
+    def dfs(node: int) -> Optional[List[int]]:
+        color[node] = 1
+        stack_path.append(node)
+        for nxt in graph[node]:
+            if color.get(nxt, 0) == 1:
+                cycle_start = stack_path.index(nxt)
+                return stack_path[cycle_start:]
+            if color.get(nxt, 0) == 0:
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+        stack_path.pop()
+        color[node] = 2
+        return None
+
+    for start in graph:
+        if color.get(start, 0) == 0:
+            cycle = dfs(start)
+            if cycle is not None:
+                by_id = {m.ident: m for m in computation.messages}
+                return [by_id[ident] for ident in cycle]
+    return None
+
+
+def is_rsc(computation: AsyncComputation) -> bool:
+    """True when the computation is realizable with synchronous
+    communication (crown-free)."""
+    return find_crown(computation) is None
+
+
+def to_synchronous(computation: AsyncComputation) -> SyncComputation:
+    """Convert an RSC computation to its synchronous form.
+
+    The message schedule is any topological order of the crown graph;
+    the result's ``↦`` order embeds the asynchronous causality between
+    messages.  Raises :class:`SimulationError` when a crown exists.
+    """
+    crown = find_crown(computation)
+    if crown is not None:
+        names = ", ".join(m.name for m in crown)
+        raise SimulationError(
+            f"computation is not RSC; crown found: {names}"
+        )
+    graph = crown_graph(computation)
+    order = _topological_ids(graph)
+    by_id = {m.ident: m for m in computation.messages}
+    pairs = [
+        (by_id[ident].sender, by_id[ident].receiver) for ident in order
+    ]
+    return SyncComputation.from_pairs(computation.topology, pairs)
+
+
+def _topological_ids(graph: Dict[int, Set[int]]) -> List[int]:
+    indegree = {node: 0 for node in graph}
+    for node, targets in graph.items():
+        for target in targets:
+            indegree[target] += 1
+    ready = sorted(node for node, deg in indegree.items() if deg == 0)
+    order: List[int] = []
+    position = 0
+    while position < len(ready):
+        node = ready[position]
+        position += 1
+        order.append(node)
+        for target in sorted(graph[node]):
+            indegree[target] -= 1
+            if indegree[target] == 0:
+                ready.append(target)
+    if len(order) != len(graph):  # pragma: no cover - guarded by is_rsc
+        raise SimulationError("crown graph unexpectedly cyclic")
+    return order
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def classic_crown(topology: UndirectedGraph = None) -> AsyncComputation:
+    """The classic 2-crown: two processes whose messages cross.
+
+    ``P1`` sends ``a1`` then receives ``a2``; ``P2`` sends ``a2`` then
+    receives ``a1``.  Each send happens before the other's receive, so
+    the two messages form a crown — no synchronous realization exists.
+    """
+    if topology is None:
+        from repro.graphs.generators import path_topology
+
+        topology = path_topology(2)
+    return AsyncComputation.from_schedule(
+        topology,
+        [
+            ("send", 1, "P1", "P2"),
+            ("send", 2, "P2", "P1"),
+            ("recv", 2, "P1", "P1"),
+            ("recv", 1, "P2", "P2"),
+        ],
+    )
+
+
+def random_async_computation(
+    topology: UndirectedGraph,
+    message_count: int,
+    rng: random.Random,
+    delay_bias: float = 0.5,
+) -> AsyncComputation:
+    """A random asynchronous computation with delayed deliveries.
+
+    Sends happen in a random order; each receive is inserted at a random
+    later point of the receiver's timeline.  Higher ``delay_bias``
+    postpones deliveries more, making crowns likelier.
+    """
+    edges = topology.edges
+    if not edges and message_count > 0:
+        raise InvalidComputationError("topology has no channels")
+
+    # Build a global schedule: start with sends in random positions,
+    # then weave receives in after their sends.
+    schedule: List[Tuple[str, int, Process, Process]] = []
+    pending: List[Tuple[int, Process, Process]] = []
+    ident = 0
+    for _ in range(message_count):
+        # Maybe deliver some pending messages first.
+        while pending and rng.random() > delay_bias:
+            mid, sender, receiver = pending.pop(
+                rng.randrange(len(pending))
+            )
+            schedule.append(("recv", mid, sender, receiver))
+        edge = edges[rng.randrange(len(edges))]
+        u, v = edge.endpoints
+        if rng.random() < 0.5:
+            u, v = v, u
+        ident += 1
+        schedule.append(("send", ident, u, v))
+        pending.append((ident, u, v))
+    rng.shuffle(pending)
+    for mid, sender, receiver in pending:
+        schedule.append(("recv", mid, sender, receiver))
+    return AsyncComputation.from_schedule(topology, schedule)
+
+
+def synchronous_as_async(computation: SyncComputation) -> AsyncComputation:
+    """Expand a synchronous computation: each message becomes an
+    adjacent send/receive pair.  Always RSC by construction."""
+    schedule: List[Tuple[str, int, Process, Process]] = []
+    for message in computation.messages:
+        schedule.append(
+            ("send", message.index + 1, message.sender, message.receiver)
+        )
+        schedule.append(
+            ("recv", message.index + 1, message.sender, message.receiver)
+        )
+    return AsyncComputation.from_schedule(computation.topology, schedule)

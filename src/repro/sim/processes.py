@@ -1,0 +1,191 @@
+"""A deterministic coroutine simulator for reactive synchronous processes.
+
+The script runner (:mod:`repro.sim.runtime`) executes *static* action
+lists on real threads.  This module complements it with *reactive*
+behaviours — Python generators that decide their next communication
+based on what they received — scheduled deterministically (seeded), with
+no threads involved:
+
+* a behaviour yields :class:`Send` / :class:`Recv` operations and
+  resumes with the rendezvous result (for ``Recv``: the sender and the
+  payload);
+* the scheduler repeatedly picks a *matching pair* — a process blocked
+  on ``Send(q)`` and ``q`` blocked on a compatible ``Recv`` — uniformly
+  at random from the supplied RNG, commits the rendezvous through the
+  Figure 5 clock handshake, and resumes both coroutines;
+* when no pair matches and some process is still blocked, the simulator
+  reports deadlock with the blocked-state snapshot.
+
+The commit sequence is a valid synchronous computation; timestamps are
+assigned online by :class:`~repro.clocks.online.OnlineProcessClock`
+exactly as on the threaded runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import random
+
+from repro.clocks.online import OnlineProcessClock
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import RuntimeDeadlockError, SimulationError
+from repro.graphs.decomposition import EdgeDecomposition
+from repro.sim.computation import Process, SyncComputation
+
+
+@dataclass(frozen=True)
+class Send:
+    """Yielded by a behaviour: block until ``to`` accepts the message."""
+
+    to: Process
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class Recv:
+    """Yielded by a behaviour: block until a message arrives.
+
+    ``source`` restricts acceptable senders; ``None`` accepts anyone.
+    The ``yield`` evaluates to ``(sender, payload)``.
+    """
+
+    source: Optional[Process] = None
+
+
+@dataclass(frozen=True)
+class SimulatedMessage:
+    """One committed rendezvous of a simulation run."""
+
+    order: int
+    sender: Process
+    receiver: Process
+    payload: Any
+    timestamp: VectorTimestamp
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished simulation produced."""
+
+    decomposition: EdgeDecomposition
+    log: List[SimulatedMessage]
+    #: Values returned by behaviours that ran to completion.
+    returns: Dict[Process, Any]
+
+    def as_computation(self) -> SyncComputation:
+        pairs = [(entry.sender, entry.receiver) for entry in self.log]
+        return SyncComputation.from_pairs(
+            self.decomposition.graph, pairs
+        )
+
+    def timestamps(self) -> List[VectorTimestamp]:
+        return [entry.timestamp for entry in self.log]
+
+
+Behaviour = Callable[[], Any]  # a no-arg generator function
+
+
+def simulate(
+    decomposition: EdgeDecomposition,
+    behaviours: Dict[Process, Behaviour],
+    rng: Optional[random.Random] = None,
+    max_steps: int = 100_000,
+) -> SimulationResult:
+    """Run reactive behaviours to completion under a random scheduler."""
+    if rng is None:
+        rng = random.Random(0)
+    unknown = [
+        p for p in behaviours if p not in decomposition.graph.vertices
+    ]
+    if unknown:
+        raise SimulationError(
+            f"behaviours reference unknown processes: {unknown}"
+        )
+
+    coroutines: Dict[Process, Any] = {}
+    blocked: Dict[Process, Any] = {}  # process -> Send | Recv
+    returns: Dict[Process, Any] = {}
+    clocks = {
+        p: OnlineProcessClock(p, decomposition)
+        for p in decomposition.graph.vertices
+    }
+    log: List[SimulatedMessage] = []
+
+    def advance(process: Process, value: Any = None) -> None:
+        """Resume one coroutine until it blocks or finishes."""
+        coroutine = coroutines[process]
+        try:
+            if value is None:
+                # Works for generators and for plain (e.g. empty)
+                # iterators used as do-nothing behaviours.
+                operation = next(coroutine)
+            else:
+                operation = coroutine.send(value)
+        except StopIteration as stop:
+            blocked.pop(process, None)
+            coroutines.pop(process)
+            returns[process] = stop.value
+            return
+        if not isinstance(operation, (Send, Recv)):
+            raise SimulationError(
+                f"behaviour of {process!r} yielded {operation!r}; "
+                "expected Send or Recv"
+            )
+        if isinstance(operation, Send) and not (
+            decomposition.graph.has_edge(process, operation.to)
+        ):
+            raise SimulationError(
+                f"{process!r} cannot send to {operation.to!r}: no channel"
+            )
+        blocked[process] = operation
+
+    for process, behaviour in behaviours.items():
+        coroutines[process] = behaviour()
+        advance(process)
+
+    for _ in range(max_steps):
+        if not coroutines:
+            return SimulationResult(decomposition, log, returns)
+        matches: List[Tuple[Process, Process]] = []
+        for sender, operation in blocked.items():
+            if not isinstance(operation, Send):
+                continue
+            receiver = operation.to
+            waiting = blocked.get(receiver)
+            if not isinstance(waiting, Recv):
+                continue
+            if waiting.source is not None and waiting.source != sender:
+                continue
+            matches.append((sender, receiver))
+        if not matches:
+            snapshot = ", ".join(
+                f"{p!r}:{type(op).__name__}" for p, op in blocked.items()
+            )
+            raise RuntimeDeadlockError(
+                f"no matching rendezvous; blocked = {{{snapshot}}}"
+            )
+        sender, receiver = matches[rng.randrange(len(matches))]
+        operation = blocked.pop(sender)
+        blocked.pop(receiver)
+
+        piggybacked = clocks[sender].prepare_send()
+        ack, timestamp = clocks[receiver].on_receive(sender, piggybacked)
+        sender_view = clocks[sender].on_acknowledgement(receiver, ack)
+        assert sender_view == timestamp
+        log.append(
+            SimulatedMessage(
+                order=len(log),
+                sender=sender,
+                receiver=receiver,
+                payload=operation.payload,
+                timestamp=timestamp,
+            )
+        )
+        advance(receiver, (sender, operation.payload))
+        advance(sender, None)
+
+    raise SimulationError(
+        f"simulation exceeded {max_steps} steps without terminating"
+    )

@@ -1,0 +1,370 @@
+"""A real blocking-send (rendezvous) runtime with embedded online clocks.
+
+The deterministic driver in :class:`~repro.clocks.online.OnlineEdgeClock`
+proves the algorithm correct; this module demonstrates it is genuinely
+*online*: processes are OS threads, sends block until the receiver takes
+the message and the acknowledgement returns (CSP semantics), and the
+only clock information exchanged is what Figure 5 piggybacks on the
+program message and its ack.
+
+Programs are small scripts of actions (:func:`send`, :func:`receive`,
+:func:`compute`).  The transport records the commit order of rendezvous
+under a global lock, so after the run the harness can rebuild the
+equivalent :class:`SyncComputation` and verify the collected timestamps
+against the ground truth — see ``tests/integration/test_runtime.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.clocks.online import OnlineProcessClock
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import RuntimeDeadlockError, SimulationError
+from repro.graphs.decomposition import EdgeDecomposition
+from repro.sim.computation import (
+    EventedComputation,
+    InternalEvent,
+    Process,
+    SyncComputation,
+)
+
+
+# ----------------------------------------------------------------------
+# Script actions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SendAction:
+    to: Process
+    payload: Any = None
+
+
+@dataclass(frozen=True)
+class ReceiveAction:
+    #: Accept only from this sender when set; any sender otherwise.
+    source: Optional[Process] = None
+
+
+@dataclass(frozen=True)
+class ComputeAction:
+    #: An opaque label for the internal step (useful in traces).
+    label: str = "compute"
+
+
+@dataclass(frozen=True)
+class CrashAction:
+    """Fault injection: the process stops executing its script here."""
+
+    reason: str = "crash"
+
+
+def send(to: Process, payload: Any = None) -> SendAction:
+    """Script action: synchronous send to ``to``."""
+    return SendAction(to, payload)
+
+
+def receive(source: Optional[Process] = None) -> ReceiveAction:
+    """Script action: accept one message (optionally from ``source``)."""
+    return ReceiveAction(source)
+
+
+def compute(label: str = "compute") -> ComputeAction:
+    """Script action: a local internal event."""
+    return ComputeAction(label)
+
+
+def crash(reason: str = "crash") -> CrashAction:
+    """Script action: fault injection — abandon the rest of the script.
+
+    Peers that were counting on the crashed process's later sends or
+    receives will time out with :class:`RuntimeDeadlockError`; run with
+    ``raise_on_error=False`` to collect the partial execution and feed
+    it to :func:`repro.apps.recovery.find_orphans`.
+    """
+    return CrashAction(reason)
+
+
+Action = object  # SendAction | ReceiveAction | ComputeAction
+
+
+# ----------------------------------------------------------------------
+# Transport
+# ----------------------------------------------------------------------
+@dataclass
+class _Offer:
+    """A sender's pending rendezvous offer."""
+
+    sender: Process
+    payload: Any
+    piggybacked: VectorTimestamp
+    completed: threading.Event = field(default_factory=threading.Event)
+    ack_vector: Optional[VectorTimestamp] = None
+    timestamp: Optional[VectorTimestamp] = None
+
+
+@dataclass(frozen=True)
+class DeliveredMessage:
+    """One committed rendezvous, in global commit order."""
+
+    order: int
+    sender: Process
+    receiver: Process
+    payload: Any
+    timestamp: VectorTimestamp
+
+
+class SynchronousTransport:
+    """Blocking-send message passing with Figure 5 piggybacking.
+
+    One instance is shared by all process threads.  ``send`` parks an
+    offer in the receiver's inbox and blocks on its completion event;
+    ``receive`` takes a matching offer, advances the receiver's clock,
+    answers the acknowledgement, and commits the message to the global
+    log under the transport lock (establishing the execution order used
+    for post-hoc verification).
+    """
+
+    def __init__(
+        self,
+        decomposition: EdgeDecomposition,
+        timeout: float = 10.0,
+    ):
+        self._decomposition = decomposition
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._arrival = threading.Condition(self._lock)
+        self._inboxes: Dict[Process, List[_Offer]] = {
+            p: [] for p in decomposition.graph.vertices
+        }
+        self._clocks: Dict[Process, OnlineProcessClock] = {
+            p: OnlineProcessClock(p, decomposition)
+            for p in decomposition.graph.vertices
+        }
+        self._log: List[DeliveredMessage] = []
+        # Per-process external-event counts and internal-event records,
+        # for the Section 5 extension (timestamping compute actions).
+        self._message_counts: Dict[Process, int] = {
+            p: 0 for p in decomposition.graph.vertices
+        }
+        self._internal: Dict[Process, List[InternalEvent]] = {
+            p: [] for p in decomposition.graph.vertices
+        }
+        #: Exceptions collected by the runner when ``raise_on_error`` is
+        #: off (timeouts of a crashed process's peers, script errors).
+        self.errors: List[BaseException] = []
+
+    # ------------------------------------------------------------------
+    def send(
+        self, sender: Process, to: Process, payload: Any = None
+    ) -> VectorTimestamp:
+        """Blocking synchronous send; returns the message timestamp."""
+        clock = self._clocks[sender]
+        with self._lock:
+            offer = _Offer(sender, payload, clock.prepare_send())
+            self._inboxes[to].append(offer)
+            self._arrival.notify_all()
+        if not offer.completed.wait(self._timeout):
+            raise RuntimeDeadlockError(
+                f"send from {sender!r} to {to!r} timed out; "
+                "no matching receive"
+            )
+        assert offer.ack_vector is not None
+        timestamp = clock.on_acknowledgement(to, offer.ack_vector)
+        if timestamp != offer.timestamp:  # pragma: no cover
+            raise SimulationError(
+                "sender and receiver disagree on a message timestamp"
+            )
+        return timestamp
+
+    def receive(
+        self, receiver: Process, source: Optional[Process] = None
+    ) -> Tuple[Process, Any, VectorTimestamp]:
+        """Blocking receive; returns ``(sender, payload, timestamp)``."""
+        clock = self._clocks[receiver]
+        with self._lock:
+            offer = self._take_offer(receiver, source)
+            ack_vector, timestamp = clock.on_receive(
+                offer.sender, offer.piggybacked
+            )
+            offer.ack_vector = ack_vector
+            offer.timestamp = timestamp
+            self._log.append(
+                DeliveredMessage(
+                    order=len(self._log),
+                    sender=offer.sender,
+                    receiver=receiver,
+                    payload=offer.payload,
+                    timestamp=timestamp,
+                )
+            )
+            self._message_counts[offer.sender] += 1
+            self._message_counts[receiver] += 1
+            offer.completed.set()
+            return offer.sender, offer.payload, timestamp
+
+    def record_internal(self, process: Process, label: str) -> InternalEvent:
+        """Record an internal event of ``process`` (a compute action).
+
+        The event lands in the slot after the process's current external
+        events; the per-slot counter is exactly the paper's ``c(e)``.
+        """
+        with self._lock:
+            slot = self._message_counts[process]
+            counter = 1 + sum(
+                1 for e in self._internal[process] if e.slot == slot
+            )
+            serial = sum(len(events) for events in self._internal.values())
+            event = InternalEvent(
+                process, slot, counter, f"{label}#{serial + 1}"
+            )
+            self._internal[process].append(event)
+            return event
+
+    def _take_offer(
+        self, receiver: Process, source: Optional[Process]
+    ) -> _Offer:
+        remaining = self._timeout
+
+        def matching() -> Optional[int]:
+            for position, offer in enumerate(self._inboxes[receiver]):
+                if source is None or offer.sender == source:
+                    return position
+            return None
+
+        position = matching()
+        while position is None:
+            if not self._arrival.wait(timeout=remaining):
+                raise RuntimeDeadlockError(
+                    f"receive on {receiver!r} (from {source!r}) timed out"
+                )
+            position = matching()
+        return self._inboxes[receiver].pop(position)
+
+    # ------------------------------------------------------------------
+    @property
+    def log(self) -> List[DeliveredMessage]:
+        """Committed messages in global commit order."""
+        with self._lock:
+            return list(self._log)
+
+    def as_computation(self) -> SyncComputation:
+        """Rebuild the equivalent :class:`SyncComputation` from the log.
+
+        The commit order is consistent with every per-process order, so
+        the rebuilt computation has the same message poset the threads
+        actually produced.
+        """
+        pairs = [(entry.sender, entry.receiver) for entry in self.log]
+        return SyncComputation.from_pairs(self._decomposition.graph, pairs)
+
+    def collected_timestamps(self) -> List[VectorTimestamp]:
+        """Timestamps in commit order (aligned with ``as_computation``)."""
+        return [entry.timestamp for entry in self.log]
+
+    def as_evented_computation(self) -> EventedComputation:
+        """The run including its compute actions as internal events.
+
+        Feed the result to
+        :func:`repro.clocks.events.timestamp_internal_events` together
+        with the message assignment to obtain Section 5 triples for
+        every compute action.
+        """
+        computation = self.as_computation()
+        with self._lock:
+            events = [
+                event
+                for process in self._decomposition.graph.vertices
+                for event in self._internal[process]
+            ]
+        return EventedComputation(computation, events)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class ScriptRunner:
+    """Runs one script per process on its own thread.
+
+    >>> from repro.graphs.generators import path_topology
+    >>> from repro.graphs.decomposition import decompose
+    >>> decomposition = decompose(path_topology(2))
+    >>> runner = ScriptRunner(decomposition, {
+    ...     "P1": [send("P2", "hello")],
+    ...     "P2": [receive("P1")],
+    ... })
+    >>> transport = runner.run()
+    >>> [entry.payload for entry in transport.log]
+    ['hello']
+    """
+
+    def __init__(
+        self,
+        decomposition: EdgeDecomposition,
+        scripts: Dict[Process, Sequence[Action]],
+        timeout: float = 10.0,
+    ):
+        unknown = [
+            p for p in scripts if p not in decomposition.graph.vertices
+        ]
+        if unknown:
+            raise SimulationError(
+                f"scripts reference unknown processes: {unknown}"
+            )
+        self._decomposition = decomposition
+        self._scripts = {p: list(actions) for p, actions in scripts.items()}
+        self._timeout = timeout
+
+    def run(self, raise_on_error: bool = True) -> SynchronousTransport:
+        """Execute all scripts; returns the transport with its log.
+
+        With ``raise_on_error=False`` the partial execution survives
+        per-thread failures (timeouts caused by an injected crash, for
+        example); the collected exceptions are available on the returned
+        transport's :attr:`SynchronousTransport.errors`.
+        """
+        transport = SynchronousTransport(
+            self._decomposition, timeout=self._timeout
+        )
+        errors: List[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def worker(process: Process, actions: List[Action]) -> None:
+            try:
+                for action in actions:
+                    if isinstance(action, SendAction):
+                        transport.send(process, action.to, action.payload)
+                    elif isinstance(action, ReceiveAction):
+                        transport.receive(process, action.source)
+                    elif isinstance(action, ComputeAction):
+                        transport.record_internal(process, action.label)
+                    elif isinstance(action, CrashAction):
+                        return  # fault injection: abandon the script
+                    else:
+                        raise SimulationError(
+                            f"unknown action {action!r} on {process!r}"
+                        )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                with errors_lock:
+                    errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(process, actions), daemon=True
+            )
+            for process, actions in self._scripts.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(self._timeout * 2)
+            if thread.is_alive():
+                raise RuntimeDeadlockError(
+                    "a process thread failed to finish; "
+                    "check the scripts for unmatched sends/receives"
+                )
+        transport.errors = list(errors)
+        if errors and raise_on_error:
+            raise errors[0]
+        return transport

@@ -1,0 +1,14 @@
+"""Rendering: ASCII time diagrams and DOT export."""
+
+from repro.viz.dot import decomposition_to_dot, poset_to_dot, topology_to_dot
+from repro.viz.lattice import ideal_lattice_to_dot, lattice_statistics
+from repro.viz.timediagram import render_time_diagram
+
+__all__ = [
+    "decomposition_to_dot",
+    "ideal_lattice_to_dot",
+    "lattice_statistics",
+    "poset_to_dot",
+    "render_time_diagram",
+    "topology_to_dot",
+]

@@ -1,0 +1,73 @@
+"""Graphviz DOT export for topologies, decompositions and posets.
+
+Pure string generation — no graphviz dependency; the output can be fed
+to ``dot`` externally.  Edge groups are coloured so a decomposition can
+be inspected at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.poset import Poset
+from repro.graphs.decomposition import EdgeDecomposition
+from repro.graphs.graph import UndirectedGraph
+
+_GROUP_COLORS = [
+    "crimson",
+    "royalblue",
+    "forestgreen",
+    "darkorange",
+    "purple",
+    "teal",
+    "goldenrod",
+    "deeppink",
+]
+
+
+def _quote(value: object) -> str:
+    text = str(value).replace('"', '\\"')
+    return f'"{text}"'
+
+
+def topology_to_dot(graph: UndirectedGraph, name: str = "topology") -> str:
+    """Plain DOT for a communication topology."""
+    lines: List[str] = [f"graph {_quote(name)} {{"]
+    for vertex in graph.vertices:
+        lines.append(f"  {_quote(vertex)};")
+    for edge in graph.edges:
+        lines.append(f"  {_quote(edge.u)} -- {_quote(edge.v)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def decomposition_to_dot(
+    decomposition: EdgeDecomposition, name: str = "decomposition"
+) -> str:
+    """DOT with one colour per edge group (stars/triangles visible)."""
+    lines: List[str] = [f"graph {_quote(name)} {{"]
+    for vertex in decomposition.graph.vertices:
+        lines.append(f"  {_quote(vertex)};")
+    for index, group in enumerate(decomposition.groups):
+        color = _GROUP_COLORS[index % len(_GROUP_COLORS)]
+        for edge in group.edges:
+            lines.append(
+                f"  {_quote(edge.u)} -- {_quote(edge.v)} "
+                f'[color={color}, label="E{index + 1}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def poset_to_dot(poset: Poset, name: str = "poset") -> str:
+    """DOT Hasse diagram (transitive reduction, edges upward)."""
+    lines: List[str] = [
+        f"digraph {_quote(name)} {{",
+        "  rankdir=BT;",
+    ]
+    for element in poset.elements:
+        lines.append(f"  {_quote(element)};")
+    for lower, upper in poset.cover_pairs():
+        lines.append(f"  {_quote(lower)} -> {_quote(upper)};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""DOT rendering of the lattice of consistent global states.
+
+Each node is an ideal of the message poset (a consistent cut), labelled
+by its frontier antichain; edges connect cuts that differ by exactly one
+message.  Feasible for small computations only — the lattice can be
+exponential — so the renderer enforces a node limit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.core.ideals import all_ideals, maximal_elements_of_ideal
+from repro.core.poset import Poset
+
+
+def ideal_lattice_to_dot(
+    poset: Poset, name: str = "global_states", node_limit: int = 200
+) -> str:
+    """Render the ideal lattice as a DOT digraph (bottom to top)."""
+    ideals: List[FrozenSet] = []
+    for ideal in all_ideals(poset, limit=node_limit):
+        ideals.append(ideal)
+
+    labels: Dict[FrozenSet, str] = {}
+    for index, ideal in enumerate(ideals):
+        frontier = maximal_elements_of_ideal(poset, ideal)
+        if frontier:
+            label = ",".join(str(e) for e in frontier)
+        else:
+            label = "{}"
+        labels[ideal] = f"c{index} [label=\"{label}\"];"
+
+    lines = [f"digraph \"{name}\" {{", "  rankdir=BT;"]
+    index_of = {ideal: i for i, ideal in enumerate(ideals)}
+    for ideal in ideals:
+        lines.append("  " + labels[ideal])
+    for ideal in ideals:
+        for element in poset.elements:
+            if element in ideal:
+                continue
+            if poset.strictly_below(element) <= ideal:
+                successor = ideal | {element}
+                if successor in index_of:
+                    lines.append(
+                        f"  c{index_of[ideal]} -> c{index_of[successor]};"
+                    )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def lattice_statistics(poset: Poset, limit: int = 100_000) -> Dict[str, int]:
+    """Node count and height of the global-state lattice.
+
+    The height is the message count plus one (one message joins the cut
+    per step); the node count is what varies with concurrency.
+    """
+    count = 0
+    for _ in all_ideals(poset, limit=limit):
+        count += 1
+    return {
+        "states": count,
+        "height": len(poset) + 1,
+    }

@@ -1,0 +1,94 @@
+"""ASCII time diagrams with vertical message arrows.
+
+Synchronous computations can always be drawn with vertical arrows
+(Section 2); this renderer produces exactly that picture, one column per
+message, matching the style of Figures 1 and 6 of the paper:
+
+    m#   m1    m2    m3
+    P1 --o-----------------
+         |
+    P2 --v-----------o-----
+                     |
+    P3 ---------o----v-----
+                |
+    P4 ---------v----------
+
+``o`` marks the sender, ``v``/``^`` the receiver (arrowhead pointing
+away from the sender).  Optionally each column is captioned with the
+message's timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.sim.computation import SyncComputation, SyncMessage
+
+#: Horizontal cells allotted to each message column.
+_SPACING = 6
+#: Left margin holding process names.
+_MARGIN = 5
+
+
+def render_time_diagram(
+    computation: SyncComputation,
+    timestamps: Optional[Mapping[SyncMessage, object]] = None,
+    include_idle_processes: bool = True,
+) -> str:
+    """Render the computation as an ASCII diagram with vertical arrows."""
+    processes = [
+        p
+        for p in computation.processes
+        if include_idle_processes or computation.process_messages(p)
+    ]
+    row_of: Dict[object, int] = {p: i for i, p in enumerate(processes)}
+
+    # Canvas: process lines interleaved with gap lines for arrow shafts.
+    line_count = max(2 * len(processes) - 1, 1)
+    width = _MARGIN + _SPACING * (len(computation) + 1)
+    canvas: List[List[str]] = [[" "] * width for _ in range(line_count)]
+
+    for row, process in enumerate(processes):
+        label = str(process)[: _MARGIN - 1].ljust(_MARGIN)
+        line = canvas[2 * row]
+        for i, char in enumerate(label):
+            line[i] = char
+        for col in range(_MARGIN, width):
+            line[col] = "-"
+
+    for message in computation.messages:
+        column = _MARGIN + _SPACING * (message.index + 1) - _SPACING // 2
+        sender_line = 2 * row_of[message.sender]
+        receiver_line = 2 * row_of[message.receiver]
+        top = min(sender_line, receiver_line)
+        bottom = max(sender_line, receiver_line)
+        for line in range(top + 1, bottom):
+            canvas[line][column] = "|"
+        canvas[sender_line][column] = "o"
+        arrowhead = "v" if receiver_line > sender_line else "^"
+        canvas[receiver_line][column] = arrowhead
+
+    header = [" "] * width
+    _write(header, 0, "m#")
+    for message in computation.messages:
+        column = _MARGIN + _SPACING * (message.index + 1) - _SPACING // 2
+        _write(header, column - 1, message.name)
+
+    lines = ["".join(header).rstrip()]
+    lines.extend("".join(line).rstrip() for line in canvas)
+
+    if timestamps is not None:
+        lines.append("")
+        lines.extend(
+            f"{message.name}: {message.sender} -> {message.receiver}  "
+            f"v = {timestamps[message]!r}"
+            for message in computation.messages
+        )
+    return "\n".join(lines)
+
+
+def _write(row: List[str], start: int, text: str) -> None:
+    for offset, char in enumerate(text):
+        position = start + offset
+        if 0 <= position < len(row):
+            row[position] = char

@@ -1,0 +1,61 @@
+"""Tests for the four-way clock comparison."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.comparison import compare_clocks
+from repro.graphs.generators import complete_topology, star_topology
+from repro.sim.workload import random_computation
+
+
+class TestCompareClocks:
+    def setup_method(self):
+        topology = complete_topology(5)
+        self.computation = random_computation(
+            topology, 25, random.Random(3)
+        )
+        self.rows = compare_clocks(self.computation)
+        self.by_name = {row.clock_name: row for row in self.rows}
+
+    def test_four_clocks(self):
+        assert len(self.rows) == 4
+
+    def test_characterizing_clocks(self):
+        assert self.by_name["online (this paper)"].characterizes
+        assert self.by_name["offline (this paper)"].characterizes
+        assert self.by_name["Fidge-Mattern"].characterizes
+
+    def test_lamport_consistent_only(self):
+        lamport = self.by_name["Lamport"]
+        assert lamport.consistent
+
+    def test_online_smaller_than_fm(self):
+        online = self.by_name["online (this paper)"]
+        fm = self.by_name["Fidge-Mattern"]
+        assert online.vector_size < fm.vector_size
+        assert online.piggybacked_scalars < fm.piggybacked_scalars
+
+    def test_concurrency_detection_counts(self):
+        online = self.by_name["online (this paper)"]
+        fm = self.by_name["Fidge-Mattern"]
+        offline = self.by_name["offline (this paper)"]
+        assert (
+            online.concurrent_pairs_detected
+            == fm.concurrent_pairs_detected
+            == offline.concurrent_pairs_detected
+        )
+        lamport = self.by_name["Lamport"]
+        assert (
+            lamport.concurrent_pairs_detected
+            <= online.concurrent_pairs_detected
+        )
+
+    def test_star_topology_single_component(self):
+        topology = star_topology(5)
+        computation = random_computation(topology, 15, random.Random(1))
+        rows = compare_clocks(computation)
+        online = next(
+            row for row in rows if row.clock_name.startswith("online")
+        )
+        assert online.vector_size == 1

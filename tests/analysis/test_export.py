@@ -1,0 +1,72 @@
+"""Tests for CSV export."""
+
+from __future__ import annotations
+
+import csv
+import io
+import random
+
+import pytest
+
+from repro.analysis.export import (
+    overhead_rows_to_csv,
+    profiles_to_csv,
+    rows_to_csv,
+    workload_rows_to_csv,
+)
+from repro.analysis.overhead import topology_overhead, workload_overhead
+from repro.analysis.profile import profile_computation
+from repro.graphs.generators import complete_topology, star_topology
+from repro.sim.workload import random_computation
+
+
+def _parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+class TestRowsToCsv:
+    def test_basic(self):
+        text = rows_to_csv(["a", "b"], [[1, "x"], [2, "y,z"]])
+        parsed = _parse(text)
+        assert parsed[0] == ["a", "b"]
+        assert parsed[2] == ["2", "y,z"]  # comma correctly quoted
+
+    def test_width_mismatch(self):
+        with pytest.raises(ValueError):
+            rows_to_csv(["a"], [[1, 2]])
+
+    def test_empty(self):
+        assert _parse(rows_to_csv(["a"], [])) == [["a"]]
+
+
+class TestDomainExports:
+    def test_overhead_csv(self):
+        rows = [
+            topology_overhead("star", star_topology(4)),
+            topology_overhead(
+                "k5", complete_topology(5), compute_exact_cover=True
+            ),
+        ]
+        parsed = _parse(overhead_rows_to_csv(rows))
+        assert parsed[0][0] == "label"
+        assert parsed[1][0] == "star"
+        assert parsed[1][6] == ""          # exact cover skipped
+        assert parsed[2][6] == "4"         # beta(K5) = 4
+
+    def test_workload_csv(self):
+        computation = random_computation(
+            complete_topology(5), 20, random.Random(1)
+        )
+        rows = [workload_overhead("w", computation)]
+        parsed = _parse(workload_rows_to_csv(rows))
+        assert parsed[0][3] == "width"
+        assert int(parsed[1][1]) == 20
+
+    def test_profiles_csv(self):
+        computation = random_computation(
+            complete_topology(5), 15, random.Random(2)
+        )
+        text = profiles_to_csv({"r": profile_computation(computation)})
+        parsed = _parse(text)
+        assert parsed[1][0] == "r"
+        assert len(parsed) == 2

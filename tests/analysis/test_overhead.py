@@ -1,0 +1,74 @@
+"""Tests for the overhead metrics."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.overhead import (
+    sweep_topologies,
+    topology_overhead,
+    workload_overhead,
+)
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.sim.workload import random_computation
+
+
+class TestTopologyOverhead:
+    def test_star(self):
+        row = topology_overhead("star", star_topology(9))
+        assert row.fm_size == 10
+        assert row.online_size == 1
+        assert row.saving_factor == 10.0
+
+    def test_exact_cover_optional(self):
+        row = topology_overhead("star", star_topology(4))
+        assert row.exact_cover_size is None
+        row = topology_overhead(
+            "star", star_topology(4), compute_exact_cover=True
+        )
+        assert row.exact_cover_size == 1
+
+    def test_complete(self):
+        row = topology_overhead("k6", complete_topology(6))
+        assert row.online_size == 4  # N - 2
+        assert row.figure7_size >= row.online_size
+
+    def test_client_server_scaling(self):
+        small = topology_overhead("cs", client_server_topology(2, 5))
+        large = topology_overhead("cs", client_server_topology(2, 50))
+        assert small.online_size == large.online_size == 2
+        assert large.saving_factor > small.saving_factor
+
+
+class TestWorkloadOverhead:
+    def test_fields(self):
+        topology = complete_topology(6)
+        computation = random_computation(topology, 30, random.Random(1))
+        row = workload_overhead("random", computation)
+        assert row.message_count == 30
+        assert row.poset_width <= row.theorem8_limit
+        assert row.width_slack >= 0
+
+    def test_tree_workload(self):
+        topology = tree_topology(3, 3)
+        computation = random_computation(topology, 20, random.Random(2))
+        row = workload_overhead("tree", computation)
+        assert row.online_size == 3
+
+
+class TestSweep:
+    def test_sweep_rows(self):
+        rows = sweep_topologies(
+            {
+                "star": [star_topology(n) for n in (3, 5)],
+                "complete": [complete_topology(4)],
+            }
+        )
+        assert len(rows) == 3
+        labels = [row.label for row in rows]
+        assert "star/N=4" in labels

@@ -1,0 +1,83 @@
+"""Tests for concurrency profiles."""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.profile import (
+    profile_computation,
+    profile_poset,
+    profile_rows,
+)
+from repro.core.poset import Poset
+from repro.graphs.generators import complete_topology, path_topology
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import (
+    adversarial_antichain_computation,
+    random_computation,
+    sequential_chain_computation,
+)
+
+
+class TestProfile:
+    def test_chain_profile(self):
+        computation = sequential_chain_computation(
+            complete_topology(5), 12, random.Random(1)
+        )
+        profile = profile_computation(computation)
+        assert profile.width == 1
+        assert profile.height == 12
+        assert profile.order_density == 1.0
+        assert profile.concurrency_ratio == 0.0
+        assert profile.level_sizes == (1,) * 12
+
+    def test_antichain_profile(self):
+        computation = adversarial_antichain_computation(
+            complete_topology(8), 1
+        )
+        profile = profile_computation(computation)
+        assert profile.width == 4
+        assert profile.height == 1
+        assert profile.order_density == 0.0
+        assert profile.concurrency_ratio == 1.0
+
+    def test_empty_profile(self):
+        computation = SyncComputation.from_pairs(path_topology(2), [])
+        profile = profile_computation(computation)
+        assert profile.message_count == 0
+        assert profile.width == 0
+        assert profile.order_density == 1.0
+        assert profile.concurrency_ratio == 0.0
+
+    def test_pairs_partition(self):
+        computation = random_computation(
+            complete_topology(6), 30, random.Random(4)
+        )
+        profile = profile_computation(computation)
+        assert (
+            profile.ordered_pairs + profile.concurrent_pairs
+            == profile.total_pairs
+        )
+
+    def test_levels_sum_to_messages(self):
+        computation = random_computation(
+            complete_topology(5), 20, random.Random(9)
+        )
+        profile = profile_computation(computation)
+        assert sum(profile.level_sizes) == profile.message_count
+        assert len(profile.level_sizes) == profile.height
+
+    def test_profile_poset_direct(self):
+        poset = Poset("abc", [("a", "b")])
+        profile = profile_poset(poset)
+        assert profile.message_count == 3
+        assert profile.ordered_pairs == 1
+        assert profile.concurrent_pairs == 2
+
+    def test_rows_rendering(self):
+        computation = random_computation(
+            complete_topology(4), 10, random.Random(2)
+        )
+        rows = profile_rows({"x": profile_computation(computation)})
+        assert rows[0][0] == "x"
+        assert len(rows[0]) == 6

@@ -1,0 +1,52 @@
+"""Tests for the ASCII table renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_kv_block, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["name", "n"], [["x", 1], ["longer", 100]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "longer" in lines[3]
+
+    def test_bools_rendered_as_yes_no(self):
+        text = render_table(["ok"], [[True], [False]])
+        assert "yes" in text and "no" in text
+
+    def test_floats_two_decimals(self):
+        text = render_table(["x"], [[3.14159]])
+        assert "3.14" in text and "3.142" not in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+    def test_separator_line(self):
+        text = render_table(["a", "b"], [[1, 2]])
+        assert "+" in text.splitlines()[1]
+
+
+class TestKvBlock:
+    def test_title_and_underline(self):
+        text = render_kv_block("Results", [("count", 3)])
+        lines = text.splitlines()
+        assert lines[0] == "Results"
+        assert lines[1] == "======="
+
+    def test_values_aligned(self):
+        text = render_kv_block(
+            "T", [("a", 1), ("longer_key", 2)]
+        )
+        assert "a          : 1" in text
+
+    def test_empty(self):
+        assert render_kv_block("T", []) == "T\n="

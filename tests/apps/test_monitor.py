@@ -1,0 +1,144 @@
+"""Tests for the online causal monitor."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.monitor import CausalMonitor
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import ClockError
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.message_order import message_poset
+from repro.sim.computation import SyncComputation
+from repro.sim.runtime import ScriptRunner, receive, send
+from repro.sim.workload import random_computation
+
+
+def _monitored(computation):
+    clock = OnlineEdgeClock(decompose(computation.topology))
+    assignment = clock.timestamp_computation(computation)
+    monitor = CausalMonitor(clock.timestamp_size)
+    monitor.ingest_assignment(assignment)
+    return monitor
+
+
+class TestIngestion:
+    def test_counts_and_frontier(self):
+        computation = random_computation(
+            complete_topology(4), 15, random.Random(1)
+        )
+        monitor = _monitored(computation)
+        assert monitor.message_count() == 15
+        # The frontier dominates every ingested timestamp.
+        for name in (m.name for m in computation.messages):
+            assert monitor.get(name).timestamp <= monitor.frontier
+
+    def test_size_mismatch_rejected(self):
+        monitor = CausalMonitor(2)
+        with pytest.raises(ClockError):
+            monitor.ingest("m1", "P1", "P2", VectorTimestamp([1]))
+
+    def test_duplicate_name_rejected(self):
+        monitor = CausalMonitor(1)
+        monitor.ingest("m1", "P1", "P2", VectorTimestamp([1]))
+        with pytest.raises(ClockError):
+            monitor.ingest("m1", "P2", "P1", VectorTimestamp([2]))
+
+    def test_unknown_query_rejected(self):
+        monitor = CausalMonitor(1)
+        with pytest.raises(ClockError):
+            monitor.precedes("a", "b")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ClockError):
+            CausalMonitor(-1)
+
+
+class TestQueries:
+    def test_matches_ground_truth(self):
+        computation = random_computation(
+            complete_topology(5), 25, random.Random(4)
+        )
+        monitor = _monitored(computation)
+        poset = message_poset(computation)
+        for m1 in computation.messages:
+            for m2 in computation.messages:
+                if m1 is m2:
+                    continue
+                assert monitor.precedes(m1.name, m2.name) == poset.less(
+                    m1, m2
+                )
+
+    def test_causal_history(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(4),
+            [("P1", "P2"), ("P2", "P3"), ("P3", "P4")],
+        )
+        monitor = _monitored(computation)
+        history = monitor.causal_history("m3")
+        assert [record.name for record in history] == ["m1", "m2"]
+
+    def test_races_of(self):
+        computation = SyncComputation.from_pairs(
+            complete_topology(4), [("P1", "P2"), ("P3", "P4")]
+        )
+        monitor = _monitored(computation)
+        assert [r.name for r in monitor.races_of("m1")] == ["m2"]
+
+    def test_races_between_with_predicate(self):
+        computation = SyncComputation.from_pairs(
+            complete_topology(4),
+            [("P1", "P2"), ("P3", "P4"), ("P2", "P1")],
+        )
+        monitor = _monitored(computation)
+        all_races = monitor.races_between()
+        only_to_p4 = monitor.races_between(
+            lambda a, b: a.receiver == "P4" or b.receiver == "P4"
+        )
+        assert len(only_to_p4) <= len(all_races)
+        assert all(
+            a.receiver == "P4" or b.receiver == "P4"
+            for a, b in only_to_p4
+        )
+
+    def test_stable_below(self):
+        computation = random_computation(
+            complete_topology(4), 12, random.Random(6)
+        )
+        monitor = _monitored(computation)
+        everything = monitor.stable_below(monitor.frontier)
+        assert len(everything) == 12
+        nothing = monitor.stable_below(
+            VectorTimestamp.zeros(monitor.vector_size)
+        )
+        assert nothing == []
+
+
+class TestLiveFeed:
+    def test_feed_from_threaded_runtime(self):
+        """The monitor consumes the transport log directly — the full
+        deployment loop: threads -> piggybacked vectors -> monitor."""
+        decomposition = decompose(complete_topology(3))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [send("P2"), receive("P3")],
+                "P2": [receive("P1"), send("P3")],
+                "P3": [receive("P2"), send("P1")],
+            },
+        )
+        transport = runner.run()
+        monitor = CausalMonitor(decomposition.size)
+        for entry in transport.log:
+            monitor.ingest(
+                f"m{entry.order + 1}",
+                entry.sender,
+                entry.receiver,
+                entry.timestamp,
+            )
+        assert monitor.precedes("m1", "m3")
+        assert monitor.causal_history("m3")[0].name == "m1"

@@ -1,0 +1,197 @@
+"""Tests for weak conjunctive predicate detection."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.predicate_detection import (
+    all_witnesses,
+    detect_weak_conjunctive_predicate,
+)
+from repro.clocks.events import timestamp_internal_events
+from repro.clocks.online import OnlineEdgeClock
+from repro.exceptions import ClockError
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.happened_before import happened_before_poset
+from repro.sim.computation import (
+    EventedComputation,
+    InternalEvent,
+    SyncComputation,
+)
+from repro.sim.workload import random_computation
+
+
+def _stamps(evented):
+    computation = evented.computation
+    clock = OnlineEdgeClock(decompose(computation.topology))
+    assignment = clock.timestamp_computation(computation)
+    return timestamp_internal_events(
+        evented, assignment, clock.timestamp_size
+    )
+
+
+class TestDetection:
+    def test_concurrent_candidates_found(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(3), [("P1", "P2")]
+        )
+        evented = EventedComputation(
+            computation,
+            [
+                InternalEvent("P1", 1, 1, "x"),
+                InternalEvent("P3", 0, 1, "y"),
+            ],
+        )
+        stamps = _stamps(evented)
+        witness = detect_weak_conjunctive_predicate(
+            {
+                "P1": [evented.event("x")],
+                "P3": [evented.event("y")],
+            },
+            stamps,
+        )
+        assert witness is not None
+        assert witness.events["P1"].name == "x"
+
+    def test_ordered_candidates_not_found(self):
+        # x before the message, y after it on the other side: x -> y.
+        computation = SyncComputation.from_pairs(
+            path_topology(2), [("P1", "P2")]
+        )
+        evented = EventedComputation(
+            computation,
+            [
+                InternalEvent("P1", 0, 1, "x"),
+                InternalEvent("P2", 1, 1, "y"),
+            ],
+        )
+        stamps = _stamps(evented)
+        witness = detect_weak_conjunctive_predicate(
+            {
+                "P1": [evented.event("x")],
+                "P2": [evented.event("y")],
+            },
+            stamps,
+        )
+        assert witness is None
+
+    def test_advances_past_ordered_candidates(self):
+        # P1 has an early (ordered) candidate and a later concurrent one.
+        computation = SyncComputation.from_pairs(
+            path_topology(2), [("P1", "P2"), ("P1", "P2")]
+        )
+        evented = EventedComputation(
+            computation,
+            [
+                InternalEvent("P1", 0, 1, "early"),
+                InternalEvent("P1", 2, 1, "late"),
+                InternalEvent("P2", 2, 1, "target"),
+            ],
+        )
+        stamps = _stamps(evented)
+        witness = detect_weak_conjunctive_predicate(
+            {
+                "P1": [evented.event("early"), evented.event("late")],
+                "P2": [evented.event("target")],
+            },
+            stamps,
+        )
+        assert witness is not None
+        assert witness.events["P1"].name == "late"
+
+    def test_empty_candidate_list(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(2), [("P1", "P2")]
+        )
+        evented = EventedComputation(
+            computation, [InternalEvent("P1", 0, 1, "x")]
+        )
+        stamps = _stamps(evented)
+        assert (
+            detect_weak_conjunctive_predicate(
+                {"P1": [evented.event("x")], "P2": []}, stamps
+            )
+            is None
+        )
+
+    def test_no_candidates_at_all(self):
+        assert detect_weak_conjunctive_predicate({}, {}) is None
+
+    def test_wrong_process_rejected(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(2), [("P1", "P2")]
+        )
+        evented = EventedComputation(
+            computation, [InternalEvent("P1", 0, 1, "x")]
+        )
+        stamps = _stamps(evented)
+        with pytest.raises(ClockError):
+            detect_weak_conjunctive_predicate(
+                {"P2": [evented.event("x")]}, stamps
+            )
+
+    def test_missing_timestamp_rejected(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(2), [("P1", "P2")]
+        )
+        evented = EventedComputation(
+            computation, [InternalEvent("P1", 0, 1, "x")]
+        )
+        with pytest.raises(ClockError):
+            detect_weak_conjunctive_predicate(
+                {"P1": [evented.event("x")]}, {}
+            )
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_detection_iff_witness_exists(self, seed):
+        rng = random.Random(seed)
+        topology = complete_topology(4)
+        computation = random_computation(topology, 8, rng)
+        evented = EventedComputation.with_events_per_slot(computation, 1)
+        stamps = _stamps(evented)
+
+        # Candidates: a random subset of each process's events.
+        candidates = {}
+        for process in computation.processes:
+            events = [
+                e
+                for e in evented.internal_events()
+                if e.process == process and rng.random() < 0.6
+            ]
+            if events:
+                candidates[process] = events
+        if len(candidates) < 2:
+            return
+
+        found = detect_weak_conjunctive_predicate(candidates, stamps)
+        oracle = all_witnesses(candidates, stamps)
+        assert (found is not None) == bool(oracle)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_witness_is_pairwise_concurrent(self, seed):
+        rng = random.Random(100 + seed)
+        topology = complete_topology(4)
+        computation = random_computation(topology, 8, rng)
+        evented = EventedComputation.with_events_per_slot(computation, 1)
+        stamps = _stamps(evented)
+        candidates = {
+            process: [
+                e
+                for e in evented.internal_events()
+                if e.process == process
+            ]
+            for process in computation.processes
+        }
+        witness = detect_weak_conjunctive_predicate(candidates, stamps)
+        if witness is None:
+            return
+        poset = happened_before_poset(evented)
+        chosen = list(witness.events.values())
+        for i, e in enumerate(chosen):
+            for f in chosen[i + 1 :]:
+                assert poset.concurrent(e, f)

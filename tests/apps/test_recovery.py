@@ -1,0 +1,123 @@
+"""Tests for orphan detection / rollback recovery."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.apps.recovery import find_orphans
+from repro.clocks.online import OnlineEdgeClock
+from repro.exceptions import SimulationError
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.message_order import message_poset
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+def _stamped(computation):
+    clock = OnlineEdgeClock(decompose(computation.topology))
+    return clock.timestamp_computation(computation)
+
+
+class TestBasicScenarios:
+    def test_chain_orphans(self):
+        # P1->P2, P2->P3, P3->P4: losing P2's tail orphans the rest.
+        computation = SyncComputation.from_pairs(
+            path_topology(4),
+            [("P1", "P2"), ("P2", "P3"), ("P3", "P4")],
+        )
+        report = find_orphans(
+            computation, _stamped(computation), crashed="P2", stable_count=1
+        )
+        assert [m.name for m in report.lost] == ["m2"]
+        assert [m.name for m in report.orphans] == ["m3"]
+        assert report.rollback_points["P4"] == 0
+
+    def test_no_orphans_when_all_stable(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(3), [("P1", "P2"), ("P2", "P3")]
+        )
+        report = find_orphans(
+            computation, _stamped(computation), crashed="P2", stable_count=2
+        )
+        assert report.lost == ()
+        assert report.orphans == ()
+        assert report.surviving_messages(computation) == list(
+            computation.messages
+        )
+
+    def test_concurrent_messages_survive(self):
+        computation = SyncComputation.from_pairs(
+            complete_topology(4), [("P1", "P2"), ("P3", "P4")]
+        )
+        report = find_orphans(
+            computation, _stamped(computation), crashed="P1", stable_count=0
+        )
+        assert [m.name for m in report.lost] == ["m1"]
+        assert report.orphans == ()
+        assert report.rollback_points["P3"] == 1
+
+    def test_stable_count_validated(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(2), [("P1", "P2")]
+        )
+        with pytest.raises(SimulationError):
+            find_orphans(
+                computation, _stamped(computation), "P1", stable_count=5
+            )
+
+
+class TestCausalClosure:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_surviving_set_is_causally_closed(self, seed):
+        """No surviving message may depend on a lost or orphan message,
+        and the vector-based classification must match the ground-truth
+        causal reachability from the lost messages."""
+        rng = random.Random(seed)
+        topology = complete_topology(5)
+        computation = random_computation(topology, 30, rng)
+        assignment = _stamped(computation)
+        crashed = "P1"
+        projection = computation.process_messages(crashed)
+        if not projection:
+            return
+        stable = rng.randrange(len(projection))
+        report = find_orphans(computation, assignment, crashed, stable)
+
+        poset = message_poset(computation)
+        doomed = set(report.lost) | set(report.orphans)
+        survivors = report.surviving_messages(computation)
+        for message in survivors:
+            for bad in doomed:
+                assert not poset.less(bad, message)
+
+        # Ground-truth orphan set: everything reachable from a lost one.
+        truth = {
+            m
+            for m in computation.messages
+            if m not in set(report.lost)
+            and any(poset.less(lost, m) for lost in report.lost)
+        }
+        assert truth == set(report.orphans)
+
+    def test_rollback_points_consistent_with_survivors(self):
+        computation = SyncComputation.from_pairs(
+            complete_topology(4),
+            [
+                ("P1", "P2"),
+                ("P2", "P3"),
+                ("P3", "P4"),
+                ("P4", "P1"),
+            ],
+        )
+        report = find_orphans(
+            computation, _stamped(computation), "P2", stable_count=1
+        )
+        survivors = set(report.surviving_messages(computation))
+        for process in computation.processes:
+            projection = computation.process_messages(process)
+            kept = report.rollback_points[process]
+            assert all(m in survivors for m in projection[:kept])
+            assert all(m not in survivors for m in projection[kept:])

@@ -1,0 +1,85 @@
+"""Contract tests for the MessageTimestamper interface."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.fm import FMMessageClock
+from repro.clocks.lamport import LamportMessageClock
+from repro.clocks.offline import OfflineRealizerClock
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology
+from repro.sim.workload import random_computation
+
+TOPOLOGY = complete_topology(5)
+
+CLOCK_FACTORIES = {
+    "online": lambda: OnlineEdgeClock(decompose(TOPOLOGY)),
+    "offline": lambda: OfflineRealizerClock(),
+    "fm": lambda: FMMessageClock.for_topology(TOPOLOGY),
+    "lamport": lambda: LamportMessageClock.for_topology(TOPOLOGY),
+}
+
+
+@pytest.fixture(params=list(CLOCK_FACTORIES), ids=list(CLOCK_FACTORIES))
+def clock_and_assignment(request):
+    clock = CLOCK_FACTORIES[request.param]()
+    computation = random_computation(TOPOLOGY, 20, random.Random(31))
+    return clock, clock.timestamp_computation(computation), computation
+
+
+class TestContract:
+    def test_every_message_stamped(self, clock_and_assignment):
+        _, assignment, computation = clock_and_assignment
+        assert len(assignment) == len(computation)
+        for message in computation.messages:
+            assignment.of(message)  # must not raise
+
+    def test_precedes_is_irreflexive(self, clock_and_assignment):
+        clock, assignment, computation = clock_and_assignment
+        for message in computation.messages:
+            stamp = assignment.of(message)
+            assert not clock.precedes(stamp, stamp)
+
+    def test_precedes_is_antisymmetric(self, clock_and_assignment):
+        clock, assignment, computation = clock_and_assignment
+        for m1 in computation.messages:
+            for m2 in computation.messages:
+                if m1 is m2:
+                    continue
+                a, b = assignment.of(m1), assignment.of(m2)
+                assert not (clock.precedes(a, b) and clock.precedes(b, a))
+
+    def test_precedes_is_transitive(self, clock_and_assignment):
+        clock, assignment, computation = clock_and_assignment
+        stamps = [assignment.of(m) for m in computation.messages[:12]]
+        for a in stamps:
+            for b in stamps:
+                for c in stamps:
+                    if clock.precedes(a, b) and clock.precedes(b, c):
+                        assert clock.precedes(a, c)
+
+    def test_concurrent_is_symmetric(self, clock_and_assignment):
+        clock, assignment, computation = clock_and_assignment
+        for m1 in computation.messages[:12]:
+            for m2 in computation.messages[:12]:
+                a, b = assignment.of(m1), assignment.of(m2)
+                assert clock.concurrent(a, b) == clock.concurrent(b, a)
+
+    def test_timestamp_size_positive(self, clock_and_assignment):
+        clock, _, _ = clock_and_assignment
+        assert clock.timestamp_size >= 1
+
+    def test_execution_order_respected(self, clock_and_assignment):
+        """A later message is never reported before an earlier one on
+        the same process (consistency's per-process core)."""
+        clock, assignment, computation = clock_and_assignment
+        for process in computation.processes:
+            projection = computation.process_messages(process)
+            for earlier, later in zip(projection, projection[1:]):
+                assert not clock.precedes(
+                    assignment.of(later), assignment.of(earlier)
+                )

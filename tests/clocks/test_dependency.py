@@ -1,0 +1,74 @@
+"""Tests for the Fowler–Zwaenepoel direct-dependency baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.dependency import DependencyTracer, DirectDependencyRecord
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.message_order import message_poset
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+class TestRecord:
+    def test_minimal_message_has_no_predecessors(self):
+        topology = path_topology(3)
+        computation = SyncComputation.from_pairs(topology, [("P1", "P2")])
+        record = DirectDependencyRecord(computation)
+        assert record.direct_predecessors(computation.messages[0]) == ()
+
+    def test_at_most_two_predecessors(self):
+        topology = complete_topology(5)
+        computation = random_computation(topology, 30, random.Random(1))
+        record = DirectDependencyRecord(computation)
+        for message in computation.messages:
+            assert len(record.direct_predecessors(message)) <= 2
+
+    def test_piggyback_is_scalar(self):
+        topology = path_topology(2)
+        computation = SyncComputation.from_pairs(topology, [("P1", "P2")])
+        assert DirectDependencyRecord(computation).piggyback_size() == 1
+
+
+class TestTracer:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_ground_truth(self, seed):
+        topology = complete_topology(6)
+        computation = random_computation(topology, 25, random.Random(seed))
+        record = DirectDependencyRecord(computation)
+        tracer = DependencyTracer(record)
+        poset = message_poset(computation)
+        for m1 in computation.messages:
+            for m2 in computation.messages:
+                if m1 is m2:
+                    continue
+                assert tracer.precedes(m1, m2) == poset.less(m1, m2)
+
+    def test_concurrent(self):
+        topology = complete_topology(4)
+        computation = SyncComputation.from_pairs(
+            topology, [("P1", "P2"), ("P3", "P4")]
+        )
+        record = DirectDependencyRecord(computation)
+        tracer = DependencyTracer(record)
+        m1, m2 = computation.messages
+        assert tracer.concurrent(m1, m2)
+
+    def test_never_precedes_self(self):
+        topology = path_topology(2)
+        computation = SyncComputation.from_pairs(topology, [("P1", "P2")])
+        tracer = DependencyTracer(DirectDependencyRecord(computation))
+        message = computation.messages[0]
+        assert not tracer.precedes(message, message)
+
+    def test_transitive_hop(self):
+        topology = path_topology(4)
+        computation = SyncComputation.from_pairs(
+            topology, [("P1", "P2"), ("P2", "P3"), ("P3", "P4")]
+        )
+        tracer = DependencyTracer(DirectDependencyRecord(computation))
+        first, _, last = computation.messages
+        assert tracer.precedes(first, last)

@@ -1,0 +1,146 @@
+"""Tests for internal-event timestamps (Section 5, Theorem 9)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.events import (
+    EventTimestamp,
+    event_precedes,
+    events_concurrent,
+    timestamp_internal_events,
+)
+from repro.clocks.offline import OfflineRealizerClock
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import ClockError
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.happened_before import happened_before_poset
+from repro.sim.computation import EventedComputation, SyncComputation
+from repro.sim.workload import random_computation
+
+
+def _verify_theorem9(evented, timestamps):
+    """Exhaustively compare the paper's test against the HB ground truth."""
+    poset = happened_before_poset(evented)
+    events = evented.internal_events()
+    for e in events:
+        for f in events:
+            if e is f:
+                continue
+            truth = poset.less(e, f)
+            claim = event_precedes(timestamps[e], timestamps[f])
+            assert truth == claim, (e, f)
+
+
+class TestEventTimestamp:
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ClockError):
+            EventTimestamp(
+                VectorTimestamp([1]), VectorTimestamp([1, 2]), 1
+            )
+
+    def test_repr(self):
+        stamp = EventTimestamp(
+            VectorTimestamp([0]), VectorTimestamp.infinities(1), 2
+        )
+        assert "c=2" in repr(stamp)
+
+
+class TestPrecedenceRule:
+    def test_same_slot_uses_counter(self):
+        prev = VectorTimestamp([1])
+        succ = VectorTimestamp([2])
+        early = EventTimestamp(prev, succ, 1)
+        late = EventTimestamp(prev, succ, 2)
+        assert event_precedes(early, late)
+        assert not event_precedes(late, early)
+
+    def test_cross_slot_uses_vectors(self):
+        e = EventTimestamp(VectorTimestamp([1]), VectorTimestamp([2]), 1)
+        f = EventTimestamp(VectorTimestamp([2]), VectorTimestamp([3]), 1)
+        assert event_precedes(e, f)  # succ(e) = (2) <= prev(f) = (2)
+
+    def test_concurrent(self):
+        e = EventTimestamp(
+            VectorTimestamp([1, 0]), VectorTimestamp([2, 0]), 1
+        )
+        f = EventTimestamp(
+            VectorTimestamp([0, 1]), VectorTimestamp([0, 2]), 1
+        )
+        assert events_concurrent(e, f)
+
+    def test_infinity_succ_never_precedes_cross_slot(self):
+        e = EventTimestamp(
+            VectorTimestamp([5]), VectorTimestamp.infinities(1), 1
+        )
+        f = EventTimestamp(VectorTimestamp([9]), VectorTimestamp([10]), 1)
+        assert not event_precedes(e, f)
+
+
+class TestTheorem9:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_online_clock(self, seed):
+        topology = complete_topology(5)
+        computation = random_computation(topology, 12, random.Random(seed))
+        evented = EventedComputation.with_events_per_slot(computation, 1)
+        decomposition = decompose(topology)
+        clock = OnlineEdgeClock(decomposition)
+        assignment = clock.timestamp_computation(computation)
+        timestamps = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        _verify_theorem9(evented, timestamps)
+
+    def test_with_offline_clock(self):
+        topology = complete_topology(5)
+        computation = random_computation(topology, 10, random.Random(77))
+        evented = EventedComputation.with_events_per_slot(computation, 1)
+        clock = OfflineRealizerClock()
+        assignment = clock.timestamp_computation(computation)
+        timestamps = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        _verify_theorem9(evented, timestamps)
+
+    @pytest.mark.parametrize("per_slot", [2, 3])
+    def test_multiple_events_per_slot(self, per_slot):
+        topology = path_topology(4)
+        computation = random_computation(topology, 8, random.Random(5))
+        evented = EventedComputation.with_events_per_slot(
+            computation, per_slot
+        )
+        clock = OnlineEdgeClock(decompose(topology))
+        assignment = clock.timestamp_computation(computation)
+        timestamps = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        _verify_theorem9(evented, timestamps)
+
+    def test_no_messages_at_all(self):
+        topology = path_topology(3)
+        computation = SyncComputation.from_pairs(topology, [])
+        evented = EventedComputation.with_events_per_slot(computation, 2)
+        clock = OnlineEdgeClock(decompose(topology))
+        assignment = clock.timestamp_computation(computation)
+        timestamps = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        _verify_theorem9(evented, timestamps)
+
+    def test_sentinel_vectors_used_at_ends(self):
+        topology = path_topology(2)
+        computation = SyncComputation.from_pairs(topology, [("P1", "P2")])
+        evented = EventedComputation.with_events_per_slot(computation, 1)
+        clock = OnlineEdgeClock(decompose(topology))
+        assignment = clock.timestamp_computation(computation)
+        timestamps = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        first_p1 = evented.events_in_slot("P1", 0)[0]
+        last_p1 = evented.events_in_slot("P1", 1)[0]
+        assert timestamps[first_p1].prev.is_zero()
+        assert timestamps[last_p1].succ == VectorTimestamp.infinities(1)

@@ -1,0 +1,127 @@
+"""Tests for the streaming internal-event timestamper."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.events import event_precedes, timestamp_internal_events
+from repro.clocks.events_online import StreamingEventTimestamper
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import ClockError
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology
+from repro.sim.computation import EventedComputation
+from repro.sim.workload import random_computation
+
+
+class TestStreamBasics:
+    def test_counter_resets_on_message(self):
+        stream = StreamingEventTimestamper("P1", 1)
+        assert stream.observe_internal() == 1
+        assert stream.observe_internal() == 2
+        stream.observe_message(VectorTimestamp([1]))
+        assert stream.observe_internal() == 1
+
+    def test_flush_on_message(self):
+        stream = StreamingEventTimestamper("P1", 1)
+        stream.observe_internal("a")
+        emitted = stream.observe_message(VectorTimestamp([3]))
+        assert len(emitted) == 1
+        assert emitted[0].timestamp.prev.is_zero()
+        assert emitted[0].timestamp.succ == VectorTimestamp([3])
+
+    def test_finish_emits_infinity(self):
+        stream = StreamingEventTimestamper("P1", 2)
+        stream.observe_message(VectorTimestamp([1, 0]))
+        stream.observe_internal("tail")
+        emitted = stream.finish()
+        assert emitted[0].timestamp.succ == VectorTimestamp.infinities(2)
+        assert emitted[0].timestamp.prev == VectorTimestamp([1, 0])
+
+    def test_latency_is_one_message(self):
+        stream = StreamingEventTimestamper("P1", 1)
+        stream.observe_internal()
+        assert stream.pending_count == 1
+        stream.observe_message(VectorTimestamp([1]))
+        assert stream.pending_count == 0
+
+    def test_size_mismatch_rejected(self):
+        stream = StreamingEventTimestamper("P1", 2)
+        with pytest.raises(ClockError):
+            stream.observe_message(VectorTimestamp([1]))
+
+    def test_non_monotone_rejected(self):
+        stream = StreamingEventTimestamper("P1", 1)
+        stream.observe_message(VectorTimestamp([5]))
+        with pytest.raises(ClockError):
+            stream.observe_message(VectorTimestamp([4]))
+
+    def test_finished_stream_rejects_everything(self):
+        stream = StreamingEventTimestamper("P1", 1)
+        stream.finish()
+        with pytest.raises(ClockError):
+            stream.observe_internal()
+        with pytest.raises(ClockError):
+            stream.finish()
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ClockError):
+            StreamingEventTimestamper("P1", -1)
+
+
+class TestAgreementWithBatch:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_streaming_equals_batch_assignment(self, seed):
+        """Driving streams process by process reproduces exactly the
+        batch triples of timestamp_internal_events."""
+        topology = complete_topology(4)
+        computation = random_computation(topology, 12, random.Random(seed))
+        evented = EventedComputation.with_events_per_slot(computation, 2)
+        clock = OnlineEdgeClock(decompose(topology))
+        assignment = clock.timestamp_computation(computation)
+        batch = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+
+        streamed = {}
+        for process in computation.processes:
+            stream = StreamingEventTimestamper(
+                process, clock.timestamp_size
+            )
+            emitted = []
+            for kind, item in evented.process_timeline(process):
+                if kind == "internal":
+                    stream.observe_internal(item.name)
+                else:
+                    emitted.extend(
+                        stream.observe_message(assignment.of(item))
+                    )
+            emitted.extend(stream.finish())
+            for record in emitted:
+                streamed[record.label] = record.timestamp
+
+        for event in evented.internal_events():
+            assert streamed[event.name] == batch[event]
+
+    def test_streamed_triples_order_correctly(self):
+        topology = complete_topology(3)
+        computation = random_computation(topology, 6, random.Random(9))
+        evented = EventedComputation.with_events_per_slot(computation, 1)
+        clock = OnlineEdgeClock(decompose(topology))
+        assignment = clock.timestamp_computation(computation)
+        batch = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        events = evented.internal_events()
+        from repro.order.happened_before import happened_before_poset
+
+        poset = happened_before_poset(evented)
+        for e in events:
+            for f in events:
+                if e is not f:
+                    assert event_precedes(batch[e], batch[f]) == (
+                        poset.less(e, f)
+                    )

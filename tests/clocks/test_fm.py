@@ -1,0 +1,74 @@
+"""Tests for the Fidge–Mattern baseline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.fm import FMEventClock, FMMessageClock
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.checker import check_encoding
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+class TestSize:
+    def test_always_n_components(self):
+        for n in (2, 5, 9):
+            clock = FMMessageClock.for_topology(complete_topology(n))
+            assert clock.timestamp_size == n
+
+
+class TestEquationOne:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_characterizes_order(self, seed):
+        topology = complete_topology(6)
+        computation = random_computation(topology, 30, random.Random(seed))
+        clock = FMMessageClock.for_topology(topology)
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.characterizes
+
+    def test_every_family(self, any_topology, rng):
+        computation = random_computation(any_topology, 25, rng)
+        clock = FMMessageClock.for_topology(any_topology)
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.characterizes
+
+
+class TestComponentsCountEvents:
+    def test_components_count_messages_per_process(self):
+        topology = path_topology(3)
+        computation = SyncComputation.from_pairs(
+            topology, [("P1", "P2"), ("P2", "P3"), ("P2", "P1")]
+        )
+        clock = FMMessageClock.for_topology(topology)
+        assignment = clock.timestamp_computation(computation)
+        last = assignment.of(computation.messages[-1])
+        # P1 took part in 2 messages, P2 in 3; P3's single message is
+        # visible through the component-wise maximum.
+        assert last.components == (2, 3, 1)
+
+
+class TestEventLevelEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_atomic_equals_event_level(self, seed):
+        topology = complete_topology(5)
+        computation = random_computation(topology, 25, random.Random(seed))
+        atomic = FMMessageClock.for_topology(topology)
+        events = FMEventClock(topology.vertices)
+        atomic_map = atomic.timestamp_computation(computation)
+        # The event-level clock counts send and receive separately, so
+        # vectors differ in magnitude, but the induced *order* matches.
+        event_map = events.timestamp_computation(computation)
+        for m1 in computation.messages:
+            for m2 in computation.messages:
+                if m1 is m2:
+                    continue
+                assert (
+                    atomic_map.of(m1) < atomic_map.of(m2)
+                ) == (event_map[m1] < event_map[m2])

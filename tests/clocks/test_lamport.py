@@ -1,0 +1,74 @@
+"""Tests for the Lamport scalar baseline (consistent, not complete)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.lamport import LamportMessageClock
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.checker import check_encoding
+from repro.order.message_order import message_poset
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_respects_order(self, seed):
+        topology = complete_topology(6)
+        computation = random_computation(topology, 30, random.Random(seed))
+        clock = LamportMessageClock.for_topology(topology)
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.consistent
+
+    def test_scalar_size(self):
+        clock = LamportMessageClock.for_topology(complete_topology(9))
+        assert clock.timestamp_size == 1
+
+    def test_flag_declares_incomplete(self):
+        assert LamportMessageClock.for_topology(
+            complete_topology(3)
+        ).characterizes_order is False
+
+
+class TestIncompleteness:
+    def test_orders_concurrent_messages(self):
+        # Two concurrent messages on disjoint channels get distinct
+        # scalars, so Lamport falsely "orders" one before the other.
+        topology = complete_topology(4)
+        computation = SyncComputation.from_pairs(
+            topology, [("P1", "P2"), ("P3", "P4")]
+        )
+        poset = message_poset(computation)
+        m1, m2 = computation.messages
+        assert poset.concurrent(m1, m2)
+
+        clock = LamportMessageClock.for_topology(topology)
+        assignment = clock.timestamp_computation(computation)
+        report = check_encoding(clock, assignment, poset=poset)
+        assert report.consistent
+        # Equal scalars here, which is fine; force a completeness break
+        # with a third message that bumps one side.
+        computation2 = SyncComputation.from_pairs(
+            topology, [("P1", "P2"), ("P2", "P1"), ("P3", "P4")]
+        )
+        assignment2 = clock.timestamp_computation(computation2)
+        report2 = check_encoding(clock, assignment2)
+        assert report2.consistent and not report2.characterizes
+
+
+class TestValues:
+    def test_chain_counts_up(self):
+        topology = path_topology(4)
+        computation = SyncComputation.from_pairs(
+            topology, [("P1", "P2"), ("P2", "P3"), ("P3", "P4")]
+        )
+        clock = LamportMessageClock.for_topology(topology)
+        assignment = clock.timestamp_computation(computation)
+        assert [
+            assignment.of(m) for m in computation.messages
+        ] == [1, 2, 3]

@@ -1,0 +1,54 @@
+"""Tests for the offline clock's chain-partition strategy ablation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.offline import OfflineRealizerClock
+from repro.core.chains import width
+from repro.graphs.generators import complete_topology
+from repro.order.checker import check_encoding
+from repro.order.message_order import message_poset
+from repro.sim.workload import random_computation
+
+
+class TestChainStrategy:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            OfflineRealizerClock(chain_strategy="magic")
+
+    @pytest.mark.parametrize("strategy", ["matching", "greedy"])
+    def test_both_strategies_characterize(self, strategy):
+        topology = complete_topology(6)
+        computation = random_computation(topology, 25, random.Random(3))
+        clock = OfflineRealizerClock(chain_strategy=strategy)
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.characterizes
+
+    def test_matching_never_larger_than_greedy(self):
+        topology = complete_topology(8)
+        for seed in range(5):
+            computation = random_computation(
+                topology, 60, random.Random(seed)
+            )
+            matching = OfflineRealizerClock("matching")
+            greedy = OfflineRealizerClock("greedy")
+            matching.timestamp_computation(computation)
+            greedy.timestamp_computation(computation)
+            assert matching.timestamp_size <= greedy.timestamp_size
+            assert matching.timestamp_size == width(
+                message_poset(computation)
+            )
+
+    def test_greedy_chains_are_chains(self):
+        topology = complete_topology(6)
+        computation = random_computation(topology, 30, random.Random(7))
+        clock = OfflineRealizerClock("greedy")
+        clock.timestamp_computation(computation)
+        poset = message_poset(computation)
+        for chain in clock.chain_partition:
+            assert poset.is_chain(chain)

@@ -1,0 +1,113 @@
+"""Directed tests of the online algorithm on triangle edge groups.
+
+Stars dominate most decompositions; these tests pin the behaviour of
+the *triangle* group type specifically, including the total-order
+consequence of Lemma 1 on a pure triangle system.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.vector import VectorTimestamp
+from repro.graphs.decomposition import EdgeDecomposition, triangle_group
+from repro.graphs.generators import (
+    disjoint_triangles,
+    triangle_topology,
+)
+from repro.order.checker import check_encoding
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+@pytest.fixture
+def triangle_clock():
+    topology = triangle_topology()
+    decomposition = EdgeDecomposition(
+        topology, [triangle_group("P1", "P2", "P3")]
+    )
+    return topology, OnlineEdgeClock(decomposition)
+
+
+class TestSingleTriangle:
+    def test_scalar_timestamps_count_up(self, triangle_clock):
+        topology, clock = triangle_clock
+        computation = SyncComputation.from_pairs(
+            topology,
+            [("P1", "P2"), ("P2", "P3"), ("P3", "P1"), ("P1", "P2")],
+        )
+        assignment = clock.timestamp_computation(computation)
+        values = [assignment.of(m) for m in computation.messages]
+        assert values == [
+            VectorTimestamp([1]),
+            VectorTimestamp([2]),
+            VectorTimestamp([3]),
+            VectorTimestamp([4]),
+        ]
+
+    def test_total_order_lemma1(self, triangle_clock):
+        topology, clock = triangle_clock
+        computation = random_computation(topology, 20, random.Random(8))
+        assignment = clock.timestamp_computation(computation)
+        report = check_encoding(clock, assignment)
+        assert report.characterizes
+        assert report.concurrent_pairs == 0
+
+    def test_all_edges_share_the_group(self, triangle_clock):
+        topology, clock = triangle_clock
+        for edge in topology.edges:
+            assert clock.decomposition.group_index_of(*edge.endpoints) == 0
+
+
+class TestDisjointTriangles:
+    def test_one_component_per_triangle(self):
+        topology = disjoint_triangles(3)
+        groups = [
+            triangle_group(f"T{i}x", f"T{i}y", f"T{i}z")
+            for i in (1, 2, 3)
+        ]
+        decomposition = EdgeDecomposition(topology, groups)
+        clock = OnlineEdgeClock(decomposition)
+        assert clock.timestamp_size == 3
+
+    def test_cross_triangle_concurrency(self):
+        topology = disjoint_triangles(2)
+        decomposition = EdgeDecomposition(
+            topology,
+            [
+                triangle_group("T1x", "T1y", "T1z"),
+                triangle_group("T2x", "T2y", "T2z"),
+            ],
+        )
+        clock = OnlineEdgeClock(decomposition)
+        computation = SyncComputation.from_pairs(
+            topology, [("T1x", "T1y"), ("T2x", "T2y"), ("T1y", "T1z")]
+        )
+        assignment = clock.timestamp_computation(computation)
+        report = check_encoding(clock, assignment)
+        assert report.characterizes
+        first, second, third = (
+            assignment.of(m) for m in computation.messages
+        )
+        assert first.concurrent_with(second)
+        assert second.concurrent_with(third)
+        assert first < third
+
+    def test_random_workload_on_disjoint_triangles(self):
+        topology = disjoint_triangles(3)
+        decomposition = EdgeDecomposition(
+            topology,
+            [
+                triangle_group(f"T{i}x", f"T{i}y", f"T{i}z")
+                for i in (1, 2, 3)
+            ],
+        )
+        clock = OnlineEdgeClock(decomposition)
+        computation = random_computation(topology, 30, random.Random(5))
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.characterizes

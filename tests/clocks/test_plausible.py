@@ -1,0 +1,84 @@
+"""Tests for the plausible-clock baseline (Torres-Rojas & Ahamad)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.plausible import PlausibleCombClock, ordering_accuracy
+from repro.graphs.generators import complete_topology
+from repro.order.checker import check_encoding
+from repro.order.message_order import message_poset
+from repro.sim.workload import random_computation
+
+
+class TestConstruction:
+    def test_size_capped_at_n(self):
+        clock = PlausibleCombClock.for_topology(complete_topology(4), 10)
+        assert clock.timestamp_size == 4
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            PlausibleCombClock(("P1", "P2"), 0)
+
+    def test_comb_mapping(self):
+        clock = PlausibleCombClock.for_topology(complete_topology(5), 2)
+        assert clock.component_of("P1") == 0
+        assert clock.component_of("P2") == 1
+        assert clock.component_of("P3") == 0
+
+    def test_declares_incomplete(self):
+        clock = PlausibleCombClock.for_topology(complete_topology(5), 2)
+        assert clock.characterizes_order is False
+
+
+class TestPlausibility:
+    @pytest.mark.parametrize("size", [1, 2, 3])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_always_consistent(self, size, seed):
+        topology = complete_topology(6)
+        clock = PlausibleCombClock.for_topology(topology, size)
+        computation = random_computation(topology, 30, random.Random(seed))
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.consistent
+
+    def test_full_size_equals_fm_behaviour(self):
+        """At R = N the comb scheme characterizes (it *is* FM)."""
+        topology = complete_topology(5)
+        clock = PlausibleCombClock.for_topology(topology, 5)
+        computation = random_computation(topology, 25, random.Random(2))
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.characterizes
+
+
+class TestAccuracy:
+    def test_accuracy_monotone_in_size(self):
+        topology = complete_topology(8)
+        computation = random_computation(topology, 60, random.Random(7))
+        poset = message_poset(computation)
+        accuracies = []
+        for size in (1, 2, 4, 8):
+            clock = PlausibleCombClock.for_topology(topology, size)
+            assignment = clock.timestamp_computation(computation)
+            accuracies.append(
+                ordering_accuracy(clock, assignment, poset)
+            )
+        assert accuracies[-1] == 1.0  # R = N is exact
+        assert accuracies[0] <= accuracies[-1]
+
+    def test_accuracy_one_when_no_concurrency(self):
+        from repro.sim.workload import sequential_chain_computation
+
+        topology = complete_topology(5)
+        computation = sequential_chain_computation(
+            topology, 15, random.Random(1)
+        )
+        poset = message_poset(computation)
+        clock = PlausibleCombClock.for_topology(topology, 1)
+        assignment = clock.timestamp_computation(computation)
+        assert ordering_accuracy(clock, assignment, poset) == 1.0

@@ -1,0 +1,96 @@
+"""Tests for the Singhal–Kshemkalyani differential accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.fm import FMMessageClock
+from repro.clocks.singhal_kshemkalyani import SKDifferentialClock
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    path_topology,
+)
+from repro.order.checker import check_encoding
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+class TestTimestampsUnchanged:
+    def test_identical_to_fm(self):
+        topology = complete_topology(5)
+        computation = random_computation(topology, 25, random.Random(4))
+        sk = SKDifferentialClock(topology.vertices)
+        assignment, _ = sk.timestamp_with_stats(computation)
+        fm = FMMessageClock.for_topology(topology)
+        reference = fm.timestamp_computation(computation)
+        for message in computation.messages:
+            assert assignment.of(message) == reference.of(message)
+
+    def test_still_characterizes(self):
+        topology = complete_topology(5)
+        computation = random_computation(topology, 25, random.Random(5))
+        sk = SKDifferentialClock(topology.vertices)
+        assignment, _ = sk.timestamp_with_stats(computation)
+        fm = FMMessageClock.for_topology(topology)
+        assert check_encoding(fm, assignment).characterizes
+
+
+class TestAccounting:
+    def test_never_exceeds_full_vectors(self):
+        topology = complete_topology(6)
+        computation = random_computation(topology, 40, random.Random(6))
+        sk = SKDifferentialClock(topology.vertices)
+        _, stats = sk.timestamp_with_stats(computation)
+        assert stats.total <= 2 * stats.full_vector_total
+        assert stats.vector_size == 6
+
+    def test_repeated_channel_compresses_well(self):
+        """Ping-pong on one channel: after warm-up only the two busy
+        components change per direction."""
+        topology = path_topology(2)
+        computation = SyncComputation.from_pairs(
+            topology, [("P1", "P2"), ("P2", "P1")] * 10
+        )
+        sk = SKDifferentialClock(topology.vertices)
+        _, stats = sk.timestamp_with_stats(computation)
+        # Steady-state: both components change per message, both
+        # directions accounted -> well below shipping 2 full vectors.
+        assert stats.per_message[-1] <= 4
+
+    def test_stats_fields(self):
+        topology = path_topology(3)
+        computation = SyncComputation.from_pairs(
+            topology, [("P1", "P2"), ("P2", "P3")]
+        )
+        sk = SKDifferentialClock(topology.vertices)
+        _, stats = sk.timestamp_with_stats(computation)
+        assert len(stats.per_message) == 2
+        assert stats.mean == stats.total / 2
+        assert stats.compression_ratio >= 0
+
+    def test_empty_computation(self):
+        topology = path_topology(2)
+        computation = SyncComputation.from_pairs(topology, [])
+        sk = SKDifferentialClock(topology.vertices)
+        _, stats = sk.timestamp_with_stats(computation)
+        assert stats.total == 0
+        assert stats.mean == 0.0
+        assert stats.compression_ratio == 1.0
+
+    def test_client_server_rpc_compresses(self):
+        """Request/reply pairs on the same channel keep the differential
+        small: well under one full vector per message (the uncompressed
+        cost is two — message plus acknowledgement)."""
+        from repro.sim.workload import client_server_computation
+
+        topology = client_server_topology(2, 18)  # N = 20
+        computation = client_server_computation(
+            topology, 50, random.Random(9)
+        )
+        sk = SKDifferentialClock(topology.vertices)
+        _, stats = sk.timestamp_with_stats(computation)
+        assert stats.mean < stats.vector_size
+        assert stats.total < 2 * stats.full_vector_total

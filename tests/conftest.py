@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    paper_fig2b_graph,
+    paper_fig4_tree,
+    path_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+    triangle_topology,
+)
+from repro.sim.paper_figures import figure1_computation, figure6_computation
+from repro.sim.workload import random_computation
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def k5():
+    return complete_topology(5)
+
+
+@pytest.fixture
+def path4():
+    return path_topology(4)
+
+
+@pytest.fixture
+def fig1_computation():
+    return figure1_computation()
+
+
+@pytest.fixture
+def fig6():
+    return figure6_computation()
+
+
+@pytest.fixture
+def fig2b():
+    return paper_fig2b_graph()
+
+
+@pytest.fixture
+def fig4_tree():
+    return paper_fig4_tree()
+
+
+@pytest.fixture(
+    params=[
+        ("star", lambda: star_topology(5)),
+        ("triangle", lambda: triangle_topology()),
+        ("path", lambda: path_topology(6)),
+        ("ring", lambda: ring_topology(6)),
+        ("complete", lambda: complete_topology(5)),
+        ("tree", lambda: tree_topology(3, 4)),
+        ("client-server", lambda: client_server_topology(2, 6)),
+    ],
+    ids=lambda param: param[0],
+)
+def any_topology(request):
+    """A representative topology from each family."""
+    return request.param[1]()
+
+
+@pytest.fixture
+def random_workload(any_topology, rng):
+    """A moderate random computation over each topology family."""
+    return random_computation(any_topology, 30, rng)
+
+
+@pytest.fixture
+def default_decomposition(any_topology):
+    return decompose(any_topology)

@@ -1,0 +1,178 @@
+"""Tests for Dilworth machinery: matching, width, chain partitions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.chains import (
+    BipartiteMatcher,
+    antichain_partition,
+    greedy_chain_partition,
+    is_chain_partition,
+    maximum_antichain,
+    minimum_chain_partition,
+    width,
+)
+from repro.core.dimension import standard_example
+from repro.core.poset import Poset
+from tests.strategies import posets_from_computations
+
+
+class TestBipartiteMatcher:
+    def test_perfect_matching(self):
+        matcher = BipartiteMatcher(
+            ["a", "b"], ["x", "y"], {"a": ["x", "y"], "b": ["x"]}
+        )
+        assert matcher.matching_size() == 2
+
+    def test_no_edges(self):
+        matcher = BipartiteMatcher(["a"], ["x"], {"a": []})
+        assert matcher.matching_size() == 0
+
+    def test_augmenting_path_needed(self):
+        # Greedy a->x would block b; an augmenting path fixes it.
+        matcher = BipartiteMatcher(
+            ["a", "b"], ["x", "y"], {"a": ["x", "y"], "b": ["x"]}
+        )
+        matching = matcher.solve()
+        assert matching == {"a": "y", "b": "x"}
+
+    def test_koenig_cover_size_equals_matching(self):
+        adjacency = {
+            "a": ["x", "y"],
+            "b": ["y"],
+            "c": ["y", "z"],
+        }
+        matcher = BipartiteMatcher(["a", "b", "c"], ["x", "y", "z"], adjacency)
+        size = matcher.matching_size()
+        left_cover, right_cover = matcher.minimum_vertex_cover()
+        assert len(left_cover) + len(right_cover) == size
+        # Every edge is covered.
+        for u, targets in adjacency.items():
+            for v in targets:
+                assert u in left_cover or v in right_cover
+
+    def test_solve_idempotent(self):
+        matcher = BipartiteMatcher(["a"], ["x"], {"a": ["x"]})
+        assert matcher.solve() == matcher.solve()
+
+
+class TestWidth:
+    def test_chain_width_one(self):
+        assert width(Poset.chain("abcde")) == 1
+
+    def test_antichain_width_n(self):
+        assert width(Poset.antichain("abcde")) == 5
+
+    def test_empty_poset(self):
+        assert width(Poset([])) == 0
+
+    def test_diamond(self):
+        poset = Poset(
+            "blrt",
+            [("b", "l"), ("b", "r"), ("l", "t"), ("r", "t")],
+        )
+        assert width(poset) == 2
+
+    def test_standard_example(self):
+        # S_3 has width 3 (either side is an antichain of size 3).
+        assert width(standard_example(3)) == 3
+
+    def test_two_parallel_chains(self):
+        poset = Poset("abcd", [("a", "b"), ("c", "d")])
+        assert width(poset) == 2
+
+
+class TestMinimumChainPartition:
+    def test_partition_is_valid(self):
+        poset = Poset(
+            "blrt",
+            [("b", "l"), ("b", "r"), ("l", "t"), ("r", "t")],
+        )
+        chains = minimum_chain_partition(poset)
+        assert is_chain_partition(poset, chains)
+
+    def test_partition_size_equals_width(self):
+        poset = standard_example(3)
+        chains = minimum_chain_partition(poset)
+        assert len(chains) == width(poset)
+
+    def test_single_chain(self):
+        chains = minimum_chain_partition(Poset.chain("abc"))
+        assert chains == [["a", "b", "c"]]
+
+    def test_antichain_gives_singletons(self):
+        chains = minimum_chain_partition(Poset.antichain("abc"))
+        assert sorted(len(c) for c in chains) == [1, 1, 1]
+
+    @settings(max_examples=40, deadline=None)
+    @given(posets_from_computations(max_messages=25))
+    def test_property_partition_matches_width(self, poset):
+        chains = minimum_chain_partition(poset)
+        assert is_chain_partition(poset, chains)
+        if len(poset) > 0:
+            assert len(chains) == width(poset)
+
+
+class TestMaximumAntichain:
+    def test_size_matches_width(self):
+        poset = standard_example(4)
+        antichain = maximum_antichain(poset)
+        assert len(antichain) == width(poset)
+        assert poset.is_antichain(antichain)
+
+    def test_empty(self):
+        assert maximum_antichain(Poset([])) == []
+
+    def test_chain_gives_singleton(self):
+        assert len(maximum_antichain(Poset.chain("abc"))) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(posets_from_computations(max_messages=25))
+    def test_property_antichain_is_width_witness(self, poset):
+        if len(poset) == 0:
+            return
+        antichain = maximum_antichain(poset)
+        assert poset.is_antichain(antichain)
+        assert len(antichain) == width(poset)
+
+
+class TestOtherPartitions:
+    def test_greedy_chain_partition_is_partition(self):
+        poset = standard_example(3)
+        chains = greedy_chain_partition(poset)
+        assert is_chain_partition(poset, chains)
+
+    def test_greedy_at_least_width(self):
+        poset = standard_example(3)
+        assert len(greedy_chain_partition(poset)) >= width(poset)
+
+    def test_antichain_partition_levels(self):
+        poset = Poset.chain("abc")
+        levels = antichain_partition(poset)
+        assert levels == [["a"], ["b"], ["c"]]
+
+    def test_antichain_partition_is_partition(self):
+        poset = standard_example(3)
+        levels = antichain_partition(poset)
+        seen = [e for level in levels for e in level]
+        assert sorted(map(str, seen)) == sorted(map(str, poset.elements))
+        for level in levels:
+            assert poset.is_antichain(level)
+
+    def test_antichain_partition_count_equals_height(self):
+        poset = Poset("abcd", [("a", "b"), ("b", "c")])
+        assert len(antichain_partition(poset)) == poset.height()
+
+    def test_is_chain_partition_rejects_non_chain(self):
+        poset = Poset.antichain("ab")
+        assert not is_chain_partition(poset, [["a", "b"]])
+
+    def test_is_chain_partition_rejects_duplicates(self):
+        poset = Poset.chain("ab")
+        assert not is_chain_partition(poset, [["a", "b"], ["a"]])
+
+    def test_is_chain_partition_rejects_missing(self):
+        poset = Poset.chain("ab")
+        assert not is_chain_partition(poset, [["a"]])

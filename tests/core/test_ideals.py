@@ -1,0 +1,112 @@
+"""Tests for order ideals (consistent global states)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.ideals import (
+    all_ideals,
+    down_closure,
+    ideal_count,
+    ideal_join,
+    ideal_meet,
+    is_down_set,
+    maximal_elements_of_ideal,
+)
+from repro.core.poset import Poset
+from repro.exceptions import PosetError
+
+
+@pytest.fixture
+def vee():
+    return Poset("abc", [("a", "b"), ("a", "c")])
+
+
+class TestIsDownSet:
+    def test_empty_is_ideal(self, vee):
+        assert is_down_set(vee, set())
+
+    def test_full_is_ideal(self, vee):
+        assert is_down_set(vee, {"a", "b", "c"})
+
+    def test_missing_lower_bound(self, vee):
+        assert not is_down_set(vee, {"b"})
+
+    def test_valid_partial(self, vee):
+        assert is_down_set(vee, {"a", "c"})
+
+    def test_unknown_element(self, vee):
+        with pytest.raises(PosetError):
+            is_down_set(vee, {"z"})
+
+
+class TestDownClosure:
+    def test_closure_of_top(self, vee):
+        assert down_closure(vee, {"b"}) == {"a", "b"}
+
+    def test_closure_is_ideal(self, vee):
+        closure = down_closure(vee, {"b", "c"})
+        assert is_down_set(vee, closure)
+        assert closure == {"a", "b", "c"}
+
+    def test_closure_of_nothing(self, vee):
+        assert down_closure(vee, ()) == frozenset()
+
+
+class TestEnumeration:
+    def test_vee_ideal_count(self, vee):
+        # {}, {a}, {a,b}, {a,c}, {a,b,c}.
+        assert ideal_count(vee) == 5
+
+    def test_chain_ideals(self):
+        # A chain of n elements has n+1 ideals.
+        assert ideal_count(Poset.chain("abcd")) == 5
+
+    def test_antichain_ideals(self):
+        # An antichain of n elements has 2^n ideals.
+        assert ideal_count(Poset.antichain("abc")) == 8
+
+    def test_empty_poset(self):
+        assert ideal_count(Poset([])) == 1
+
+    def test_all_are_down_sets(self, vee):
+        for ideal in all_ideals(vee):
+            assert is_down_set(vee, ideal)
+
+    def test_distinct(self, vee):
+        ideals = list(all_ideals(vee))
+        assert len(ideals) == len(set(ideals))
+
+    def test_limit_enforced(self):
+        with pytest.raises(PosetError):
+            ideal_count(Poset.antichain(range(10)), limit=100)
+
+
+class TestLattice:
+    def test_join_and_meet_are_ideals(self, vee):
+        ideals = list(all_ideals(vee))
+        for a in ideals:
+            for b in ideals:
+                assert is_down_set(vee, ideal_join(a, b))
+                assert is_down_set(vee, ideal_meet(a, b))
+
+    def test_distributivity(self, vee):
+        ideals = list(all_ideals(vee))
+        for a in ideals:
+            for b in ideals:
+                for c in ideals:
+                    assert ideal_meet(a, ideal_join(b, c)) == ideal_join(
+                        ideal_meet(a, b), ideal_meet(a, c)
+                    )
+
+    def test_frontier(self, vee):
+        assert maximal_elements_of_ideal(vee, frozenset("abc")) == [
+            "b",
+            "c",
+        ]
+        assert maximal_elements_of_ideal(vee, frozenset("a")) == ["a"]
+
+    def test_ideal_is_closure_of_frontier(self, vee):
+        for ideal in all_ideals(vee):
+            frontier = maximal_elements_of_ideal(vee, ideal)
+            assert down_closure(vee, frontier) == ideal

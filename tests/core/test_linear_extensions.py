@@ -1,0 +1,178 @@
+"""Tests for linear extensions and the chain-forcing realizer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.chains import minimum_chain_partition
+from repro.core.linear_extensions import (
+    all_linear_extensions,
+    chain_forced_extension,
+    check_linear_extension,
+    count_linear_extensions,
+    intersection_of_extensions,
+    is_linear_extension,
+    is_realizer,
+    minimum_width_realizer,
+    ranks_in_extension,
+    realizer_from_chain_partition,
+)
+from repro.core.poset import Poset
+from repro.exceptions import NotALinearExtensionError, PosetError
+from tests.strategies import posets_from_computations
+
+
+@pytest.fixture
+def vee():
+    """a < b, a < c with b ‖ c."""
+    return Poset("abc", [("a", "b"), ("a", "c")])
+
+
+class TestIsLinearExtension:
+    def test_valid(self, vee):
+        assert is_linear_extension(vee, ["a", "b", "c"])
+        assert is_linear_extension(vee, ["a", "c", "b"])
+
+    def test_order_violation(self, vee):
+        assert not is_linear_extension(vee, ["b", "a", "c"])
+
+    def test_wrong_elements(self, vee):
+        assert not is_linear_extension(vee, ["a", "b"])
+        assert not is_linear_extension(vee, ["a", "b", "c", "d"])
+
+    def test_check_raises(self, vee):
+        with pytest.raises(NotALinearExtensionError):
+            check_linear_extension(vee, ["c", "b", "a"])
+
+    def test_check_passes(self, vee):
+        check_linear_extension(vee, ["a", "b", "c"])
+
+
+class TestAllLinearExtensions:
+    def test_vee_has_two(self, vee):
+        extensions = list(all_linear_extensions(vee))
+        assert len(extensions) == 2
+        assert ["a", "b", "c"] in extensions
+        assert ["a", "c", "b"] in extensions
+
+    def test_chain_has_one(self):
+        assert count_linear_extensions(Poset.chain("abcd")) == 1
+
+    def test_antichain_has_factorial(self):
+        assert count_linear_extensions(Poset.antichain("abcd")) == 24
+
+    def test_limit_respected(self):
+        assert count_linear_extensions(Poset.antichain("abcde"), limit=7) == 7
+
+    def test_all_are_extensions(self, vee):
+        for extension in all_linear_extensions(vee):
+            assert is_linear_extension(vee, extension)
+
+
+class TestChainForcedExtension:
+    def test_forces_chain_above_incomparables(self, vee):
+        extension = chain_forced_extension(vee, ["b"])
+        assert extension.index("b") > extension.index("c")
+
+    def test_still_a_linear_extension(self, vee):
+        extension = chain_forced_extension(vee, ["a", "b"])
+        assert is_linear_extension(vee, extension)
+
+    def test_rejects_non_chain(self, vee):
+        with pytest.raises(PosetError):
+            chain_forced_extension(vee, ["b", "c"])
+
+    def test_rejects_unknown_element(self, vee):
+        with pytest.raises(PosetError):
+            chain_forced_extension(vee, ["z"])
+
+    def test_chain_order_agnostic(self, vee):
+        up = chain_forced_extension(vee, ["a", "b"])
+        down = chain_forced_extension(vee, ["b", "a"])
+        assert up == down
+
+    @settings(max_examples=30, deadline=None)
+    @given(posets_from_computations(max_messages=20))
+    def test_property_forcing(self, poset):
+        if len(poset) == 0:
+            return
+        chains = minimum_chain_partition(poset)
+        for chain in chains:
+            extension = chain_forced_extension(poset, chain)
+            assert is_linear_extension(poset, extension)
+            position = {e: i for i, e in enumerate(extension)}
+            for c in chain:
+                for x in poset.elements:
+                    if x != c and poset.concurrent(x, c):
+                        assert position[x] < position[c]
+
+
+class TestRealizer:
+    def test_realizer_from_partition(self, vee):
+        chains = minimum_chain_partition(vee)
+        realizer = realizer_from_chain_partition(vee, chains)
+        assert is_realizer(vee, realizer)
+
+    def test_minimum_width_realizer_size(self, vee):
+        realizer = minimum_width_realizer(vee)
+        assert len(realizer) == 2  # width of the vee
+
+    def test_empty_poset(self):
+        assert minimum_width_realizer(Poset([])) == [[]]
+
+    def test_chain_poset_single_extension(self):
+        poset = Poset.chain("abc")
+        realizer = minimum_width_realizer(poset)
+        assert len(realizer) == 1
+        assert is_realizer(poset, realizer)
+
+    def test_empty_chain_family_rejected(self, vee):
+        with pytest.raises(PosetError):
+            realizer_from_chain_partition(vee, [])
+
+    @settings(max_examples=40, deadline=None)
+    @given(posets_from_computations(max_messages=25))
+    def test_property_realizer_valid(self, poset):
+        if len(poset) == 0:
+            return
+        realizer = minimum_width_realizer(poset)
+        assert is_realizer(poset, realizer)
+
+
+class TestIntersection:
+    def test_rebuilds_poset(self, vee):
+        realizer = minimum_width_realizer(vee)
+        rebuilt = intersection_of_extensions(list(vee.elements), realizer)
+        assert rebuilt.same_order_as(vee)
+
+    def test_single_extension_gives_chain(self):
+        rebuilt = intersection_of_extensions("ab", [["a", "b"]])
+        assert rebuilt.less("a", "b")
+
+    def test_rejects_bad_extension(self):
+        with pytest.raises(NotALinearExtensionError):
+            intersection_of_extensions("ab", [["a"]])
+
+    def test_no_extensions_rejected(self):
+        with pytest.raises(PosetError):
+            intersection_of_extensions("ab", [])
+
+    def test_is_realizer_rejects_non_extension(self, vee):
+        assert not is_realizer(vee, [["b", "a", "c"], ["a", "c", "b"]])
+
+    def test_is_realizer_rejects_too_coarse(self, vee):
+        # A single extension of the vee orders b and c — too strong.
+        assert not is_realizer(vee, [["a", "b", "c"]])
+
+
+class TestRanks:
+    def test_ranks(self):
+        assert ranks_in_extension(["x", "y", "z"]) == {
+            "x": 0,
+            "y": 1,
+            "z": 2,
+        }
+
+    def test_empty(self):
+        assert ranks_in_extension([]) == {}

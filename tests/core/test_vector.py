@@ -1,0 +1,202 @@
+"""Unit tests for the vector order of Equation (2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.vector import (
+    INFINITY,
+    VectorTimestamp,
+    dominates,
+    join_all,
+    strictly_dominates,
+)
+
+
+def vec(*components):
+    return VectorTimestamp(components)
+
+
+class TestConstruction:
+    def test_zeros(self):
+        assert vec(0, 0, 0) == VectorTimestamp.zeros(3)
+
+    def test_zeros_empty(self):
+        assert len(VectorTimestamp.zeros(0)) == 0
+
+    def test_zeros_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp.zeros(-1)
+
+    def test_infinities(self):
+        sentinel = VectorTimestamp.infinities(2)
+        assert all(c == INFINITY for c in sentinel)
+
+    def test_infinities_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            VectorTimestamp.infinities(-2)
+
+    def test_components_tuple(self):
+        assert vec(1, 2).components == (1, 2)
+
+    def test_from_generator(self):
+        assert VectorTimestamp(i for i in range(3)) == vec(0, 1, 2)
+
+
+class TestSequenceProtocol:
+    def test_len(self):
+        assert len(vec(1, 2, 3)) == 3
+
+    def test_index(self):
+        assert vec(5, 7)[1] == 7
+
+    def test_iteration(self):
+        assert list(vec(1, 2)) == [1, 2]
+
+    def test_hashable(self):
+        assert len({vec(1, 2), vec(1, 2), vec(2, 1)}) == 2
+
+    def test_equality_with_other_type(self):
+        assert vec(1) != (1,)
+
+
+class TestVectorOrder:
+    def test_strictly_less(self):
+        assert vec(1, 0, 0) < vec(1, 1, 1)
+
+    def test_equal_vectors_not_less(self):
+        assert not vec(1, 1) < vec(1, 1)
+
+    def test_less_or_equal_reflexive(self):
+        assert vec(1, 1) <= vec(1, 1)
+
+    def test_incomparable(self):
+        u, w = vec(1, 0), vec(0, 2)
+        assert not u < w and not w < u
+
+    def test_concurrent_with(self):
+        assert vec(1, 0).concurrent_with(vec(0, 2))
+
+    def test_concurrent_with_excludes_equal(self):
+        assert not vec(1, 1).concurrent_with(vec(1, 1))
+
+    def test_comparable_with(self):
+        assert vec(0, 0).comparable_with(vec(0, 1))
+        assert not vec(1, 0).comparable_with(vec(0, 1))
+
+    def test_gt_ge(self):
+        assert vec(2, 2) > vec(1, 2)
+        assert vec(2, 2) >= vec(2, 2)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            vec(1) < vec(1, 2)  # noqa: B015
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            vec(1) < (1,)  # noqa: B015
+
+    def test_infinity_dominates_everything(self):
+        assert vec(10**9, 10**9) < VectorTimestamp.infinities(2)
+
+
+class TestOperations:
+    def test_join(self):
+        assert vec(1, 0, 2).join(vec(0, 3, 2)) == vec(1, 3, 2)
+
+    def test_join_is_commutative(self):
+        u, v = vec(1, 5), vec(4, 2)
+        assert u.join(v) == v.join(u)
+
+    def test_meet(self):
+        assert vec(1, 0, 2).meet(vec(0, 3, 2)) == vec(0, 0, 2)
+
+    def test_incremented(self):
+        assert vec(0, 0).incremented(1) == vec(0, 1)
+
+    def test_incremented_amount(self):
+        assert vec(1, 1).incremented(0, 3) == vec(4, 1)
+
+    def test_incremented_does_not_mutate(self):
+        u = vec(0, 0)
+        u.incremented(0)
+        assert u == vec(0, 0)
+
+    def test_incremented_out_of_range(self):
+        with pytest.raises(IndexError):
+            vec(1).incremented(1)
+
+    def test_with_component(self):
+        assert vec(1, 2).with_component(0, 9) == vec(9, 2)
+
+    def test_with_component_out_of_range(self):
+        with pytest.raises(IndexError):
+            vec(1).with_component(-1, 0)
+
+    def test_is_zero(self):
+        assert VectorTimestamp.zeros(4).is_zero()
+        assert not vec(0, 1).is_zero()
+
+    def test_sum(self):
+        assert vec(1, 2, 3).sum() == 6
+
+    def test_join_all(self):
+        assert join_all([vec(1, 0), vec(0, 2), vec(1, 1)]) == vec(1, 2)
+
+    def test_join_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            join_all([])
+
+    def test_dominates(self):
+        assert dominates(vec(2, 2), vec(2, 1))
+        assert dominates(vec(2, 2), vec(2, 2))
+
+    def test_strictly_dominates(self):
+        assert strictly_dominates(vec(2, 2), vec(1, 1))
+        assert not strictly_dominates(vec(2, 2), vec(2, 1))
+
+    def test_strictly_dominates_size_mismatch(self):
+        with pytest.raises(ValueError):
+            strictly_dominates(vec(1), vec(1, 2))
+
+
+class TestRepr:
+    def test_repr_plain(self):
+        assert repr(vec(1, 2)) == "(1,2)"
+
+    def test_repr_infinity(self):
+        assert repr(VectorTimestamp.infinities(2)) == "(inf,inf)"
+
+
+small_vectors = st.lists(
+    st.integers(min_value=0, max_value=5), min_size=3, max_size=3
+).map(VectorTimestamp)
+
+
+class TestOrderProperties:
+    @given(small_vectors, small_vectors)
+    def test_antisymmetry(self, u, v):
+        assert not (u < v and v < u)
+
+    @given(small_vectors, small_vectors, small_vectors)
+    def test_transitivity(self, u, v, w):
+        if u < v and v < w:
+            assert u < w
+
+    @given(small_vectors)
+    def test_irreflexive(self, u):
+        assert not u < u
+
+    @given(small_vectors, small_vectors)
+    def test_join_upper_bound(self, u, v):
+        joined = u.join(v)
+        assert u <= joined and v <= joined
+
+    @given(small_vectors, small_vectors)
+    def test_trichotomy_of_tests(self, u, v):
+        outcomes = [u < v, v < u, u == v, u.concurrent_with(v)]
+        assert outcomes.count(True) == 1

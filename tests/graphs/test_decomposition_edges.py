@@ -1,0 +1,135 @@
+"""Edge-case tests for decomposition strategies on unusual graphs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.decomposition import (
+    bounded_decomposition,
+    decompose,
+    optimal_size,
+    paper_decomposition_algorithm,
+)
+from repro.graphs.generators import (
+    complete_bipartite_topology,
+    disjoint_triangles,
+    grid_topology,
+    hypercube_topology,
+    path_topology,
+)
+from repro.graphs.graph import UndirectedGraph
+
+
+class TestDisconnectedGraphs:
+    def test_forest_of_paths(self):
+        graph = UndirectedGraph(
+            "abcdef", [("a", "b"), ("c", "d"), ("e", "f")]
+        )
+        decomposition, _ = paper_decomposition_algorithm(graph)
+        assert decomposition.size == 3
+        assert decomposition.size == optimal_size(graph)
+
+    def test_triangles_plus_path(self):
+        graph = disjoint_triangles(2)
+        graph.add_edge("X1", "X2")
+        graph.add_edge("X2", "X3")
+        decomposition, _ = paper_decomposition_algorithm(graph)
+        assert decomposition.triangle_count() == 2
+        assert decomposition.size == optimal_size(graph)
+
+    def test_isolated_vertices_ignored(self):
+        graph = UndirectedGraph("abcz", [("a", "b"), ("b", "c")])
+        decomposition = decompose(graph)
+        assert decomposition.size == 1
+
+
+class TestSpecialFamilies:
+    def test_complete_bipartite(self):
+        # beta(K_{2,5}) = 2, so two stars suffice.
+        graph = complete_bipartite_topology(2, 5)
+        assert decompose(graph).size == 2
+
+    def test_grid(self):
+        from repro.graphs.decomposition import vertex_cover_decomposition
+        from repro.graphs.vertex_cover import exact_vertex_cover
+
+        graph = grid_topology(3, 3)
+        # beta of the 3x3 grid is 4; the exact-cover star decomposition
+        # achieves it, while the heuristic bundle may land slightly
+        # higher (but always within the proven bounds).
+        exact = vertex_cover_decomposition(
+            graph, exact_vertex_cover(graph)
+        )
+        assert exact.size <= 4
+        decomposition = decompose(graph)
+        assert decomposition.size <= 2 * optimal_size(graph)
+
+    def test_hypercube(self):
+        graph = hypercube_topology(3)
+        decomposition = decompose(graph)
+        # beta(Q3) = 4 (one side of the bipartition).
+        assert decomposition.size <= 4
+
+    def test_step3_first_variant_still_valid(self):
+        for seed in range(4):
+            from repro.graphs.generators import random_gnp
+
+            graph = random_gnp(8, 0.5, random.Random(seed))
+            if graph.edge_count() == 0:
+                continue
+            decomposition, _ = paper_decomposition_algorithm(
+                graph, step3_choice="first"
+            )
+            assert decomposition.size <= 2 * optimal_size(graph)
+
+    def test_unknown_step3_choice(self):
+        with pytest.raises(ValueError):
+            paper_decomposition_algorithm(
+                path_topology(3), step3_choice="best"
+            )
+
+
+class TestBoundedLeftovers:
+    def test_leftover_star_not_triangle(self):
+        # Final three vertices share only two edges -> leftover star.
+        graph = UndirectedGraph(
+            "abcde",
+            [
+                ("a", "b"),
+                ("a", "c"),
+                ("c", "d"),
+                ("c", "e"),
+                ("d", "e"),
+            ],
+        )
+        decomposition = bounded_decomposition(graph)
+        assert decomposition.size <= 3
+
+    def test_two_vertices(self):
+        graph = UndirectedGraph("ab", [("a", "b")])
+        decomposition = bounded_decomposition(graph)
+        assert decomposition.size == 1
+
+
+class TestExactCoverOption:
+    def test_exact_cover_beats_heuristics_on_grid(self):
+        graph = grid_topology(3, 3)
+        fast = decompose(graph)
+        careful = decompose(graph, use_exact_cover=True)
+        assert careful.size <= fast.size
+        assert careful.size <= 4  # beta of the 3x3 grid
+
+    def test_exact_cover_matches_theorem5(self):
+        from repro.graphs.generators import random_gnp
+        from repro.graphs.vertex_cover import minimum_vertex_cover_size
+
+        for seed in range(4):
+            graph = random_gnp(8, 0.5, random.Random(seed))
+            if graph.edge_count() == 0:
+                continue
+            careful = decompose(graph, use_exact_cover=True)
+            beta = minimum_vertex_cover_size(graph)
+            n = graph.vertex_count()
+            assert careful.size <= max(1, min(beta, n - 2))

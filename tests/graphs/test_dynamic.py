@@ -1,0 +1,173 @@
+"""Tests for dynamic decompositions and the growing online system."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import GraphError
+from repro.graphs.decomposition import decompose
+from repro.graphs.dynamic import (
+    DynamicDecomposition,
+    DynamicOnlineSystem,
+    pad_vector,
+)
+from repro.graphs.generators import client_server_topology, path_topology
+from repro.order.checker import check_encoding
+
+
+class TestPadVector:
+    def test_identity(self):
+        vector = VectorTimestamp([1, 2])
+        assert pad_vector(vector, 2) is vector
+
+    def test_pads_with_zeros(self):
+        assert pad_vector(VectorTimestamp([1]), 3) == VectorTimestamp(
+            [1, 0, 0]
+        )
+
+    def test_rejects_shrink(self):
+        with pytest.raises(ValueError):
+            pad_vector(VectorTimestamp([1, 2]), 1)
+
+
+class TestDynamicDecomposition:
+    def test_starts_empty(self):
+        dynamic = DynamicDecomposition()
+        assert dynamic.size == 0
+
+    def test_absorbs_base(self):
+        base = decompose(client_server_topology(2, 3))
+        dynamic = DynamicDecomposition(base)
+        assert dynamic.size == base.size
+
+    def test_new_channel_joins_existing_star(self):
+        base = decompose(client_server_topology(2, 3))
+        dynamic = DynamicDecomposition(base)
+        group = dynamic.add_channel("S1", "C99")
+        assert dynamic.size == base.size  # no growth
+        assert group == dynamic.group_index_of("S1", "C99")
+
+    def test_disjoint_channel_opens_group(self):
+        dynamic = DynamicDecomposition()
+        first = dynamic.add_channel("a", "b")
+        second = dynamic.add_channel("c", "d")
+        assert first != second
+        assert dynamic.size == 2
+
+    def test_chained_channel_reuses_root(self):
+        dynamic = DynamicDecomposition()
+        dynamic.add_channel("a", "b")  # star rooted at a
+        group = dynamic.add_channel("a", "c")
+        assert group == 0
+        assert dynamic.size == 1
+
+    def test_duplicate_channel_noop(self):
+        dynamic = DynamicDecomposition()
+        first = dynamic.add_channel("a", "b")
+        again = dynamic.add_channel("b", "a")
+        assert first == again
+        assert dynamic.size == 1
+
+    def test_unknown_channel_lookup(self):
+        dynamic = DynamicDecomposition()
+        with pytest.raises(GraphError):
+            dynamic.group_index_of("x", "y")
+
+    def test_snapshot_is_valid_decomposition(self):
+        dynamic = DynamicDecomposition(decompose(path_topology(3)))
+        dynamic.add_channel("P3", "P9")
+        snapshot = dynamic.snapshot()
+        assert snapshot.size == dynamic.size
+        assert snapshot.group_index_of("P3", "P9") == (
+            dynamic.group_index_of("P3", "P9")
+        )
+
+    def test_triangle_groups_survive_absorption(self):
+        from repro.graphs.generators import complete_topology
+
+        base = decompose(complete_topology(5))
+        dynamic = DynamicDecomposition(base)
+        snapshot = dynamic.snapshot()
+        assert snapshot.triangle_count() == base.triangle_count()
+
+
+class TestDynamicOnlineSystem:
+    def test_client_churn_keeps_size_constant(self):
+        system = DynamicOnlineSystem(
+            decompose(client_server_topology(2, 2))
+        )
+        base_size = system.vector_size
+        rng = random.Random(3)
+        for serial in range(20):
+            client = f"C_new{serial}"
+            server = f"S{rng.randint(1, 2)}"
+            system.connect(client, server)
+            system.send_message(client, server)
+            system.send_message(server, client)
+        assert system.vector_size == base_size == 2
+
+    def test_equation_one_across_growth(self):
+        """The critical property: mixing pre- and post-growth messages
+        still satisfies Equation (1) after zero-padding."""
+        system = DynamicOnlineSystem()
+        system.connect("a", "b")
+        system.send_message("a", "b")
+        system.send_message("b", "a")
+        system.connect("c", "d")  # new group appears here
+        system.send_message("c", "d")
+        system.connect("b", "c")
+        system.send_message("b", "c")
+        system.send_message("c", "d")
+
+        clock = OnlineEdgeClock(system.decomposition.snapshot())
+        report = check_encoding(clock, system.assignment())
+        assert report.characterizes
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equation_one_random_growth(self, seed):
+        rng = random.Random(seed)
+        system = DynamicOnlineSystem()
+        system.connect("P0", "P1")
+        processes = ["P0", "P1"]
+        for step in range(40):
+            if rng.random() < 0.2:
+                newcomer = f"P{len(processes)}"
+                anchor = rng.choice(processes)
+                processes.append(newcomer)
+                system.connect(newcomer, anchor)
+            sender = rng.choice(processes)
+            neighbours = system.decomposition.graph.neighbors(sender)
+            if not neighbours:
+                continue
+            receiver = rng.choice(neighbours)
+            system.send_message(sender, receiver)
+        clock = OnlineEdgeClock(system.decomposition.snapshot())
+        report = check_encoding(clock, system.assignment())
+        assert report.characterizes
+
+    def test_matches_static_replay(self):
+        """Growing then padding equals running the final decomposition
+        from the start."""
+        system = DynamicOnlineSystem()
+        system.connect("a", "b")
+        system.send_message("a", "b")
+        system.connect("c", "b")
+        system.send_message("b", "c")
+        system.connect("c", "d")
+        system.send_message("c", "d")
+
+        clock = OnlineEdgeClock(system.decomposition.snapshot())
+        replayed = clock.timestamp_computation(system.as_computation())
+        dynamic_assignment = system.assignment()
+        for message in system.as_computation().messages:
+            assert replayed.of(message) == dynamic_assignment.of(message)
+
+    def test_send_on_missing_channel_rejected(self):
+        system = DynamicOnlineSystem()
+        system.connect("a", "b")
+        with pytest.raises(GraphError):
+            system.send_message("a", "z")

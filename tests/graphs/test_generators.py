@@ -1,0 +1,228 @@
+"""Tests for the topology generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_bipartite_topology,
+    complete_topology,
+    disjoint_triangles,
+    grid_topology,
+    hypercube_topology,
+    paper_fig2b_graph,
+    paper_fig4_tree,
+    path_topology,
+    process_names,
+    random_connected,
+    random_gnp,
+    random_tree,
+    ring_topology,
+    star_topology,
+    tree_topology,
+    triangle_topology,
+)
+
+
+class TestBasics:
+    def test_process_names(self):
+        assert process_names(3) == ["P1", "P2", "P3"]
+
+    def test_process_names_empty(self):
+        assert process_names(0) == []
+
+    def test_process_names_negative(self):
+        with pytest.raises(ValueError):
+            process_names(-1)
+
+    def test_star(self):
+        graph = star_topology(4)
+        assert graph.vertex_count() == 5
+        assert graph.edge_count() == 4
+        assert graph.is_star() == "P1"
+
+    def test_triangle(self):
+        graph = triangle_topology()
+        assert graph.is_triangle() == ("P1", "P2", "P3")
+
+    def test_path(self):
+        graph = path_topology(5)
+        assert graph.edge_count() == 4
+        assert graph.is_acyclic()
+
+    def test_ring(self):
+        graph = ring_topology(5)
+        assert graph.edge_count() == 5
+        assert not graph.is_acyclic()
+        assert all(graph.degree(v) == 2 for v in graph.vertices)
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_complete(self):
+        graph = complete_topology(5)
+        assert graph.edge_count() == 10
+        assert all(graph.degree(v) == 4 for v in graph.vertices)
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite_topology(2, 3)
+        assert graph.edge_count() == 6
+        assert graph.degree("L1") == 3
+
+
+class TestClientServer:
+    def test_full_mesh(self):
+        graph = client_server_topology(2, 5)
+        assert graph.edge_count() == 10
+        # No client-client or server-server channels.
+        for edge in graph.edges:
+            kinds = sorted(str(v)[0] for v in edge.endpoints)
+            assert kinds == ["C", "S"]
+
+    def test_round_robin(self):
+        graph = client_server_topology(3, 6, full_mesh=False)
+        assert graph.edge_count() == 6
+        assert all(graph.degree(f"S{i}") == 2 for i in (1, 2, 3))
+
+
+class TestTrees:
+    def test_caterpillar_counts(self):
+        graph = tree_topology(3, 4)
+        assert graph.vertex_count() == 3 + 12
+        assert graph.edge_count() == graph.vertex_count() - 1
+        assert graph.is_acyclic()
+
+    def test_single_hub_is_star(self):
+        graph = tree_topology(1, 5)
+        assert graph.is_star() == "H1"
+
+    def test_rejects_no_hubs(self):
+        with pytest.raises(ValueError):
+            tree_topology(0, 3)
+
+    def test_fig4_tree(self):
+        graph = paper_fig4_tree()
+        assert graph.vertex_count() == 20
+        assert graph.edge_count() == 19
+        assert graph.is_acyclic()
+        assert graph.is_connected()
+
+    def test_random_tree(self):
+        graph = random_tree(12, random.Random(7))
+        assert graph.edge_count() == 11
+        assert graph.is_acyclic()
+        assert graph.is_connected()
+
+
+class TestFig2b:
+    def test_vertices(self):
+        graph = paper_fig2b_graph()
+        assert "".join(graph.vertices) == "abcdefghijk"
+
+    def test_edge_count(self):
+        assert paper_fig2b_graph().edge_count() == 15
+
+    def test_degree_one_vertex_exists(self):
+        graph = paper_fig2b_graph()
+        assert graph.degree("a") == 1
+
+    def test_triangle_def_exists(self):
+        graph = paper_fig2b_graph()
+        assert ("d", "e", "f") in graph.triangles()
+
+
+class TestFederated:
+    def test_counts(self):
+        from repro.graphs.generators import federated_topology
+
+        graph = federated_topology(3, 4, servers_per_cluster=2)
+        # 3 clusters x (2 servers + 4 clients) = 18 vertices.
+        assert graph.vertex_count() == 18
+        # 3 x (4 clients x 2 servers) + 3 ring links = 27 edges.
+        assert graph.edge_count() == 27
+
+    def test_decomposition_size_is_server_count(self):
+        from repro.graphs.decomposition import decompose
+        from repro.graphs.generators import federated_topology
+
+        for clusters, clients, servers in [(2, 5, 1), (3, 5, 2)]:
+            graph = federated_topology(clusters, clients, servers)
+            assert decompose(graph).size == clusters * servers
+
+    def test_size_independent_of_clients(self):
+        from repro.graphs.decomposition import decompose
+        from repro.graphs.generators import federated_topology
+
+        sizes = {
+            decompose(federated_topology(3, clients)).size
+            for clients in (2, 8, 20)
+        }
+        assert sizes == {3}
+
+    def test_two_clusters_no_duplicate_ring_edge(self):
+        from repro.graphs.generators import federated_topology
+
+        graph = federated_topology(2, 1)
+        assert graph.has_edge("F1_S1", "F2_S1")
+        assert graph.edge_count() == 2 + 1  # two client links + 1 gateway
+
+    def test_rejects_bad_parameters(self):
+        from repro.graphs.generators import federated_topology
+
+        with pytest.raises(ValueError):
+            federated_topology(0, 3)
+        with pytest.raises(ValueError):
+            federated_topology(2, 3, servers_per_cluster=0)
+
+
+class TestOtherFamilies:
+    def test_disjoint_triangles(self):
+        graph = disjoint_triangles(4)
+        assert graph.vertex_count() == 12
+        assert graph.edge_count() == 12
+        assert len(graph.triangles()) == 4
+
+    def test_grid(self):
+        graph = grid_topology(3, 4)
+        assert graph.vertex_count() == 12
+        assert graph.edge_count() == 3 * 3 + 2 * 4
+
+    def test_hypercube(self):
+        graph = hypercube_topology(3)
+        assert graph.vertex_count() == 8
+        assert graph.edge_count() == 12
+        assert all(graph.degree(v) == 3 for v in graph.vertices)
+
+    def test_hypercube_zero(self):
+        graph = hypercube_topology(0)
+        assert graph.vertex_count() == 1
+        assert graph.edge_count() == 0
+
+    def test_hypercube_negative(self):
+        with pytest.raises(ValueError):
+            hypercube_topology(-1)
+
+    def test_gnp_extremes(self):
+        rng = random.Random(3)
+        empty = random_gnp(6, 0.0, rng)
+        full = random_gnp(6, 1.0, rng)
+        assert empty.edge_count() == 0
+        assert full.edge_count() == 15
+
+    def test_gnp_probability_validated(self):
+        with pytest.raises(ValueError):
+            random_gnp(4, 1.5, random.Random(0))
+
+    def test_gnp_deterministic_for_seed(self):
+        a = random_gnp(8, 0.4, random.Random(11))
+        b = random_gnp(8, 0.4, random.Random(11))
+        assert a.edges == b.edges
+
+    def test_random_connected(self):
+        graph = random_connected(10, 4, random.Random(5))
+        assert graph.is_connected()
+        assert graph.edge_count() >= 9

@@ -1,0 +1,75 @@
+"""Tests for topology inference from traffic."""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology, path_topology
+from repro.graphs.inference import (
+    infer_topology,
+    infer_topology_from_pairs,
+    restrict_to_observed,
+)
+from repro.order.checker import check_encoding
+from repro.clocks.online import OnlineEdgeClock
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+class TestInference:
+    def test_observed_vertices_and_edges(self):
+        computation = SyncComputation.from_pairs(
+            complete_topology(5), [("P1", "P2"), ("P2", "P3")]
+        )
+        observed = infer_topology(computation)
+        assert set(observed.vertices) == {"P1", "P2", "P3"}
+        assert observed.edge_count() == 2
+
+    def test_from_raw_pairs(self):
+        graph = infer_topology_from_pairs(
+            [("a", "b"), ("b", "a"), ("b", "c")]
+        )
+        assert graph.edge_count() == 2
+
+    def test_empty_computation(self):
+        computation = SyncComputation.from_pairs(path_topology(3), [])
+        observed = infer_topology(computation)
+        assert observed.vertex_count() == 0
+
+    def test_restrict_to_observed_preserves_order(self):
+        computation = random_computation(
+            complete_topology(6), 20, random.Random(2)
+        )
+        rehomed = restrict_to_observed(computation)
+        from repro.order.message_order import message_poset
+
+        original = message_poset(computation)
+        restricted = message_poset(rehomed)
+        for m1, m2 in zip(computation.messages, rehomed.messages):
+            for n1, n2 in zip(computation.messages, rehomed.messages):
+                assert original.less(m1, n1) == restricted.less(m2, n2)
+
+    def test_decompose_observed_topology_and_stamp(self):
+        """The deployment loop for raw logs: infer, decompose, stamp."""
+        computation = random_computation(
+            complete_topology(8), 15, random.Random(3)
+        )
+        rehomed = restrict_to_observed(computation)
+        clock = OnlineEdgeClock(decompose(rehomed.topology))
+        report = check_encoding(
+            clock, clock.timestamp_computation(rehomed)
+        )
+        assert report.characterizes
+
+    def test_observed_can_be_smaller_to_decompose(self):
+        # 10-process complete system, traffic only among 4 processes:
+        # the observed decomposition is at most 2 groups, not 8.
+        big = complete_topology(10)
+        computation = SyncComputation.from_pairs(
+            big,
+            [("P1", "P2"), ("P2", "P3"), ("P3", "P4"), ("P1", "P4")],
+        )
+        observed = infer_topology(computation)
+        assert decompose(observed).size <= 2
+        assert decompose(big).size == 8

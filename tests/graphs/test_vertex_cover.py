@@ -1,0 +1,102 @@
+"""Tests for the vertex-cover solvers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    complete_topology,
+    disjoint_triangles,
+    path_topology,
+    random_gnp,
+    star_topology,
+)
+from repro.graphs.graph import UndirectedGraph
+from repro.graphs.vertex_cover import (
+    exact_vertex_cover,
+    greedy_vertex_cover,
+    is_vertex_cover,
+    matching_vertex_cover,
+    minimum_vertex_cover_size,
+)
+
+
+class TestIsVertexCover:
+    def test_valid(self):
+        graph = path_topology(3)
+        assert is_vertex_cover(graph, ["P2"])
+
+    def test_invalid(self):
+        graph = path_topology(4)
+        assert not is_vertex_cover(graph, ["P2"])
+
+    def test_empty_graph(self):
+        assert is_vertex_cover(UndirectedGraph("ab"), [])
+
+
+class TestSolvers:
+    @pytest.mark.parametrize(
+        "solver",
+        [matching_vertex_cover, greedy_vertex_cover, exact_vertex_cover],
+        ids=["matching", "greedy", "exact"],
+    )
+    def test_produces_cover(self, solver):
+        graph = random_gnp(10, 0.4, random.Random(17))
+        assert is_vertex_cover(graph, solver(graph))
+
+    def test_star_greedy_optimal(self):
+        graph = star_topology(6)
+        assert greedy_vertex_cover(graph) == ["P1"]
+
+    def test_star_exact(self):
+        assert minimum_vertex_cover_size(star_topology(6)) == 1
+
+    def test_path_exact(self):
+        # beta(P_n) = floor(n/2)
+        assert minimum_vertex_cover_size(path_topology(5)) == 2
+        assert minimum_vertex_cover_size(path_topology(6)) == 3
+
+    def test_complete_exact(self):
+        # beta(K_n) = n - 1
+        assert minimum_vertex_cover_size(complete_topology(5)) == 4
+
+    def test_disjoint_triangles_exact(self):
+        # Each triangle needs two cover vertices: beta = 2t.
+        assert minimum_vertex_cover_size(disjoint_triangles(3)) == 6
+
+    def test_matching_two_approx(self):
+        for seed in range(5):
+            graph = random_gnp(9, 0.35, random.Random(seed))
+            if graph.edge_count() == 0:
+                continue
+            approx = len(matching_vertex_cover(graph))
+            exact = minimum_vertex_cover_size(graph)
+            assert exact <= approx <= 2 * exact
+
+    def test_exact_never_larger_than_heuristics(self):
+        for seed in range(5):
+            graph = random_gnp(9, 0.4, random.Random(100 + seed))
+            exact = minimum_vertex_cover_size(graph)
+            assert exact <= len(greedy_vertex_cover(graph))
+            assert exact <= len(matching_vertex_cover(graph))
+
+    def test_empty_graph_solvers(self):
+        graph = UndirectedGraph("abc")
+        assert matching_vertex_cover(graph) == []
+        assert greedy_vertex_cover(graph) == []
+        assert exact_vertex_cover(graph) == []
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_property_exact_is_cover_and_minimal_vs_matching(self, seed):
+        rng = random.Random(seed)
+        graph = random_gnp(8, 0.45, rng)
+        cover = exact_vertex_cover(graph)
+        assert is_vertex_cover(graph, cover)
+        # Lower bound: any matching size.
+        matching_pairs = len(matching_vertex_cover(graph)) // 2
+        assert len(cover) >= matching_pairs

@@ -1,0 +1,126 @@
+"""End-to-end integration: topology → decomposition → workload →
+timestamps → verification → serialization → offline re-analysis."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.comparison import compare_clocks
+from repro.clocks.events import timestamp_internal_events
+from repro.clocks.offline import OfflineRealizerClock
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    tree_topology,
+)
+from repro.order.checker import check_encoding
+from repro.order.happened_before import happened_before_poset
+from repro.sim.computation import EventedComputation
+from repro.sim.trace_io import (
+    dumps_assignment,
+    dumps_computation,
+    loads_assignment,
+    loads_computation,
+)
+from repro.sim.workload import (
+    client_server_computation,
+    random_computation,
+    tree_wave_computation,
+)
+
+
+class TestFullPipeline:
+    def test_monitoring_pipeline_client_server(self):
+        """The paper's motivating deployment: constant-size stamps for a
+        growing client population, captured online, stored as JSON, and
+        re-analysed offline."""
+        topology = client_server_topology(3, 12)
+        decomposition = decompose(topology)
+        assert decomposition.size == 3
+
+        computation = client_server_computation(
+            topology, 40, random.Random(5)
+        )
+        online = OnlineEdgeClock(decomposition)
+        live = online.timestamp_computation(computation)
+        assert check_encoding(online, live).characterizes
+
+        # Persist the trace, reload it elsewhere, verify stamps match.
+        wire_computation = dumps_computation(computation)
+        wire_stamps = dumps_assignment(live)
+        restored_computation = loads_computation(wire_computation)
+        restored_stamps = loads_assignment(
+            restored_computation, wire_stamps
+        )
+        for original, restored in zip(
+            computation.messages, restored_computation.messages
+        ):
+            assert live.of(original) == restored_stamps.of(restored)
+
+        # Offline re-analysis may compress further (width <= 3 here
+        # is not guaranteed, but Equation (1) is).
+        offline = OfflineRealizerClock()
+        replay = offline.timestamp_computation(restored_computation)
+        assert check_encoding(offline, replay).characterizes
+
+    def test_tree_debugging_pipeline(self):
+        topology = tree_topology(3, 5)
+        decomposition = decompose(topology)
+        assert decomposition.size == 3
+        computation = tree_wave_computation(topology, "H1", 3)
+        clock = OnlineEdgeClock(decomposition)
+        assignment = clock.timestamp_computation(computation)
+        assert check_encoding(clock, assignment).characterizes
+
+    def test_events_on_top_of_messages(self):
+        topology = complete_topology(5)
+        computation = random_computation(topology, 15, random.Random(9))
+        evented = EventedComputation.with_events_per_slot(computation, 1)
+        clock = OnlineEdgeClock(decompose(topology))
+        assignment = clock.timestamp_computation(computation)
+        stamps = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        poset = happened_before_poset(evented)
+        events = evented.internal_events()
+        ordered = sum(
+            1
+            for e in events
+            for f in events
+            if e is not f and poset.less(e, f)
+        )
+        assert ordered > 0
+        assert len(stamps) == len(events)
+
+    def test_comparison_pipeline(self):
+        topology = complete_topology(6)
+        computation = random_computation(topology, 30, random.Random(2))
+        rows = compare_clocks(computation)
+        online = next(r for r in rows if r.clock_name.startswith("online"))
+        fm = next(r for r in rows if r.clock_name == "Fidge-Mattern")
+        assert online.vector_size == 4 and fm.vector_size == 6
+
+
+class TestCrossClockAgreement:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_characterizing_clocks_agree_pairwise(self, seed):
+        """Online, offline and FM must induce the *same* relation."""
+        topology = complete_topology(6)
+        computation = random_computation(topology, 25, random.Random(seed))
+
+        online = OnlineEdgeClock(decompose(topology))
+        offline = OfflineRealizerClock()
+        online_map = online.timestamp_computation(computation)
+        offline_map = offline.timestamp_computation(computation)
+
+        for m1 in computation.messages:
+            for m2 in computation.messages:
+                if m1 is m2:
+                    continue
+                assert (
+                    online_map.of(m1) < online_map.of(m2)
+                ) == (offline_map.of(m1) < offline_map.of(m2))

@@ -1,0 +1,115 @@
+"""Fault injection end to end: crash a live process, recover via
+timestamps, verify the rollback produces a consistent cut."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.recovery import find_orphans
+from repro.clocks.online import OnlineEdgeClock
+from repro.exceptions import RuntimeDeadlockError
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.cuts import cut_from_messages, is_consistent
+from repro.sim.runtime import ScriptRunner, crash, receive, send
+
+
+class TestCrashAction:
+    def test_crash_stops_script(self):
+        decomposition = decompose(path_topology(2))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [send("P2"), crash("bug"), send("P2")],
+                "P2": [receive("P1"), receive("P1")],
+            },
+            timeout=0.4,
+        )
+        transport = runner.run(raise_on_error=False)
+        assert len(transport.log) == 1  # only the pre-crash message
+        assert transport.errors  # P2's second receive timed out
+
+    def test_raise_on_error_default(self):
+        decomposition = decompose(path_topology(2))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [crash()],
+                "P2": [receive("P1")],
+            },
+            timeout=0.3,
+        )
+        with pytest.raises(RuntimeDeadlockError):
+            runner.run()
+
+    def test_clean_run_has_no_errors(self):
+        decomposition = decompose(path_topology(2))
+        transport = ScriptRunner(
+            decomposition,
+            {"P1": [send("P2")], "P2": [receive("P1")]},
+        ).run()
+        assert transport.errors == []
+
+
+class TestCrashThenRecover:
+    def test_recovery_pipeline(self):
+        """A process crashes mid-run; the committed prefix is analysed
+        with find_orphans and the surviving set is a consistent cut."""
+        decomposition = decompose(complete_topology(4))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                # P2 crashes after forwarding once; its second forward
+                # never happens, so P4's second receive times out.
+                "P1": [send("P2"), send("P2")],
+                "P2": [
+                    receive("P1"),
+                    send("P3"),
+                    receive("P1"),
+                    crash("disk failure"),
+                    send("P3"),
+                ],
+                "P3": [receive("P2"), send("P4"), receive("P2")],
+                "P4": [receive("P3")],
+            },
+            timeout=0.5,
+        )
+        transport = runner.run(raise_on_error=False)
+        computation = transport.as_computation()
+        assert transport.errors  # P3's second receive timed out
+
+        clock = OnlineEdgeClock(decomposition)
+        assignment = clock.timestamp_computation(computation)
+
+        # Suppose only P2's first committed message was made stable.
+        report = find_orphans(computation, assignment, "P2", 1)
+        survivors = frozenset(report.surviving_messages(computation))
+        cut = cut_from_messages(computation, survivors)
+        assert is_consistent(computation, cut)
+
+    def test_surviving_cut_consistent_for_every_stable_count(self):
+        decomposition = decompose(complete_topology(4))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [send("P2"), send("P3")],
+                "P2": [receive("P1"), send("P3")],
+                "P3": [receive(), receive(), send("P4")],
+                "P4": [receive("P3")],
+            },
+        )
+        transport = runner.run()
+        computation = transport.as_computation()
+        clock = OnlineEdgeClock(decomposition)
+        assignment = clock.timestamp_computation(computation)
+        for process in computation.processes:
+            projection = computation.process_messages(process)
+            for stable in range(len(projection) + 1):
+                report = find_orphans(
+                    computation, assignment, process, stable
+                )
+                survivors = frozenset(
+                    report.surviving_messages(computation)
+                )
+                cut = cut_from_messages(computation, survivors)
+                assert is_consistent(computation, cut)

@@ -1,0 +1,95 @@
+"""Cross-checks of our from-scratch graph/poset algorithms against
+networkx (used here purely as an independent oracle)."""
+
+from __future__ import annotations
+
+import random
+
+import networkx
+import pytest
+
+from repro.core.chains import width
+from repro.graphs.generators import random_gnp, random_tree
+from repro.graphs.vertex_cover import exact_vertex_cover
+from repro.order.message_order import message_poset
+from repro.sim.workload import random_computation
+from repro.graphs.generators import complete_topology
+
+
+class TestGraphCrossChecks:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_connectivity_matches(self, seed):
+        graph = random_gnp(9, 0.3, random.Random(seed))
+        nx_graph = graph.to_networkx()
+        ours = graph.is_connected()
+        theirs = (
+            networkx.is_connected(nx_graph)
+            if nx_graph.number_of_nodes()
+            else True
+        )
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_acyclicity_matches(self, seed):
+        graph = random_gnp(8, 0.25, random.Random(seed))
+        assert graph.is_acyclic() == networkx.is_forest(graph.to_networkx())
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_triangle_counts_match(self, seed):
+        graph = random_gnp(8, 0.5, random.Random(seed))
+        ours = len(graph.triangles())
+        theirs = sum(networkx.triangles(graph.to_networkx()).values()) // 3
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_exact_vertex_cover_vs_max_independent_set(self, seed):
+        """β(G) = N − size of a maximum independent set."""
+        graph = random_gnp(8, 0.4, random.Random(seed))
+        nx_graph = graph.to_networkx()
+        complement = networkx.complement(nx_graph)
+        max_clique_in_complement = max(
+            (len(c) for c in networkx.find_cliques(complement)),
+            default=0,
+        )
+        beta_by_mis = graph.vertex_count() - max_clique_in_complement
+        assert len(exact_vertex_cover(graph)) == beta_by_mis
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_tree_export_roundtrip(self, seed):
+        tree = random_tree(10, random.Random(seed))
+        nx_tree = tree.to_networkx()
+        assert networkx.is_tree(nx_tree)
+
+
+class TestPosetCrossChecks:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_width_matches_nx_antichain(self, seed):
+        computation = random_computation(
+            complete_topology(5), 15, random.Random(seed)
+        )
+        poset = message_poset(computation)
+        if len(poset) == 0:
+            return
+        dag = networkx.DiGraph()
+        dag.add_nodes_from(poset.elements)
+        dag.add_edges_from(poset.relation_pairs())
+        longest_antichain = max(
+            len(a) for a in networkx.antichains(dag)
+        )
+        assert width(poset) == longest_antichain
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_transitive_closure_matches(self, seed):
+        computation = random_computation(
+            complete_topology(5), 12, random.Random(100 + seed)
+        )
+        poset = message_poset(computation)
+        from repro.order.message_order import covering_pairs
+
+        dag = networkx.DiGraph()
+        dag.add_nodes_from(computation.messages)
+        dag.add_edges_from(covering_pairs(computation))
+        closure = networkx.transitive_closure_dag(dag)
+        ours = set(poset.relation_pairs())
+        theirs = set(closure.edges())
+        assert ours == theirs

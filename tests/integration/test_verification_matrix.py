@@ -1,0 +1,100 @@
+"""The full verification matrix: topology × workload × clock.
+
+A systematic sweep asserting Equation (1) (or consistency, for the
+baselines that only promise that) for every combination the library
+supports.  Each cell is small, but the matrix catches interactions the
+per-module tests cannot — e.g. a workload generator producing a channel
+pattern some decomposition strategy mishandles.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.fm import FMMessageClock
+from repro.clocks.lamport import LamportMessageClock
+from repro.clocks.offline import OfflineRealizerClock
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.order.checker import check_encoding
+from repro.sim.workload import (
+    adversarial_antichain_computation,
+    pipeline_computation,
+    random_computation,
+    sequential_chain_computation,
+)
+
+TOPOLOGIES = {
+    "star": star_topology(5),
+    "ring": ring_topology(6),
+    "tree": tree_topology(2, 3),
+    "client-server": client_server_topology(2, 5),
+    "complete": complete_topology(5),
+}
+
+WORKLOADS = {
+    "random": lambda topology: random_computation(
+        topology, 24, random.Random(17)
+    ),
+    "chain": lambda topology: sequential_chain_computation(
+        topology, 24, random.Random(17)
+    ),
+    "antichain": lambda topology: adversarial_antichain_computation(
+        topology, 6
+    ),
+}
+
+CLOCKS = {
+    "online": lambda topology: OnlineEdgeClock(decompose(topology)),
+    "offline": lambda topology: OfflineRealizerClock(),
+    "fm": lambda topology: FMMessageClock.for_topology(topology),
+    "lamport": lambda topology: LamportMessageClock.for_topology(topology),
+}
+
+
+@pytest.mark.parametrize("clock_name", list(CLOCKS), ids=list(CLOCKS))
+@pytest.mark.parametrize(
+    "workload_name", list(WORKLOADS), ids=list(WORKLOADS)
+)
+@pytest.mark.parametrize(
+    "topology_name", list(TOPOLOGIES), ids=list(TOPOLOGIES)
+)
+def test_matrix_cell(topology_name, workload_name, clock_name):
+    topology = TOPOLOGIES[topology_name]
+    computation = WORKLOADS[workload_name](topology)
+    clock = CLOCKS[clock_name](topology)
+    assignment = clock.timestamp_computation(computation)
+    report = check_encoding(clock, assignment)
+    assert report.consistent, (
+        f"{clock_name} inconsistent on {workload_name}@{topology_name}"
+    )
+    if clock.characterizes_order:
+        assert report.characterizes, (
+            f"{clock_name} incomplete on {workload_name}@{topology_name}"
+        )
+
+
+def test_pipeline_workload_on_paths():
+    """pipeline_computation only runs on path topologies; cover it
+    against every clock here."""
+    from repro.graphs.generators import path_topology
+
+    topology = path_topology(5)
+    computation = pipeline_computation(topology, 5)
+    for name, factory in CLOCKS.items():
+        clock = factory(topology)
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.consistent, name
+        if clock.characterizes_order:
+            assert report.characterizes, name

@@ -1,0 +1,108 @@
+"""Tests for the event-level happened-before ground truth."""
+
+from __future__ import annotations
+
+import random
+
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.happened_before import (
+    all_events,
+    causal_chain_exists,
+    happened_before,
+    happened_before_poset,
+    timeline_cover_pairs,
+)
+from repro.sim.computation import (
+    EventedComputation,
+    InternalEvent,
+    SyncComputation,
+)
+from repro.sim.workload import random_computation
+
+
+def _simple_evented():
+    computation = SyncComputation.from_pairs(
+        path_topology(3), [("P1", "P2"), ("P2", "P3")]
+    )
+    events = [
+        InternalEvent("P1", 0, 1, "a"),   # before m1 on P1
+        InternalEvent("P2", 1, 1, "b"),   # between m1 and m2 on P2
+        InternalEvent("P3", 1, 1, "c"),   # after m2 on P3
+    ]
+    return EventedComputation(computation, events)
+
+
+class TestStructure:
+    def test_all_events_count(self):
+        evented = _simple_evented()
+        assert len(all_events(evented)) == 2 + 3
+
+    def test_cover_pairs_follow_timelines(self):
+        evented = _simple_evented()
+        pairs = timeline_cover_pairs(evented)
+        m1 = evented.computation.message("m1")
+        a = evented.event("a")
+        assert (a, m1) in pairs
+
+
+class TestHappenedBefore:
+    def test_cross_process_through_messages(self):
+        evented = _simple_evented()
+        poset = happened_before_poset(evented)
+        a, c = evented.event("a"), evented.event("c")
+        assert happened_before(poset, a, c)
+
+    def test_internal_before_and_after_message(self):
+        evented = _simple_evented()
+        poset = happened_before_poset(evented)
+        a, b = evented.event("a"), evented.event("b")
+        assert happened_before(poset, a, b)
+        assert not happened_before(poset, b, a)
+
+    def test_concurrent_internals(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(3), [("P1", "P2")]
+        )
+        evented = EventedComputation(
+            computation,
+            [
+                InternalEvent("P1", 1, 1, "x"),
+                InternalEvent("P2", 1, 1, "y"),
+            ],
+        )
+        poset = happened_before_poset(evented)
+        assert poset.concurrent(evented.event("x"), evented.event("y"))
+
+    def test_messages_embed_message_order(self):
+        computation = random_computation(
+            complete_topology(5), 20, random.Random(6)
+        )
+        from repro.order.message_order import message_poset
+
+        evented = EventedComputation(computation, [])
+        hb = happened_before_poset(evented)
+        mp = message_poset(computation)
+        for m1 in computation.messages:
+            for m2 in computation.messages:
+                if m1 is m2:
+                    continue
+                assert hb.less(m1, m2) == mp.less(m1, m2)
+
+    def test_causal_chain_exists(self):
+        evented = _simple_evented()
+        poset = happened_before_poset(evented)
+        chain = [
+            evented.event("a"),
+            evented.computation.message("m1"),
+            evented.event("b"),
+            evented.computation.message("m2"),
+            evented.event("c"),
+        ]
+        assert causal_chain_exists(poset, chain)
+
+    def test_causal_chain_broken(self):
+        evented = _simple_evented()
+        poset = happened_before_poset(evented)
+        assert not causal_chain_exists(
+            poset, [evented.event("c"), evented.event("a")]
+        )

@@ -1,0 +1,130 @@
+"""Tests for the ground-truth message order (Section 2)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.message_order import (
+    covering_pairs,
+    concurrent_messages,
+    direct_precedence_pairs,
+    directly_precedes,
+    longest_chain_size_between,
+    message_poset,
+    minimal_messages,
+    synchronous_chains_between,
+    synchronously_precedes,
+)
+from repro.sim.computation import SyncComputation
+from repro.sim.paper_figures import figure1_computation
+from repro.sim.workload import random_computation
+
+
+@pytest.fixture
+def fig1():
+    return figure1_computation()
+
+
+class TestDirectPrecedence:
+    def test_shared_process(self, fig1):
+        m1, m3 = fig1.message("m1"), fig1.message("m3")
+        assert directly_precedes(fig1, m1, m3)
+
+    def test_no_shared_process(self, fig1):
+        m1, m2 = fig1.message("m1"), fig1.message("m2")
+        assert not directly_precedes(fig1, m1, m2)
+
+    def test_not_backwards(self, fig1):
+        m1, m3 = fig1.message("m1"), fig1.message("m3")
+        assert not directly_precedes(fig1, m3, m1)
+
+    def test_pairs_listing(self, fig1):
+        pairs = direct_precedence_pairs(fig1)
+        names = {(a.name, b.name) for a, b in pairs}
+        assert ("m1", "m3") in names
+        assert ("m1", "m2") not in names
+
+    def test_covering_pairs_generate_same_closure(self, fig1):
+        from repro.core.poset import Poset
+
+        full = Poset(fig1.messages, direct_precedence_pairs(fig1))
+        covers = Poset(fig1.messages, covering_pairs(fig1))
+        assert full.same_order_as(covers)
+
+
+class TestPoset:
+    def test_transitivity(self, fig1):
+        poset = message_poset(fig1)
+        assert synchronously_precedes(
+            poset, fig1.message("m1"), fig1.message("m5")
+        )
+
+    def test_concurrency(self, fig1):
+        poset = message_poset(fig1)
+        assert poset.concurrent(fig1.message("m1"), fig1.message("m2"))
+
+    def test_concurrent_messages_listing(self, fig1):
+        poset = message_poset(fig1)
+        pairs = concurrent_messages(poset)
+        names = {(a.name, b.name) for a, b in pairs}
+        assert ("m1", "m2") in names
+
+    def test_minimal_messages(self, fig1):
+        poset = message_poset(fig1)
+        assert {m.name for m in minimal_messages(poset)} == {"m1", "m2"}
+
+    def test_empty_computation(self):
+        computation = SyncComputation.from_pairs(path_topology(2), [])
+        assert len(message_poset(computation)) == 0
+
+    def test_execution_order_is_linear_extension(self):
+        computation = random_computation(
+            complete_topology(6), 30, random.Random(12)
+        )
+        poset = message_poset(computation)
+        for m1, m2 in poset.relation_pairs():
+            assert m1.index < m2.index
+
+
+class TestChains:
+    def test_chain_of_size_four(self, fig1):
+        size = longest_chain_size_between(
+            fig1, fig1.message("m1"), fig1.message("m5")
+        )
+        assert size == 4
+
+    def test_enumerate_chains(self, fig1):
+        chains = synchronous_chains_between(
+            fig1, fig1.message("m1"), fig1.message("m5")
+        )
+        sizes = {len(chain) for chain in chains}
+        assert 4 in sizes
+        for chain in chains:
+            assert chain[0].name == "m1" and chain[-1].name == "m5"
+
+    def test_no_chain(self, fig1):
+        assert (
+            longest_chain_size_between(
+                fig1, fig1.message("m2"), fig1.message("m1")
+            )
+            == 0
+        )
+
+    def test_trivial_chain(self, fig1):
+        m1 = fig1.message("m1")
+        assert longest_chain_size_between(fig1, m1, m1) == 1
+
+    def test_chain_limit(self):
+        computation = random_computation(
+            complete_topology(5), 20, random.Random(3)
+        )
+        chains = synchronous_chains_between(
+            computation,
+            computation.messages[0],
+            computation.messages[-1],
+            max_chains=5,
+        )
+        assert len(chains) <= 5

@@ -1,0 +1,48 @@
+"""Property test for Equation (3) inside the proof of Theorem 4.
+
+The proof's key step:  ``m1 ↦ m2 ⇒ v(m1)[e(m2)] < v(m2)[e(m2)]`` —
+the *receiving* message's own group component strictly separates it
+from everything before it.  We check this literally, plus its converse
+use: ``m1 ̸↦ m2 ⇒ v(m2)[e(m1)] < v(m1)[e(m1)]``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.order.message_order import message_poset
+from tests.strategies import computations
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestEquation3:
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_forward_direction(self, computation):
+        clock = OnlineEdgeClock(decompose(computation.topology))
+        assignment = clock.timestamp_computation(computation)
+        poset = message_poset(computation)
+        for m1, m2 in poset.relation_pairs():
+            g2 = clock.group_of_message(m2)
+            assert assignment.of(m1)[g2] < assignment.of(m2)[g2]
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_converse_direction(self, computation):
+        clock = OnlineEdgeClock(decompose(computation.topology))
+        assignment = clock.timestamp_computation(computation)
+        poset = message_poset(computation)
+        messages = computation.messages
+        for m1 in messages:
+            for m2 in messages:
+                if m1 is m2 or poset.less(m1, m2):
+                    continue
+                g1 = clock.group_of_message(m1)
+                assert assignment.of(m2)[g1] < assignment.of(m1)[g1]

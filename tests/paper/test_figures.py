@@ -1,0 +1,183 @@
+"""Tests asserting every stated fact of the paper's figures.
+
+Each class below corresponds to one figure; the assertions are the exact
+claims the paper's text makes about it (DESIGN.md §3 documents how the
+pictures were reconstructed).
+"""
+
+from __future__ import annotations
+
+from repro.clocks.offline import offline_vector_size
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.vector import VectorTimestamp
+from repro.graphs.decomposition import (
+    StarGroup,
+    TriangleGroup,
+    complete_graph_decompositions,
+    optimal_edge_decomposition,
+    optimal_size,
+    paper_decomposition_algorithm,
+)
+from repro.graphs.generators import (
+    complete_topology,
+    paper_fig2b_graph,
+    paper_fig4_tree,
+)
+from repro.order.checker import check_encoding
+from repro.order.message_order import (
+    directly_precedes,
+    longest_chain_size_between,
+    message_poset,
+)
+from repro.sim.paper_figures import figure1_computation, figure6_computation
+
+
+class TestFigure1:
+    """'m1‖m2, m1 ▷ m3, m2 ↦ m6, and m3 ↦ m5.  There is a synchronous
+    chain between m1 and m5 of size 4.'"""
+
+    def setup_method(self):
+        self.computation = figure1_computation()
+        self.poset = message_poset(self.computation)
+
+    def m(self, name):
+        return self.computation.message(name)
+
+    def test_four_processes_six_messages(self):
+        assert len(self.computation.processes) == 4
+        assert len(self.computation) == 6
+
+    def test_m1_concurrent_m2(self):
+        assert self.poset.concurrent(self.m("m1"), self.m("m2"))
+
+    def test_m1_directly_precedes_m3(self):
+        assert directly_precedes(self.computation, self.m("m1"), self.m("m3"))
+
+    def test_m2_precedes_m6(self):
+        assert self.poset.less(self.m("m2"), self.m("m6"))
+
+    def test_m3_precedes_m5(self):
+        assert self.poset.less(self.m("m3"), self.m("m5"))
+
+    def test_chain_m1_to_m5_of_size_4(self):
+        assert (
+            longest_chain_size_between(
+                self.computation, self.m("m1"), self.m("m5")
+            )
+            == 4
+        )
+
+
+class TestFigure3:
+    """The two decompositions of the fully-connected 5-process system:
+    2 stars + 1 triangle, and 4 stars."""
+
+    def test_first_decomposition(self):
+        with_triangle, _ = complete_graph_decompositions(complete_topology(5))
+        assert with_triangle.star_count() == 2
+        assert with_triangle.triangle_count() == 1
+
+    def test_second_decomposition(self):
+        _, stars_only = complete_graph_decompositions(complete_topology(5))
+        assert stars_only.star_count() == 4
+        assert stars_only.triangle_count() == 0
+
+    def test_first_is_optimal_for_k5(self):
+        assert optimal_size(complete_topology(5)) == 3
+
+
+class TestFigure4:
+    """A 20-process tree decomposes into three edge groups E1, E2, E3,
+    each a star."""
+
+    def test_twenty_processes(self):
+        assert paper_fig4_tree().vertex_count() == 20
+
+    def test_three_star_groups(self):
+        decomposition, _ = paper_decomposition_algorithm(paper_fig4_tree())
+        assert decomposition.size == 3
+        assert all(
+            isinstance(group, StarGroup) for group in decomposition.groups
+        )
+
+    def test_three_is_optimal(self):
+        assert optimal_size(paper_fig4_tree()) == 3
+
+
+class TestFigure6:
+    """'message sent from P2 to P3 is timestamped (1,1,1) because the
+    channel between P2 and P3 is in edge group E2, and the local vector
+    on P2 and P3 before transmission are (1,0,0) and (0,0,1)'; the
+    offline algorithm needs only 2-dimensional vectors here."""
+
+    def setup_method(self):
+        self.computation, self.decomposition = figure6_computation()
+        self.clock = OnlineEdgeClock(self.decomposition)
+        self.stamps = self.clock.timestamp_computation(self.computation)
+
+    def test_decomposition_shape(self):
+        kinds = [type(group) for group in self.decomposition.groups]
+        assert kinds == [StarGroup, StarGroup, TriangleGroup]
+
+    def test_p2_to_p3_is_in_group_e2(self):
+        assert self.decomposition.group_index_of("P2", "P3") == 1
+
+    def test_highlighted_timestamp(self):
+        assert self.stamps.of_name("m3") == VectorTimestamp([1, 1, 1])
+
+    def test_prior_vectors(self):
+        # The vectors of the messages that set up P2's and P3's state.
+        assert self.stamps.of_name("m1") == VectorTimestamp([1, 0, 0])
+        assert self.stamps.of_name("m2") == VectorTimestamp([0, 0, 1])
+
+    def test_encoding_correct(self):
+        report = check_encoding(self.clock, self.stamps)
+        assert report.characterizes
+
+    def test_offline_needs_two_components(self):
+        assert offline_vector_size(self.computation) == 2
+
+
+class TestFigure8:
+    """The narrated sample run: step 1 emits a star, step 2 a triangle,
+    step 3 two stars, then back to step 1 for edge (j, k); the optimal
+    decomposition has 4 stars and 1 triangle."""
+
+    def setup_method(self):
+        self.graph = paper_fig2b_graph()
+        self.decomposition, self.trace = paper_decomposition_algorithm(
+            self.graph
+        )
+
+    def test_step_sequence(self):
+        assert self.trace.steps_fired() == [1, 2, 3, 3, 1]
+
+    def test_group_kinds(self):
+        kinds = [group.kind for group in self.decomposition.groups]
+        assert kinds == ["star", "triangle", "star", "star", "star"]
+
+    def test_triangle_is_def(self):
+        triangle = self.decomposition.groups[1]
+        assert set(triangle.corners) == {"d", "e", "f"}
+
+    def test_final_star_is_jk(self):
+        last = self.decomposition.groups[-1]
+        assert len(last.edges) == 1
+        assert set(last.edges[0].endpoints) == {"j", "k"}
+
+    def test_four_stars_one_triangle(self):
+        assert self.decomposition.star_count() == 4
+        assert self.decomposition.triangle_count() == 1
+
+    def test_result_is_optimal(self):
+        optimum = optimal_edge_decomposition(self.graph)
+        assert optimum.size == self.decomposition.size == 5
+
+    def test_optimal_shape_matches_figure(self):
+        optimum = optimal_edge_decomposition(self.graph)
+        assert optimum.star_count() == 4
+        assert optimum.triangle_count() == 1
+
+    def test_trace_describe_mentions_steps(self):
+        text = self.trace.describe()
+        assert "[step 1]" in text and "[step 3]" in text

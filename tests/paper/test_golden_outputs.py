@@ -1,0 +1,61 @@
+"""Golden-output regression tests for the paper reconstructions.
+
+These pin the *exact* rendered artefacts of the figure reconstructions,
+so any accidental change to the algorithms, the tie-breaking rules or
+the renderer shows up as a readable diff.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import paper_decomposition_algorithm
+from repro.graphs.generators import paper_fig2b_graph
+from repro.sim.paper_figures import figure1_computation, figure6_computation
+from repro.viz.timediagram import render_time_diagram
+
+FIGURE1_DIAGRAM = """\
+m#     m1    m2    m3    m4    m5    m6
+P1   ---o--------------------------------------
+        |
+P2   ---v-----------o-----------------^--------
+                    |                 |
+P3   ---------o-----v-----o-----^-----o--------
+              |           |     |
+P4   ---------v-----------v-----o--------------"""
+
+FIGURE6_TIMESTAMPS = """\
+m1: P1 -> P2  v = (1,0,0)
+m2: P4 -> P3  v = (0,0,1)
+m3: P2 -> P3  v = (1,1,1)
+m4: P5 -> P1  v = (2,0,0)
+m5: P3 -> P5  v = (2,1,2)"""
+
+FIGURE8_TRACE = """\
+[step 1] star rooted at 'b' with 3 edge(s) -- vertex 'a' has degree 1
+[step 2] triangle ('d', 'e', 'f') -- two corners have degree 2
+[step 3] star rooted at 'h' with 5 edge(s) -- edge ('g','h') has the most adjacent edges
+[step 3] star rooted at 'g' with 3 edge(s) -- companion star of edge ('g','h')
+[step 1] star rooted at 'k' with 1 edge(s) -- vertex 'j' has degree 1"""
+
+
+class TestGoldenOutputs:
+    def test_figure1_time_diagram(self):
+        diagram = render_time_diagram(figure1_computation())
+        assert diagram == FIGURE1_DIAGRAM
+
+    def test_figure6_timestamp_lines(self):
+        computation, decomposition = figure6_computation()
+        clock = OnlineEdgeClock(decomposition)
+        stamps = clock.timestamp_computation(computation)
+        lines = "\n".join(
+            f"{m.name}: {m.sender} -> {m.receiver}  "
+            f"v = {stamps.of(m)!r}"
+            for m in computation.messages
+        )
+        assert lines == FIGURE6_TIMESTAMPS
+
+    def test_figure8_trace_text(self):
+        _, trace = paper_decomposition_algorithm(paper_fig2b_graph())
+        assert trace.describe() == FIGURE8_TRACE

@@ -1,0 +1,203 @@
+"""Directed tests for the paper's lemmas and theorems.
+
+Each class exercises one numbered result; the hypothesis-driven
+counterparts live in ``tests/properties/``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.offline import (
+    OfflineRealizerClock,
+    offline_vector_size,
+    theorem8_bound,
+)
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.chains import width
+from repro.graphs.decomposition import (
+    decompose,
+    optimal_size,
+    paper_decomposition_algorithm,
+    vertex_cover_decomposition,
+)
+from repro.graphs.generators import (
+    complete_topology,
+    disjoint_triangles,
+    path_topology,
+    random_gnp,
+    random_tree,
+    star_topology,
+    triangle_topology,
+)
+from repro.graphs.vertex_cover import minimum_vertex_cover_size
+from repro.order.checker import check_encoding
+from repro.order.message_order import message_poset
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+class TestLemma1:
+    """Message sets are totally ordered for every computation iff the
+    topology is a star or a triangle."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_star_always_total(self, seed):
+        topology = star_topology(5)
+        computation = random_computation(topology, 20, random.Random(seed))
+        assert width(message_poset(computation)) <= 1
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_triangle_always_total(self, seed):
+        topology = triangle_topology()
+        computation = random_computation(topology, 20, random.Random(seed))
+        assert width(message_poset(computation)) <= 1
+
+    def test_converse_two_disjoint_edges(self):
+        """Any topology that is neither star nor triangle has two
+        disjoint edges, and firing them concurrently breaks totality."""
+        topology = path_topology(4)  # not a star, not a triangle
+        computation = SyncComputation.from_pairs(
+            topology, [("P1", "P2"), ("P3", "P4")]
+        )
+        assert width(message_poset(computation)) == 2
+
+    def test_converse_on_random_non_star_graphs(self):
+        for seed in range(10):
+            graph = random_gnp(6, 0.5, random.Random(seed))
+            if graph.edge_count() == 0:
+                continue
+            if graph.is_star() is not None or graph.is_triangle() is not None:
+                continue
+            disjoint = _find_disjoint_edges(graph)
+            assert disjoint is not None, "non-star/triangle must have them"
+            (u1, v1), (u2, v2) = disjoint
+            computation = SyncComputation.from_pairs(
+                graph, [(u1, v1), (u2, v2)]
+            )
+            assert width(message_poset(computation)) == 2
+
+
+def _find_disjoint_edges(graph):
+    edges = graph.edges
+    for i, e1 in enumerate(edges):
+        for e2 in edges[i + 1 :]:
+            if not e1.shares_endpoint(e2):
+                return e1.endpoints, e2.endpoints
+    return None
+
+
+class TestTheorem4:
+    """The online algorithm satisfies Equation (1) on every
+    decomposition, including deliberately suboptimal ones."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_default_decomposition(self, seed):
+        topology = complete_topology(6)
+        computation = random_computation(topology, 30, random.Random(seed))
+        clock = OnlineEdgeClock(decompose(topology))
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.characterizes
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_suboptimal_star_decomposition(self, seed):
+        """Correctness must not depend on the decomposition's quality."""
+        topology = complete_topology(6)
+        decomposition = vertex_cover_decomposition(
+            topology, list(topology.vertices)[:-1]
+        )
+        clock = OnlineEdgeClock(decomposition)
+        computation = random_computation(topology, 30, random.Random(seed))
+        report = check_encoding(
+            clock, clock.timestamp_computation(computation)
+        )
+        assert report.characterizes
+
+
+class TestTheorem5:
+    """Vector size <= min(beta(G), N-2)."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_bound_on_random_graphs(self, seed):
+        graph = random_gnp(8, 0.5, random.Random(seed))
+        if graph.edge_count() == 0:
+            return
+        decomposition = decompose(graph)
+        beta = minimum_vertex_cover_size(graph)
+        n = graph.vertex_count()
+        assert decomposition.size <= max(1, min(beta, n - 2))
+
+    def test_beta_at_most_twice_alpha(self):
+        for seed in range(8):
+            graph = random_gnp(7, 0.5, random.Random(seed))
+            if graph.edge_count() == 0:
+                continue
+            beta = minimum_vertex_cover_size(graph)
+            alpha = optimal_size(graph)
+            assert beta <= 2 * alpha
+
+    def test_beta_twice_alpha_tight_on_disjoint_triangles(self):
+        for t in (1, 2, 3):
+            graph = disjoint_triangles(t)
+            assert optimal_size(graph) == t
+            assert minimum_vertex_cover_size(graph) == 2 * t
+
+
+class TestTheorem6:
+    """Figure 7's output is within twice the optimal size."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_ratio_bound(self, seed):
+        graph = random_gnp(7, 0.5, random.Random(1000 + seed))
+        if graph.edge_count() == 0:
+            return
+        produced, _ = paper_decomposition_algorithm(graph)
+        assert produced.size <= 2 * optimal_size(graph)
+
+
+class TestTheorem7:
+    """Figure 7 is optimal on acyclic graphs."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_optimal_on_random_trees(self, seed):
+        tree = random_tree(9, random.Random(seed))
+        produced, trace = paper_decomposition_algorithm(tree)
+        assert produced.size == optimal_size(tree)
+        # On forests only step 1 ever fires.
+        assert set(trace.steps_fired()) <= {1}
+
+    def test_forest_with_isolated_component(self):
+        from repro.graphs.graph import UndirectedGraph
+
+        forest = UndirectedGraph(
+            "abcdefg",
+            [("a", "b"), ("b", "c"), ("d", "e"), ("e", "f")],
+        )
+        produced, _ = paper_decomposition_algorithm(forest)
+        assert produced.size == optimal_size(forest)
+
+
+class TestTheorem8:
+    """width(M, ↦) <= floor(N/2), hence so is the offline vector size."""
+
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7, 8])
+    def test_bound_across_system_sizes(self, n):
+        topology = complete_topology(n)
+        for seed in range(3):
+            computation = random_computation(
+                topology, 25, random.Random(seed)
+            )
+            assert offline_vector_size(computation) <= theorem8_bound(
+                computation
+            )
+
+    def test_offline_clock_size_obeys_bound(self):
+        topology = complete_topology(7)
+        computation = random_computation(topology, 30, random.Random(4))
+        clock = OfflineRealizerClock()
+        clock.timestamp_computation(computation)
+        assert clock.timestamp_size <= len(computation.active_processes()) // 2

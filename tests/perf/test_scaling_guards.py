@@ -1,0 +1,94 @@
+"""Scaling guards: moderately large inputs must stay fast and correct.
+
+These are correctness-at-scale tests, not micro-benchmarks (those live
+in ``benchmarks/``): they exercise code paths whose asymptotics matter —
+the O(|V||E|) decomposition, long-chain matchings (recursion-depth
+guard), and thousand-message clock runs — at sizes big enough to break a
+quadratic-in-the-wrong-place implementation within the suite's budget.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.clocks.fm import FMMessageClock
+from repro.clocks.offline import OfflineRealizerClock
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.chains import minimum_chain_partition, width
+from repro.graphs.decomposition import decompose, paper_decomposition_algorithm
+from repro.graphs.generators import (
+    client_server_topology,
+    random_connected,
+    tree_topology,
+)
+from repro.order.message_order import message_poset
+from repro.sim.workload import (
+    random_computation,
+    sequential_chain_computation,
+)
+
+
+class TestLargeGraphs:
+    def test_decomposition_on_200_vertices(self):
+        graph = random_connected(200, 150, random.Random(1))
+        decomposition, _ = paper_decomposition_algorithm(graph)
+        assert 1 <= decomposition.size <= 198
+
+    def test_big_tree_constant_groups(self):
+        graph = tree_topology(5, 60)  # 305 processes
+        decomposition, _ = paper_decomposition_algorithm(graph)
+        assert decomposition.size == 5
+
+    def test_big_client_server(self):
+        graph = client_server_topology(4, 300)
+        assert decompose(graph).size == 4
+
+
+class TestLargeComputations:
+    def test_online_thousand_messages(self):
+        topology = client_server_topology(3, 30)
+        computation = random_computation(topology, 1000, random.Random(2))
+        clock = OnlineEdgeClock(decompose(topology))
+        assignment = clock.timestamp_computation(computation)
+        # Spot-check the encoding instead of the O(n^2) full audit.
+        poset = message_poset(computation)
+        rng = random.Random(3)
+        for _ in range(300):
+            m1, m2 = rng.sample(computation.messages, 2)
+            assert (assignment.of(m1) < assignment.of(m2)) == poset.less(
+                m1, m2
+            )
+
+    def test_fm_thousand_messages(self):
+        topology = client_server_topology(3, 30)
+        computation = random_computation(topology, 1000, random.Random(4))
+        clock = FMMessageClock.for_topology(topology)
+        assignment = clock.timestamp_computation(computation)
+        assert len(assignment) == 1000
+
+    def test_long_chain_matching_depth(self):
+        """A 1200-message chain stresses the Hopcroft–Karp recursion
+        guard (the matching follows the chain end to end)."""
+        topology = client_server_topology(2, 4)
+        computation = sequential_chain_computation(
+            topology, 1200, random.Random(5)
+        )
+        poset = message_poset(computation)
+        assert width(poset) == 1
+        chains = minimum_chain_partition(poset)
+        assert len(chains) == 1
+        assert len(chains[0]) == 1200
+
+    def test_offline_medium_workload(self):
+        topology = client_server_topology(3, 9)
+        computation = random_computation(topology, 400, random.Random(6))
+        clock = OfflineRealizerClock()
+        assignment = clock.timestamp_computation(computation)
+        assert clock.timestamp_size <= 6
+        poset = message_poset(computation)
+        rng = random.Random(7)
+        for _ in range(200):
+            m1, m2 = rng.sample(computation.messages, 2)
+            assert (assignment.of(m1) < assignment.of(m2)) == poset.less(
+                m1, m2
+            )

@@ -1,0 +1,120 @@
+"""Property-based tests for the applications layer."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.apps.monitor import CausalMonitor
+from repro.apps.recovery import find_orphans
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.order.cuts import cut_from_messages, is_consistent, subcomputation
+from repro.order.message_order import message_poset
+from tests.strategies import nonempty_computations
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _stamped(computation):
+    clock = OnlineEdgeClock(decompose(computation.topology))
+    return clock, clock.timestamp_computation(computation)
+
+
+class TestRecoveryProperties:
+    @RELAXED
+    @given(
+        nonempty_computations(max_messages=20),
+        st.integers(min_value=0, max_value=10**9),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    def test_orphans_match_ground_truth(
+        self, computation, process_pick, stable_pick
+    ):
+        _, assignment = _stamped(computation)
+        active = computation.active_processes()
+        crashed = active[process_pick % len(active)]
+        projection = computation.process_messages(crashed)
+        stable = stable_pick % (len(projection) + 1)
+        report = find_orphans(computation, assignment, crashed, stable)
+
+        poset = message_poset(computation)
+        lost = set(report.lost)
+        truth = {
+            m
+            for m in computation.messages
+            if m not in lost and any(poset.less(l, m) for l in lost)
+        }
+        assert truth == set(report.orphans)
+
+    @RELAXED
+    @given(
+        nonempty_computations(max_messages=20),
+        st.integers(min_value=0, max_value=10**9),
+    )
+    def test_survivors_form_consistent_replayable_cut(
+        self, computation, process_pick
+    ):
+        _, assignment = _stamped(computation)
+        active = computation.active_processes()
+        crashed = active[process_pick % len(active)]
+        report = find_orphans(computation, assignment, crashed, 0)
+        survivors = frozenset(report.surviving_messages(computation))
+        cut = cut_from_messages(computation, survivors)
+        assert is_consistent(computation, cut)
+
+        replay = subcomputation(computation, cut)
+        assert len(replay) == len(survivors)
+        # The replay's poset is the restriction of the original's.
+        original = message_poset(computation)
+        restricted = message_poset(replay)
+        by_name = {m.name: m for m in replay.messages}
+        for m1 in survivors:
+            for m2 in survivors:
+                if m1 is m2:
+                    continue
+                assert original.less(m1, m2) == restricted.less(
+                    by_name[m1.name], by_name[m2.name]
+                )
+
+
+class TestMonitorProperties:
+    @RELAXED
+    @given(nonempty_computations(max_messages=20))
+    def test_monitor_agrees_with_poset(self, computation):
+        clock, assignment = _stamped(computation)
+        monitor = CausalMonitor(clock.timestamp_size)
+        monitor.ingest_assignment(assignment)
+        poset = message_poset(computation)
+        for m1 in computation.messages:
+            for m2 in computation.messages:
+                if m1 is m2:
+                    continue
+                assert monitor.precedes(m1.name, m2.name) == poset.less(
+                    m1, m2
+                )
+
+    @RELAXED
+    @given(nonempty_computations(max_messages=20))
+    def test_history_plus_races_plus_future_partition(self, computation):
+        clock, assignment = _stamped(computation)
+        monitor = CausalMonitor(clock.timestamp_size)
+        monitor.ingest_assignment(assignment)
+        for message in computation.messages:
+            history = {r.name for r in monitor.causal_history(message.name)}
+            races = {r.name for r in monitor.races_of(message.name)}
+            future = {
+                other.name
+                for other in computation.messages
+                if other.name != message.name
+                and monitor.precedes(message.name, other.name)
+            }
+            everything = history | races | future | {message.name}
+            assert everything == {m.name for m in computation.messages}
+            assert not history & races
+            assert not history & future
+            assert not races & future

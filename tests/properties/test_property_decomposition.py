@@ -1,0 +1,123 @@
+"""Property-based tests for edge decompositions and vertex covers."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.decomposition import (
+    EdgeDecomposition,
+    StarGroup,
+    TriangleGroup,
+    bounded_decomposition,
+    decompose,
+    optimal_size,
+    paper_decomposition_algorithm,
+    vertex_cover_decomposition,
+)
+from repro.graphs.generators import random_gnp, random_tree
+from repro.graphs.vertex_cover import (
+    exact_vertex_cover,
+    greedy_vertex_cover,
+    is_vertex_cover,
+    matching_vertex_cover,
+)
+from tests.strategies import topologies
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def _group_is_star_or_triangle(decomposition: EdgeDecomposition) -> bool:
+    for group in decomposition.groups:
+        if isinstance(group, StarGroup):
+            if not all(e.incident_to(group.root) for e in group.edges):
+                return False
+        elif isinstance(group, TriangleGroup):
+            if len(group.edges) != 3:
+                return False
+        else:
+            return False
+    return True
+
+
+class TestDecompositionValidity:
+    @RELAXED
+    @given(topologies())
+    def test_paper_algorithm_always_valid(self, graph):
+        if graph.edge_count() == 0:
+            return
+        decomposition, _ = paper_decomposition_algorithm(graph)
+        assert _group_is_star_or_triangle(decomposition)
+        covered = {e for g in decomposition.groups for e in g.edges}
+        assert covered == set(graph.edges)
+
+    @RELAXED
+    @given(topologies())
+    def test_every_strategy_within_n_minus_2(self, graph):
+        if graph.edge_count() == 0:
+            return
+        decomposition = decompose(graph)
+        assert decomposition.size <= max(1, graph.vertex_count() - 2)
+
+    @RELAXED
+    @given(topologies(max_processes=7))
+    def test_paper_algorithm_ratio_two(self, graph):
+        if graph.edge_count() == 0 or graph.edge_count() > 18:
+            return
+        decomposition, _ = paper_decomposition_algorithm(graph)
+        assert decomposition.size <= 2 * optimal_size(graph)
+
+    @RELAXED
+    @given(seeds, st.integers(min_value=2, max_value=12))
+    def test_trees_are_optimal(self, seed, n):
+        tree = random_tree(n, random.Random(seed))
+        decomposition, _ = paper_decomposition_algorithm(tree)
+        assert decomposition.size == optimal_size(tree, edge_limit=25)
+
+    @RELAXED
+    @given(topologies(min_processes=4))
+    def test_bounded_decomposition_valid(self, graph):
+        if graph.edge_count() == 0:
+            return
+        decomposition = bounded_decomposition(graph)
+        covered = {e for g in decomposition.groups for e in g.edges}
+        assert covered == set(graph.edges)
+
+
+class TestVertexCoverProperties:
+    @RELAXED
+    @given(seeds)
+    def test_exact_at_most_heuristics(self, seed):
+        graph = random_gnp(8, 0.4, random.Random(seed))
+        exact = exact_vertex_cover(graph)
+        assert is_vertex_cover(graph, exact)
+        assert len(exact) <= len(greedy_vertex_cover(graph))
+        assert len(exact) <= len(matching_vertex_cover(graph))
+
+    @RELAXED
+    @given(seeds)
+    def test_matching_cover_two_approximation(self, seed):
+        graph = random_gnp(8, 0.4, random.Random(seed))
+        if graph.edge_count() == 0:
+            return
+        assert len(matching_vertex_cover(graph)) <= 2 * len(
+            exact_vertex_cover(graph)
+        )
+
+    @RELAXED
+    @given(topologies(max_processes=8))
+    def test_cover_decomposition_size_at_most_cover(self, graph):
+        if graph.edge_count() == 0:
+            return
+        cover = greedy_vertex_cover(graph)
+        decomposition = vertex_cover_decomposition(graph, cover)
+        assert decomposition.size <= len(cover)
+        assert decomposition.triangle_count() == 0

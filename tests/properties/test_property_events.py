@@ -1,0 +1,68 @@
+"""Property-based verification of Theorem 9 (internal events)."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.events import event_precedes, timestamp_internal_events
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.order.happened_before import happened_before_poset
+from repro.sim.computation import EventedComputation
+from tests.strategies import computations
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestTheorem9Properties:
+    @RELAXED
+    @given(
+        computations(max_messages=14),
+        st.integers(min_value=1, max_value=2),
+    )
+    def test_event_timestamps_match_happened_before(
+        self, computation, per_slot
+    ):
+        evented = EventedComputation.with_events_per_slot(
+            computation, per_slot
+        )
+        clock = OnlineEdgeClock(decompose(computation.topology))
+        assignment = clock.timestamp_computation(computation)
+        timestamps = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        poset = happened_before_poset(evented)
+        events = evented.internal_events()
+        for e in events:
+            for f in events:
+                if e is f:
+                    continue
+                assert event_precedes(
+                    timestamps[e], timestamps[f]
+                ) == poset.less(e, f)
+
+    @RELAXED
+    @given(computations(max_messages=14))
+    def test_precedence_is_a_strict_order(self, computation):
+        """The derived event relation is irreflexive and antisymmetric."""
+        evented = EventedComputation.with_events_per_slot(computation, 1)
+        clock = OnlineEdgeClock(decompose(computation.topology))
+        assignment = clock.timestamp_computation(computation)
+        timestamps = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        events = evented.internal_events()
+        for e in events:
+            assert not event_precedes(timestamps[e], timestamps[e])
+            for f in events:
+                if e is f:
+                    continue
+                assert not (
+                    event_precedes(timestamps[e], timestamps[f])
+                    and event_precedes(timestamps[f], timestamps[e])
+                )

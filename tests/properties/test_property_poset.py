@@ -1,0 +1,71 @@
+"""Property-based invariants of the poset substrate."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.chains import antichain_partition, width
+from repro.core.poset import Poset
+from tests.strategies import posets_from_computations
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestPosetInvariants:
+    @RELAXED
+    @given(posets_from_computations(max_messages=20))
+    def test_dual_of_dual_is_identity(self, poset):
+        assert poset.dual().dual().same_order_as(poset)
+
+    @RELAXED
+    @given(posets_from_computations(max_messages=20))
+    def test_cover_pairs_regenerate_order(self, poset):
+        rebuilt = Poset(poset.elements, poset.cover_pairs())
+        assert rebuilt.same_order_as(poset)
+
+    @RELAXED
+    @given(posets_from_computations(max_messages=20))
+    def test_minimal_maximal_duality(self, poset):
+        dual = poset.dual()
+        assert set(poset.minimal_elements()) == set(
+            dual.maximal_elements()
+        )
+
+    @RELAXED
+    @given(posets_from_computations(max_messages=20))
+    def test_linear_extension_respects_order(self, poset):
+        order = poset.linear_extension()
+        position = {element: i for i, element in enumerate(order)}
+        for x, y in poset.relation_pairs():
+            assert position[x] < position[y]
+
+    @RELAXED
+    @given(posets_from_computations(max_messages=20))
+    def test_mirsky_height_duality(self, poset):
+        if len(poset) == 0:
+            return
+        # Mirsky: minimum antichain partition size equals the height.
+        assert len(antichain_partition(poset)) == poset.height()
+
+    @RELAXED
+    @given(posets_from_computations(max_messages=20))
+    def test_width_invariant_under_dual(self, poset):
+        if len(poset) == 0:
+            return
+        assert width(poset) == width(poset.dual())
+
+    @RELAXED
+    @given(posets_from_computations(max_messages=18))
+    def test_down_sets_partition_comparabilities(self, poset):
+        for element in poset.elements:
+            below = poset.strictly_below(element)
+            above = poset.strictly_above(element)
+            assert not below & above
+            for other in below:
+                assert poset.less(other, element)
+            for other in above:
+                assert poset.less(element, other)

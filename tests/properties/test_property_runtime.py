@@ -1,0 +1,91 @@
+"""Property-based fuzzing of the threaded rendezvous runtime.
+
+Any synchronous computation can be turned into per-process scripts
+(sends and source-directed receives in each process's projection
+order).  Executing those scripts is deadlock-free — at every point the
+earliest unexecuted message of the generating order has both of its
+participants ready — but the *commit order* the threads produce may
+legitimately differ from the generating order.  The property: the live
+timestamps always match a deterministic replay of whatever order was
+committed, and therefore satisfy Equation (1).
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.order.checker import check_encoding
+from repro.sim.computation import SyncComputation
+from repro.sim.runtime import ScriptRunner, receive, send
+from tests.strategies import computations
+
+
+def _scripts(computation: SyncComputation):
+    """Per-process action scripts replaying the computation."""
+    scripts = {process: [] for process in computation.processes}
+    for message in computation.messages:
+        scripts[message.sender].append(send(message.receiver))
+        scripts[message.receiver].append(receive(message.sender))
+    return scripts
+
+
+RELAXED = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRuntimeFuzz:
+    @RELAXED
+    @given(computations(max_processes=6, max_messages=20))
+    def test_live_timestamps_match_replay(self, computation):
+        decomposition = decompose(computation.topology)
+        runner = ScriptRunner(
+            decomposition, _scripts(computation), timeout=20.0
+        )
+        transport = runner.run()
+
+        committed = transport.as_computation()
+        assert len(committed) == len(computation)
+        clock = OnlineEdgeClock(decomposition)
+        replayed = clock.timestamp_computation(committed)
+        for message, live in zip(
+            committed.messages, transport.collected_timestamps()
+        ):
+            assert replayed.of(message) == live
+
+    @RELAXED
+    @given(computations(max_processes=5, max_messages=15))
+    def test_committed_order_satisfies_equation_one(self, computation):
+        decomposition = decompose(computation.topology)
+        transport = ScriptRunner(
+            decomposition, _scripts(computation), timeout=20.0
+        ).run()
+        committed = transport.as_computation()
+        clock = OnlineEdgeClock(decomposition)
+        assignment = clock.timestamp_computation(committed)
+        assert check_encoding(clock, assignment).characterizes
+
+    @RELAXED
+    @given(computations(max_processes=5, max_messages=15))
+    def test_commit_order_respects_process_orders(self, computation):
+        """The commit order is a linear extension of every per-process
+        projection of the generating computation."""
+        decomposition = decompose(computation.topology)
+        transport = ScriptRunner(
+            decomposition, _scripts(computation), timeout=20.0
+        ).run()
+        committed = transport.as_computation()
+        for process in computation.processes:
+            original = [
+                (m.sender, m.receiver)
+                for m in computation.process_messages(process)
+            ]
+            observed = [
+                (m.sender, m.receiver)
+                for m in committed.process_messages(process)
+            ]
+            assert original == observed

@@ -1,0 +1,86 @@
+"""Property-based fuzzing of the coroutine simulator.
+
+Mirror of the thread-runtime fuzz: any synchronous computation converts
+to behaviours (sends and source-directed receives in projection order),
+the simulation never deadlocks, and the live timestamps match the
+deterministic replay of the committed order — under arbitrary scheduler
+seeds.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.order.checker import check_encoding
+from repro.sim.computation import SyncComputation
+from repro.sim.processes import Recv, Send, simulate
+from tests.strategies import computations
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _behaviours(computation: SyncComputation):
+    plans = {process: [] for process in computation.processes}
+    for message in computation.messages:
+        plans[message.sender].append(Send(message.receiver))
+        plans[message.receiver].append(Recv(message.sender))
+
+    def make(plan):
+        def behaviour():
+            for operation in plan:
+                yield operation
+
+        return behaviour
+
+    return {process: make(plan) for process, plan in plans.items()}
+
+
+class TestSimulatorFuzz:
+    @RELAXED
+    @given(
+        computations(max_processes=6, max_messages=20),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_live_matches_replay_under_any_schedule(
+        self, computation, seed
+    ):
+        decomposition = decompose(computation.topology)
+        result = simulate(
+            decomposition,
+            _behaviours(computation),
+            random.Random(seed),
+        )
+        committed = result.as_computation()
+        assert len(committed) == len(computation)
+        clock = OnlineEdgeClock(decomposition)
+        replayed = clock.timestamp_computation(committed)
+        for message, live in zip(
+            committed.messages, result.timestamps()
+        ):
+            assert replayed.of(message) == live
+
+    @RELAXED
+    @given(
+        computations(max_processes=5, max_messages=15),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_committed_order_characterized(self, computation, seed):
+        decomposition = decompose(computation.topology)
+        result = simulate(
+            decomposition,
+            _behaviours(computation),
+            random.Random(seed),
+        )
+        committed = result.as_computation()
+        clock = OnlineEdgeClock(decomposition)
+        assignment = clock.timestamp_computation(committed)
+        assert check_encoding(clock, assignment).characterizes

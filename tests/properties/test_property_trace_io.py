@@ -1,0 +1,76 @@
+"""Property-based round-trip tests for the JSON trace format."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.sim.trace_io import (
+    dumps_assignment,
+    dumps_computation,
+    loads_assignment,
+    loads_computation,
+    topology_from_dict,
+    topology_to_dict,
+)
+from tests.strategies import computations, topologies
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRoundTrips:
+    @RELAXED
+    @given(topologies())
+    def test_topology_round_trip(self, topology):
+        restored = topology_from_dict(topology_to_dict(topology))
+        assert set(map(str, restored.vertices)) == set(
+            map(str, topology.vertices)
+        )
+        assert restored.edge_count() == topology.edge_count()
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_computation_round_trip(self, computation):
+        restored = loads_computation(dumps_computation(computation))
+        assert len(restored) == len(computation)
+        for original, copy in zip(computation.messages, restored.messages):
+            assert original.name == copy.name
+            assert str(original.sender) == copy.sender
+            assert str(original.receiver) == copy.receiver
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_round_trip_preserves_order_semantics(self, computation):
+        """The restored computation has an order-isomorphic poset, so
+        stamping before or after serialization is equivalent."""
+        from repro.order.message_order import message_poset
+
+        restored = loads_computation(dumps_computation(computation))
+        original_poset = message_poset(computation)
+        restored_poset = message_poset(restored)
+        for m1, m2 in zip(computation.messages, restored.messages):
+            for n1, n2 in zip(computation.messages, restored.messages):
+                assert original_poset.less(m1, n1) == restored_poset.less(
+                    m2, n2
+                )
+
+    @RELAXED
+    @given(computations(max_messages=20))
+    def test_assignment_round_trip(self, computation):
+        clock = OnlineEdgeClock(decompose(computation.topology))
+        assignment = clock.timestamp_computation(computation)
+        restored_computation = loads_computation(
+            dumps_computation(computation)
+        )
+        restored = loads_assignment(
+            restored_computation, dumps_assignment(assignment)
+        )
+        for original, copy in zip(
+            computation.messages, restored_computation.messages
+        ):
+            assert assignment.of(original) == restored.of(copy)

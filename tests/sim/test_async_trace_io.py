@@ -1,0 +1,61 @@
+"""Round-trip tests for asynchronous trace serialization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.graphs.generators import complete_topology
+from repro.sim.asynchronous import (
+    classic_crown,
+    find_crown,
+    is_rsc,
+    random_async_computation,
+)
+from repro.sim.trace_io import (
+    async_computation_from_dict,
+    async_computation_to_dict,
+    dumps_async_computation,
+    loads_async_computation,
+)
+
+
+class TestAsyncRoundTrip:
+    def test_round_trip_preserves_events(self):
+        computation = random_async_computation(
+            complete_topology(4), 8, random.Random(2)
+        )
+        restored = loads_async_computation(
+            dumps_async_computation(computation)
+        )
+        assert len(restored) == len(computation)
+        for process in computation.topology.vertices:
+            assert restored.events_of(str(process)) == (
+                computation.events_of(process)
+            )
+
+    def test_round_trip_preserves_rsc_classification(self):
+        for seed in range(5):
+            computation = random_async_computation(
+                complete_topology(4), 8, random.Random(seed), 0.6
+            )
+            restored = loads_async_computation(
+                dumps_async_computation(computation)
+            )
+            assert is_rsc(restored) == is_rsc(computation)
+
+    def test_crown_survives_round_trip(self):
+        restored = loads_async_computation(
+            dumps_async_computation(classic_crown())
+        )
+        crown = find_crown(restored)
+        assert crown is not None
+        assert {m.name for m in crown} == {"a1", "a2"}
+
+    def test_version_check(self):
+        data = async_computation_to_dict(classic_crown())
+        data["version"] = 42
+        with pytest.raises(SimulationError):
+            async_computation_from_dict(data)

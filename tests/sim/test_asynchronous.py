@@ -1,0 +1,255 @@
+"""Tests for asynchronous computations, crowns, and the RSC boundary."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidComputationError, SimulationError
+from repro.graphs.generators import (
+    complete_topology,
+    path_topology,
+    star_topology,
+)
+from repro.order.message_order import message_poset
+from repro.sim.asynchronous import (
+    AsyncComputation,
+    classic_crown,
+    find_crown,
+    is_rsc,
+    random_async_computation,
+    synchronous_as_async,
+    to_synchronous,
+)
+from repro.sim.workload import random_computation
+from tests.strategies import computations
+
+
+class TestValidation:
+    def test_valid_round_trip(self):
+        topology = path_topology(2)
+        computation = AsyncComputation.from_schedule(
+            topology,
+            [
+                ("send", 1, "P1", "P2"),
+                ("recv", 1, "P1", "P2"),
+            ],
+        )
+        assert len(computation) == 1
+
+    def test_unsent_message_rejected(self):
+        topology = path_topology(2)
+        from repro.sim.asynchronous import AsyncMessage
+
+        with pytest.raises(InvalidComputationError):
+            AsyncComputation(
+                topology,
+                [AsyncMessage(1, "P1", "P2", "a1")],
+                {"P2": [("recv", 1)]},
+            )
+
+    def test_unreceived_message_rejected(self):
+        topology = path_topology(2)
+        from repro.sim.asynchronous import AsyncMessage
+
+        with pytest.raises(InvalidComputationError):
+            AsyncComputation(
+                topology,
+                [AsyncMessage(1, "P1", "P2", "a1")],
+                {"P1": [("send", 1)]},
+            )
+
+    def test_wrong_process_rejected(self):
+        topology = path_topology(2)
+        from repro.sim.asynchronous import AsyncMessage
+
+        with pytest.raises(InvalidComputationError):
+            AsyncComputation(
+                topology,
+                [AsyncMessage(1, "P1", "P2", "a1")],
+                {"P1": [("send", 1), ("recv", 1)]},
+            )
+
+    def test_receive_before_send_rejected(self):
+        topology = path_topology(2)
+        from repro.sim.asynchronous import AsyncMessage
+
+        # P2 receives a1 and then sends a2; P1 receives a2 then sends
+        # a1 — a1's receive causally precedes its own send.
+        with pytest.raises(InvalidComputationError):
+            AsyncComputation(
+                topology,
+                [
+                    AsyncMessage(1, "P1", "P2", "a1"),
+                    AsyncMessage(2, "P2", "P1", "a2"),
+                ],
+                {
+                    "P1": [("recv", 2), ("send", 1)],
+                    "P2": [("recv", 1), ("send", 2)],
+                },
+            )
+
+    def test_off_topology_channel_rejected(self):
+        topology = path_topology(3)
+        with pytest.raises(InvalidComputationError):
+            AsyncComputation.from_schedule(
+                topology,
+                [
+                    ("send", 1, "P1", "P3"),
+                    ("recv", 1, "P1", "P3"),
+                ],
+            )
+
+
+class TestHappenedBefore:
+    def test_send_before_own_receive(self):
+        computation = classic_crown()
+        a1 = computation.message("a1")
+        assert computation.happened_before(
+            a1.send_event(), a1.receive_event()
+        )
+
+    def test_process_order(self):
+        computation = classic_crown()
+        a1, a2 = computation.message("a1"), computation.message("a2")
+        # On P1: send(a1) precedes recv(a2).
+        assert computation.happened_before(
+            a1.send_event(), a2.receive_event()
+        )
+
+
+class TestCrowns:
+    def test_classic_crown_detected(self):
+        computation = classic_crown()
+        crown = find_crown(computation)
+        assert crown is not None
+        assert {m.name for m in crown} == {"a1", "a2"}
+        assert not is_rsc(computation)
+
+    def test_synchronous_expansion_is_rsc(self):
+        topology = complete_topology(5)
+        sync = random_computation(topology, 20, random.Random(3))
+        computation = synchronous_as_async(sync)
+        assert is_rsc(computation)
+
+    def test_crown_blocks_conversion(self):
+        with pytest.raises(SimulationError):
+            to_synchronous(classic_crown())
+
+    def test_crown_on_star_topology(self):
+        """Lemma 1's totality needs synchrony: even on a star topology
+        an asynchronous execution can contain a crown."""
+        topology = star_topology(2)  # P1 center, two leaves
+        computation = AsyncComputation.from_schedule(
+            topology,
+            [
+                ("send", 1, "P1", "P1_leaf1"),
+                ("send", 2, "P1_leaf2", "P1"),
+                ("recv", 2, "P1_leaf2", "P1"),
+                ("recv", 1, "P1", "P1_leaf1"),
+            ],
+        )
+        # send(a1) -> recv(a2) on P1? send(a1) precedes recv(a2) on P1.
+        # send(a2) precedes recv(a1)? They are on different processes
+        # (P1_leaf2 sends, P1_leaf1 receives) — only via causality.
+        # This particular schedule is still RSC; build a true crown:
+        crowned = AsyncComputation.from_schedule(
+            topology,
+            [
+                ("send", 1, "P1", "P1_leaf1"),
+                ("send", 2, "P1_leaf1", "P1"),
+                ("recv", 2, "P1_leaf1", "P1"),
+                ("recv", 1, "P1", "P1_leaf1"),
+            ],
+        )
+        assert not is_rsc(crowned)
+
+
+class TestConversion:
+    def test_rsc_conversion_preserves_message_causality(self):
+        topology = complete_topology(4)
+        computation = AsyncComputation.from_schedule(
+            topology,
+            [
+                ("send", 1, "P1", "P2"),
+                ("recv", 1, "P1", "P2"),
+                ("send", 2, "P2", "P3"),
+                ("send", 3, "P4", "P3"),
+                ("recv", 2, "P2", "P3"),
+                ("recv", 3, "P4", "P3"),
+            ],
+        )
+        assert is_rsc(computation)
+        sync = to_synchronous(computation)
+        poset = message_poset(sync)
+        by_channel = {
+            (m.sender, m.receiver): m for m in sync.messages
+        }
+        first = by_channel[("P1", "P2")]
+        second = by_channel[("P2", "P3")]
+        assert poset.less(first, second)
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(computations(max_messages=15))
+    def test_sync_async_round_trip(self, sync):
+        """Expanding a synchronous computation and converting back
+        yields an order-isomorphic message poset."""
+        expanded = synchronous_as_async(sync)
+        assert is_rsc(expanded)
+        back = to_synchronous(expanded)
+        original = message_poset(sync)
+        converted = message_poset(back)
+        # Match messages by async identifier = original index + 1; the
+        # conversion schedule may reorder concurrent messages.
+        order = {
+            (m.sender, m.receiver, i): m
+            for i, m in enumerate(sync.messages)
+        }
+        del order  # matching below is positional per identifier
+        # Rebuild the identifier order used by to_synchronous.
+        from repro.sim.asynchronous import crown_graph, _topological_ids
+
+        ids = _topological_ids(crown_graph(expanded))
+        for pos1, ident1 in enumerate(ids):
+            for pos2, ident2 in enumerate(ids):
+                if pos1 == pos2:
+                    continue
+                m1 = sync.messages[ident1 - 1]
+                m2 = sync.messages[ident2 - 1]
+                c1 = back.messages[pos1]
+                c2 = back.messages[pos2]
+                assert original.less(m1, m2) == converted.less(c1, c2)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        st.integers(min_value=0, max_value=2**31),
+        st.floats(min_value=0.1, max_value=0.9),
+    )
+    def test_random_async_valid_and_classified(self, seed, bias):
+        rng = random.Random(seed)
+        topology = complete_topology(4)
+        computation = random_async_computation(topology, 10, rng, bias)
+        crown = find_crown(computation)
+        if crown is None:
+            sync = to_synchronous(computation)
+            assert len(sync) == len(computation)
+        else:
+            # The crown is a genuine witness: consecutive sends happen
+            # before the next receive, cyclically.
+            k = len(crown)
+            for i, m in enumerate(crown):
+                nxt = crown[(i + 1) % k]
+                assert computation.happened_before(
+                    m.send_event(), nxt.receive_event()
+                )

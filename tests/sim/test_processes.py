@@ -1,0 +1,204 @@
+"""Tests for the reactive coroutine simulator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.exceptions import RuntimeDeadlockError, SimulationError
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import (
+    complete_topology,
+    path_topology,
+    star_topology,
+)
+from repro.order.checker import check_encoding
+from repro.sim.processes import Recv, Send, simulate
+
+
+class TestBasicSimulation:
+    def test_single_rendezvous(self):
+        decomposition = decompose(path_topology(2))
+
+        def p1():
+            yield Send("P2", "hello")
+
+        def p2():
+            sender, payload = yield Recv()
+            return (sender, payload)
+
+        result = simulate(decomposition, {"P1": p1, "P2": p2})
+        assert len(result.log) == 1
+        assert result.log[0].payload == "hello"
+        assert result.returns["P2"] == ("P1", "hello")
+
+    def test_reactive_routing(self):
+        """The receiver decides where to forward based on the payload —
+        the behaviour the static script runner cannot express."""
+        decomposition = decompose(star_topology(3))
+
+        def hub():
+            _, payload = yield Recv()
+            target = "P1_leaf2" if payload == "left" else "P1_leaf3"
+            yield Send(target, payload)
+
+        def requester():
+            yield Send("P1", "left")
+
+        def leaf():
+            yield Recv("P1")
+
+        result = simulate(
+            decomposition,
+            {
+                "P1": hub,
+                "P1_leaf1": requester,
+                "P1_leaf2": leaf,
+                "P1_leaf3": lambda: iter(()),
+            },
+        )
+        assert result.log[-1].receiver == "P1_leaf2"
+
+    def test_deadlock_detected(self):
+        decomposition = decompose(path_topology(2))
+
+        def p1():
+            yield Recv()
+
+        def p2():
+            yield Recv()
+
+        with pytest.raises(RuntimeDeadlockError):
+            simulate(decomposition, {"P1": p1, "P2": p2})
+
+    def test_directed_receive_blocks_wrong_sender(self):
+        decomposition = decompose(star_topology(2))
+
+        def hub():
+            yield Recv("P1_leaf2")  # insists on leaf2
+            yield Recv("P1_leaf1")
+
+        def leaf1():
+            yield Send("P1")
+
+        def leaf2():
+            yield Send("P1")
+
+        result = simulate(
+            decomposition,
+            {"P1": hub, "P1_leaf1": leaf1, "P1_leaf2": leaf2},
+        )
+        assert result.log[0].sender == "P1_leaf2"
+
+    def test_missing_channel_rejected(self):
+        decomposition = decompose(path_topology(3))
+
+        def p1():
+            yield Send("P3")  # not a neighbour
+
+        def p3():
+            yield Recv()
+
+        with pytest.raises(SimulationError):
+            simulate(decomposition, {"P1": p1, "P3": p3})
+
+    def test_bad_yield_rejected(self):
+        decomposition = decompose(path_topology(2))
+
+        def p1():
+            yield "nonsense"
+
+        with pytest.raises(SimulationError):
+            simulate(decomposition, {"P1": p1})
+
+    def test_unknown_process_rejected(self):
+        decomposition = decompose(path_topology(2))
+        with pytest.raises(SimulationError):
+            simulate(decomposition, {"P9": lambda: iter(())})
+
+
+class TestTimestamps:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_simulated_timestamps_match_replay(self, seed):
+        decomposition = decompose(complete_topology(4))
+
+        def worker(me, neighbours, rounds):
+            def behaviour():
+                for target in neighbours[:rounds]:
+                    yield Send(target, me)
+                    yield Recv(target)
+            return behaviour
+
+        behaviours = {
+            "P1": worker("P1", ["P2", "P3"], 2),
+            "P2": _echo(1),
+            "P3": _echo(1),
+            "P4": lambda: iter(()),
+        }
+        result = simulate(
+            decomposition, behaviours, random.Random(seed)
+        )
+        computation = result.as_computation()
+        clock = OnlineEdgeClock(decomposition)
+        replayed = clock.timestamp_computation(computation)
+        for message, live in zip(
+            computation.messages, result.timestamps()
+        ):
+            assert replayed.of(message) == live
+        assert check_encoding(
+            clock, clock.timestamp_computation(computation)
+        ).characterizes
+
+    def test_ring_election_round(self):
+        """A richer behaviour: candidates forward the max id around a
+        ring once; every process learns the leader."""
+        from repro.graphs.generators import ring_topology
+
+        count = 5
+        decomposition = decompose(ring_topology(count))
+        names = [f"P{i}" for i in range(1, count + 1)]
+
+        def node(position):
+            nxt = names[(position + 1) % count]
+
+            if position == 0:
+
+                def behaviour():
+                    yield Send(nxt, 0)          # launch the token
+                    _, seen = yield Recv()      # token returns with max
+                    best = max(0, seen)
+                    yield Send(nxt, best)       # distribute the result
+                    yield Recv()                # absorb the final lap
+                    return best
+
+            else:
+
+                def behaviour():
+                    _, seen = yield Recv()      # aggregation lap
+                    yield Send(nxt, max(position, seen))
+                    _, final = yield Recv()     # distribution lap
+                    yield Send(nxt, final)
+                    return final
+
+            return behaviour
+
+        result = simulate(
+            decomposition,
+            {names[i]: node(i) for i in range(count)},
+            random.Random(11),
+        )
+        assert all(
+            result.returns[name] == count - 1 for name in names
+        )
+        assert len(result.log) == 2 * count
+
+
+def _echo(times):
+    def behaviour():
+        for _ in range(times):
+            sender, payload = yield Recv()
+            yield Send(sender, payload)
+
+    return behaviour

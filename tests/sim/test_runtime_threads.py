@@ -1,0 +1,216 @@
+"""Tests for the threaded rendezvous runtime."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.exceptions import RuntimeDeadlockError, SimulationError
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import (
+    complete_topology,
+    path_topology,
+    star_topology,
+)
+from repro.order.checker import check_encoding
+from repro.sim.runtime import ScriptRunner, compute, receive, send
+
+
+class TestBasicRendezvous:
+    def test_single_message(self):
+        decomposition = decompose(path_topology(2))
+        runner = ScriptRunner(
+            decomposition,
+            {"P1": [send("P2", "hello")], "P2": [receive("P1")]},
+        )
+        transport = runner.run()
+        log = transport.log
+        assert len(log) == 1
+        assert log[0].payload == "hello"
+        assert log[0].sender == "P1"
+
+    def test_request_reply(self):
+        decomposition = decompose(path_topology(2))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [send("P2"), receive("P2")],
+                "P2": [receive("P1"), send("P1")],
+            },
+        )
+        transport = runner.run()
+        assert [(e.sender, e.receiver) for e in transport.log] == [
+            ("P1", "P2"),
+            ("P2", "P1"),
+        ]
+
+    def test_compute_actions_are_local(self):
+        decomposition = decompose(path_topology(2))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [compute("think"), send("P2")],
+                "P2": [receive()],
+            },
+        )
+        assert len(runner.run().log) == 1
+
+    def test_wildcard_receive(self):
+        decomposition = decompose(star_topology(2))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [receive(), receive()],
+                "P1_leaf1": [send("P1")],
+                "P1_leaf2": [send("P1")],
+            },
+        )
+        assert len(runner.run().log) == 2
+
+    def test_unknown_process_rejected(self):
+        decomposition = decompose(path_topology(2))
+        with pytest.raises(SimulationError):
+            ScriptRunner(decomposition, {"P9": []})
+
+    def test_unmatched_send_times_out(self):
+        decomposition = decompose(path_topology(2))
+        runner = ScriptRunner(
+            decomposition,
+            {"P1": [send("P2")], "P2": []},
+            timeout=0.3,
+        )
+        with pytest.raises(RuntimeDeadlockError):
+            runner.run()
+
+    def test_unmatched_receive_times_out(self):
+        decomposition = decompose(path_topology(2))
+        runner = ScriptRunner(
+            decomposition,
+            {"P1": [], "P2": [receive()]},
+            timeout=0.3,
+        )
+        with pytest.raises(RuntimeDeadlockError):
+            runner.run()
+
+
+class TestTimestampsFromThreads:
+    def test_log_rebuilds_valid_computation(self):
+        decomposition = decompose(complete_topology(4))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [send("P2"), receive("P4")],
+                "P2": [receive("P1"), send("P3")],
+                "P3": [receive("P2"), send("P4")],
+                "P4": [receive("P3"), send("P1")],
+            },
+        )
+        transport = runner.run()
+        computation = transport.as_computation()
+        assert len(computation) == 4
+
+    def test_collected_timestamps_encode_order(self):
+        """The crucial end-to-end property: timestamps produced *live* by
+        threads equal those of the deterministic algorithm on the
+        committed execution order, so Equation (1) holds."""
+        decomposition = decompose(complete_topology(4))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [send("P2"), send("P3"), receive("P4")],
+                "P2": [receive("P1"), send("P4")],
+                "P3": [receive("P1"), send("P4")],
+                "P4": [receive(), receive(), send("P1")],
+            },
+        )
+        transport = runner.run()
+        computation = transport.as_computation()
+        collected = transport.collected_timestamps()
+
+        clock = OnlineEdgeClock(decomposition)
+        replayed = clock.timestamp_computation(computation)
+        for message, live in zip(computation.messages, collected):
+            assert replayed.of(message) == live
+
+        assignment = clock.timestamp_computation(computation)
+        report = check_encoding(clock, assignment)
+        assert report.characterizes
+
+    def test_compute_actions_become_internal_events(self):
+        """Compute actions run live get Section 5 triples that match the
+        happened-before ground truth of the committed execution."""
+        from repro.clocks.events import (
+            event_precedes,
+            timestamp_internal_events,
+        )
+        from repro.order.happened_before import happened_before_poset
+
+        decomposition = decompose(path_topology(3))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [compute("init"), send("P2"), compute("after")],
+                "P2": [receive("P1"), compute("mid"), send("P3")],
+                "P3": [compute("early"), receive("P2")],
+            },
+        )
+        transport = runner.run()
+        evented = transport.as_evented_computation()
+        assert len(evented.internal_events()) == 4
+
+        computation = evented.computation
+        clock = OnlineEdgeClock(decomposition)
+        assignment = clock.timestamp_computation(computation)
+        stamps = timestamp_internal_events(
+            evented, assignment, clock.timestamp_size
+        )
+        poset = happened_before_poset(evented)
+        events = evented.internal_events()
+        for e in events:
+            for f in events:
+                if e is not f:
+                    assert event_precedes(
+                        stamps[e], stamps[f]
+                    ) == poset.less(e, f)
+
+    def test_internal_event_slots_follow_messages(self):
+        decomposition = decompose(path_topology(2))
+        runner = ScriptRunner(
+            decomposition,
+            {
+                "P1": [compute("a"), send("P2"), compute("b"), compute("c")],
+                "P2": [receive("P1")],
+            },
+        )
+        transport = runner.run()
+        evented = transport.as_evented_computation()
+        slots = {
+            event.name.split("#")[0]: (event.slot, event.counter)
+            for event in evented.internal_events()
+        }
+        assert slots["a"] == (0, 1)
+        assert slots["b"] == (1, 1)
+        assert slots["c"] == (1, 2)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_star_workload_threads(self, seed):
+        """Leaves ping the hub concurrently; any interleaving is fine."""
+        rng = random.Random(seed)
+        leaf_count = 4
+        topology = star_topology(leaf_count)
+        decomposition = decompose(topology)
+        pings = {f"P1_leaf{i}": rng.randint(1, 3) for i in range(1, 5)}
+        scripts = {
+            leaf: [send("P1")] * count for leaf, count in pings.items()
+        }
+        scripts["P1"] = [receive()] * sum(pings.values())
+        transport = ScriptRunner(decomposition, scripts).run()
+        computation = transport.as_computation()
+        clock = OnlineEdgeClock(decomposition)
+        replayed = clock.timestamp_computation(computation)
+        for message, live in zip(
+            computation.messages, transport.collected_timestamps()
+        ):
+            assert replayed.of(message) == live

@@ -1,0 +1,142 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.chains import width
+from repro.exceptions import InvalidComputationError
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    path_topology,
+    ring_topology,
+    tree_topology,
+)
+from repro.graphs.graph import UndirectedGraph
+from repro.order.message_order import message_poset
+from repro.sim.workload import (
+    adversarial_antichain_computation,
+    client_server_computation,
+    pipeline_computation,
+    random_computation,
+    ring_token_computation,
+    sequential_chain_computation,
+    tree_wave_computation,
+)
+
+
+class TestRandom:
+    def test_count(self):
+        computation = random_computation(
+            complete_topology(5), 42, random.Random(0)
+        )
+        assert len(computation) == 42
+
+    def test_deterministic_for_seed(self):
+        a = random_computation(complete_topology(5), 20, random.Random(9))
+        b = random_computation(complete_topology(5), 20, random.Random(9))
+        assert [(m.sender, m.receiver) for m in a] == [
+            (m.sender, m.receiver) for m in b
+        ]
+
+    def test_zero_messages(self):
+        computation = random_computation(
+            path_topology(3), 0, random.Random(0)
+        )
+        assert len(computation) == 0
+
+    def test_no_channels_rejected(self):
+        with pytest.raises(InvalidComputationError):
+            random_computation(UndirectedGraph("ab"), 5, random.Random(0))
+
+
+class TestClientServer:
+    def test_request_reply_pairs(self):
+        topology = client_server_topology(2, 4)
+        computation = client_server_computation(
+            topology, 10, random.Random(1)
+        )
+        assert len(computation) == 20
+        for request, reply in zip(
+            computation.messages[::2], computation.messages[1::2]
+        ):
+            assert request.sender == reply.receiver
+            assert request.receiver == reply.sender
+
+    def test_roles_inferred(self):
+        topology = client_server_topology(2, 3)
+        computation = client_server_computation(
+            topology, 5, random.Random(2)
+        )
+        for message in computation.messages[::2]:
+            assert str(message.sender).startswith("C")
+            assert str(message.receiver).startswith("S")
+
+    def test_explicit_servers(self):
+        topology = path_topology(3)
+        computation = client_server_computation(
+            topology, 4, random.Random(3), servers=["P2"]
+        )
+        assert all(m.involves("P2") for m in computation.messages)
+
+    def test_bad_roles_rejected(self):
+        with pytest.raises(InvalidComputationError):
+            client_server_computation(
+                path_topology(3), 4, random.Random(0), servers=[]
+            )
+
+
+class TestStructuredWorkloads:
+    def test_tree_waves_cover_every_edge(self):
+        topology = tree_topology(3, 2)
+        computation = tree_wave_computation(topology, "H1", 2)
+        assert len(computation) == 2 * topology.edge_count()
+
+    def test_tree_wave_parents_send_first(self):
+        topology = tree_topology(2, 2)
+        computation = tree_wave_computation(topology, "H1", 1)
+        first = computation.messages[0]
+        assert first.sender == "H1"
+
+    def test_ring_token_is_total_order(self):
+        topology = ring_topology(5)
+        computation = ring_token_computation(topology, 2)
+        assert width(message_poset(computation)) == 1
+
+    def test_pipeline(self):
+        topology = path_topology(4)
+        computation = pipeline_computation(topology, 3)
+        assert len(computation) == 9
+
+    def test_sequential_chain_width_one(self):
+        computation = sequential_chain_computation(
+            complete_topology(6), 25, random.Random(4)
+        )
+        assert width(message_poset(computation)) == 1
+
+    def test_sequential_chain_no_channels(self):
+        with pytest.raises(InvalidComputationError):
+            sequential_chain_computation(
+                UndirectedGraph("ab"), 5, random.Random(0)
+            )
+
+
+class TestAdversarial:
+    def test_batches_are_antichains(self):
+        topology = complete_topology(8)
+        computation = adversarial_antichain_computation(topology, 1)
+        poset = message_poset(computation)
+        assert width(poset) == len(computation) == 4
+
+    def test_width_hits_theorem8_bound(self):
+        for n in (4, 6, 8):
+            topology = complete_topology(n)
+            computation = adversarial_antichain_computation(topology, 3)
+            assert width(message_poset(computation)) == n // 2
+
+    def test_no_channels_rejected(self):
+        with pytest.raises(InvalidComputationError):
+            adversarial_antichain_computation(UndirectedGraph("ab"), 1)

@@ -1,0 +1,89 @@
+"""Tests for the master-worker and phased workload generators."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.chains import width
+from repro.exceptions import InvalidComputationError
+from repro.graphs.generators import (
+    complete_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.graphs.graph import UndirectedGraph
+from repro.order.message_order import message_poset
+from repro.sim.workload import master_worker_computation, phased_computation
+
+
+class TestMasterWorker:
+    def test_round_structure(self):
+        topology = star_topology(4)
+        computation = master_worker_computation(topology, "P1", 3)
+        assert len(computation) == 3 * 2 * 4
+        scatter = computation.messages[:4]
+        gather = computation.messages[4:8]
+        assert all(m.sender == "P1" for m in scatter)
+        assert all(m.receiver == "P1" for m in gather)
+
+    def test_rounds_are_chained(self):
+        """Every message of round k precedes every message of round
+        k+1 — the master participates in all of them."""
+        topology = star_topology(3)
+        computation = master_worker_computation(topology, "P1", 2)
+        poset = message_poset(computation)
+        first_round = computation.messages[:6]
+        second_round = computation.messages[6:]
+        for early in first_round:
+            for late in second_round:
+                assert poset.less(early, late)
+
+    def test_width_bounded_by_workers(self):
+        topology = star_topology(5)
+        computation = master_worker_computation(topology, "P1", 2)
+        # Star topology: everything shares the master, total order.
+        assert width(message_poset(computation)) == 1
+
+    def test_isolated_master_rejected(self):
+        graph = UndirectedGraph(["m", "w"])
+        with pytest.raises(InvalidComputationError):
+            master_worker_computation(graph, "m", 1)
+
+
+class TestPhased:
+    def test_generates_messages(self):
+        topology = complete_topology(5)
+        computation = phased_computation(topology, 3, random.Random(1))
+        # 3 phases x (5 random + 4 barrier-walk messages).
+        assert len(computation) == 3 * (5 + 4)
+
+    def test_custom_phase_size(self):
+        topology = complete_topology(4)
+        computation = phased_computation(
+            topology, 2, random.Random(2), messages_per_phase=7
+        )
+        assert len(computation) == 2 * (7 + 3)
+
+    def test_deterministic(self):
+        topology = tree_topology(2, 2)
+        a = phased_computation(topology, 2, random.Random(5))
+        b = phased_computation(topology, 2, random.Random(5))
+        assert [(m.sender, m.receiver) for m in a] == [
+            (m.sender, m.receiver) for m in b
+        ]
+
+    def test_no_channels_rejected(self):
+        with pytest.raises(InvalidComputationError):
+            phased_computation(
+                UndirectedGraph("ab"), 1, random.Random(0)
+            )
+
+    def test_width_stays_below_phase_size(self):
+        topology = complete_topology(8)
+        computation = phased_computation(
+            topology, 4, random.Random(3), messages_per_phase=6
+        )
+        # Theorem 8 bound still applies regardless of phases.
+        assert width(message_poset(computation)) <= 4

@@ -1,0 +1,86 @@
+"""Hypothesis strategies shared by the property-based tests.
+
+The strategies generate *valid* inputs by construction: connected-ish
+topologies with at least one edge, and computations whose messages all
+travel along topology edges.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.graphs.generators import (
+    client_server_topology,
+    complete_topology,
+    path_topology,
+    random_connected,
+    random_gnp,
+    random_tree,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+@st.composite
+def topologies(draw, min_processes: int = 2, max_processes: int = 9):
+    """A topology with at least one edge, drawn from several families."""
+    n = draw(st.integers(min_value=min_processes, max_value=max_processes))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = random.Random(seed)
+    family = draw(
+        st.sampled_from(
+            ["complete", "path", "star", "tree", "random", "ring", "gnp"]
+        )
+    )
+    if family == "complete":
+        return complete_topology(max(n, 2))
+    if family == "path":
+        return path_topology(max(n, 2))
+    if family == "star":
+        return star_topology(max(n - 1, 1))
+    if family == "tree":
+        return random_tree(max(n, 2), rng)
+    if family == "ring":
+        return ring_topology(max(n, 3))
+    if family == "gnp":
+        graph = random_gnp(max(n, 2), 0.5, rng)
+        if graph.edge_count() == 0:
+            return path_topology(max(n, 2))
+        return graph
+    return random_connected(max(n, 2), n // 2, rng)
+
+
+@st.composite
+def computations(
+    draw,
+    min_processes: int = 2,
+    max_processes: int = 8,
+    max_messages: int = 40,
+):
+    """A random synchronous computation over a random topology."""
+    topology = draw(topologies(min_processes, max_processes))
+    count = draw(st.integers(min_value=0, max_value=max_messages))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return random_computation(topology, count, random.Random(seed))
+
+
+@st.composite
+def nonempty_computations(draw, **kwargs):
+    computation = draw(computations(**kwargs))
+    if len(computation) == 0:
+        topology = computation.topology
+        edge = topology.edges[0]
+        return SyncComputation.from_pairs(topology, [edge.endpoints])
+    return computation
+
+
+@st.composite
+def posets_from_computations(draw, **kwargs):
+    from repro.order.message_order import message_poset
+
+    return message_poset(draw(computations(**kwargs)))

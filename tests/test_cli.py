@@ -1,0 +1,184 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.cli import main
+from repro.graphs.generators import complete_topology
+from repro.sim.trace_io import (
+    assignment_to_dict,
+    computation_to_dict,
+)
+from repro.sim.workload import random_computation
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    computation = random_computation(
+        complete_topology(4), 10, random.Random(1)
+    )
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(computation_to_dict(computation)))
+    return path, computation
+
+
+class TestDecompose:
+    def test_builtin_family(self, capsys):
+        assert main(["decompose", "--family", "complete:5"]) == 0
+        out = capsys.readouterr().out
+        assert "3 edge group(s)" in out
+
+    def test_client_server_family(self, capsys):
+        assert main(["decompose", "--family", "client-server:2x6"]) == 0
+        assert "2 edge group(s)" in capsys.readouterr().out
+
+    def test_tree_family(self, capsys):
+        assert main(["decompose", "--family", "tree:3x4"]) == 0
+        assert "3 edge group(s)" in capsys.readouterr().out
+
+    def test_topology_file(self, tmp_path, capsys):
+        topology = {"vertices": ["a", "b"], "edges": [["a", "b"]]}
+        path = tmp_path / "topo.json"
+        path.write_text(json.dumps(topology))
+        assert main(["decompose", "--topology-file", str(path)]) == 0
+        assert "1 edge group(s)" in capsys.readouterr().out
+
+    def test_dot_output(self, tmp_path, capsys):
+        dot = tmp_path / "out.dot"
+        assert (
+            main(["decompose", "--family", "star:4", "--dot", str(dot)])
+            == 0
+        )
+        assert dot.read_text().startswith("graph")
+
+    def test_unknown_family(self):
+        with pytest.raises(SystemExit):
+            main(["decompose", "--family", "torus:3"])
+
+    def test_bad_spec(self):
+        with pytest.raises(SystemExit):
+            main(["decompose", "--family", "complete:x"])
+
+    def test_missing_source(self):
+        with pytest.raises(SystemExit):
+            main(["decompose"])
+
+
+class TestStamp:
+    @pytest.mark.parametrize(
+        "clock", ["online", "offline", "fm", "lamport"]
+    )
+    def test_stamp_table(self, trace_file, capsys, clock):
+        path, computation = trace_file
+        assert main(["stamp", str(path), "--clock", clock]) == 0
+        out = capsys.readouterr().out
+        assert "m1" in out
+        assert f"clock={clock}" in out
+
+    def test_stamp_to_file(self, trace_file, tmp_path, capsys):
+        path, computation = trace_file
+        output = tmp_path / "stamps.json"
+        assert main(["stamp", str(path), "--output", str(output)]) == 0
+        data = json.loads(output.read_text())
+        assert len(data["timestamps"]) == len(computation)
+
+
+class TestCheck:
+    def test_valid_assignment_passes(self, trace_file, tmp_path, capsys):
+        path, computation = trace_file
+        stamps = tmp_path / "stamps.json"
+        main(["stamp", str(path), "--output", str(stamps)])
+        assert main(["check", str(path), str(stamps)]) == 0
+        assert "characterizes=True" in capsys.readouterr().out
+
+    def test_corrupted_assignment_fails(self, trace_file, tmp_path, capsys):
+        path, computation = trace_file
+        stamps = tmp_path / "stamps.json"
+        main(["stamp", str(path), "--output", str(stamps)])
+        data = json.loads(stamps.read_text())
+        first = next(iter(data["timestamps"]))
+        data["timestamps"][first] = [999] * len(
+            data["timestamps"][first]
+        )
+        stamps.write_text(json.dumps(data))
+        assert main(["check", str(path), str(stamps)]) == 1
+        assert "violation" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_metrics(self, trace_file, capsys):
+        path, computation = trace_file
+        assert main(["profile", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "width" in out
+        assert "concurrency ratio" in out
+
+
+class TestOrphans:
+    def test_orphan_analysis(self, trace_file, capsys):
+        path, computation = trace_file
+        process = str(computation.messages[0].sender)
+        assert main(["orphans", str(path), process, "--stable", "0"]) == 0
+        out = capsys.readouterr().out
+        assert f"crashed={process}" in out
+        assert "lost=" in out
+
+    def test_all_stable_no_orphans(self, trace_file, capsys):
+        path, computation = trace_file
+        process = str(computation.messages[0].sender)
+        stable = len(computation.process_messages(process))
+        assert (
+            main(
+                [
+                    "orphans",
+                    str(path),
+                    process,
+                    "--stable",
+                    str(stable),
+                ]
+            )
+            == 0
+        )
+        assert "lost=0 orphans=0" in capsys.readouterr().out
+
+
+class TestRsc:
+    def test_rsc_trace_converts(self, tmp_path, capsys):
+        from repro.sim.asynchronous import synchronous_as_async
+        from repro.sim.trace_io import dumps_async_computation
+
+        sync = random_computation(complete_topology(4), 6, random.Random(3))
+        expanded = synchronous_as_async(sync)
+        trace = tmp_path / "async.json"
+        trace.write_text(dumps_async_computation(expanded))
+        output = tmp_path / "sync.json"
+        assert main(["rsc", str(trace), "--output", str(output)]) == 0
+        out = capsys.readouterr().out
+        assert "RSC" in out
+        converted = json.loads(output.read_text())
+        assert len(converted["messages"]) == 6
+
+    def test_crown_reported(self, tmp_path, capsys):
+        from repro.sim.asynchronous import classic_crown
+        from repro.sim.trace_io import dumps_async_computation
+
+        trace = tmp_path / "crown.json"
+        trace.write_text(dumps_async_computation(classic_crown()))
+        assert main(["rsc", str(trace)]) == 1
+        assert "NOT RSC" in capsys.readouterr().out
+
+
+class TestDiagramAndDemo:
+    def test_diagram(self, trace_file, capsys):
+        path, _ = trace_file
+        assert main(["diagram", str(path)]) == 0
+        assert "o" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "(1,1,1)" in out

@@ -1,0 +1,40 @@
+"""Execute the doctest examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.report
+import repro.clocks.events
+import repro.core.chains
+import repro.core.poset
+import repro.core.vector
+import repro.graphs.decomposition
+import repro.graphs.graph
+import repro.order.message_order
+import repro.sim.computation
+import repro.sim.runtime
+
+MODULES = [
+    repro.analysis.report,
+    repro.clocks.events,
+    repro.core.chains,
+    repro.core.poset,
+    repro.core.vector,
+    repro.graphs.decomposition,
+    repro.graphs.graph,
+    repro.order.message_order,
+    repro.sim.computation,
+    repro.sim.runtime,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failure(s)"
+    assert results.attempted > 0, "expected at least one doctest"

@@ -1,0 +1,53 @@
+"""Tests for the global-state lattice rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.poset import Poset
+from repro.exceptions import PosetError
+from repro.graphs.generators import complete_topology
+from repro.order.message_order import message_poset
+from repro.sim.computation import SyncComputation
+from repro.viz.lattice import ideal_lattice_to_dot, lattice_statistics
+
+
+class TestLatticeDot:
+    def test_vee_lattice(self):
+        poset = Poset("ab", [])
+        dot = ideal_lattice_to_dot(poset)
+        assert dot.startswith("digraph")
+        # 4 ideals for a 2-antichain: {}, {a}, {b}, {a,b}.
+        assert dot.count("label=") == 4
+
+    def test_edges_add_one_element(self):
+        poset = Poset.chain("ab")
+        dot = ideal_lattice_to_dot(poset)
+        # Chain of 2: three ideals in a path -> two edges.
+        assert dot.count("->") == 2
+
+    def test_node_limit(self):
+        poset = Poset.antichain("abcdefghij")
+        with pytest.raises(PosetError):
+            ideal_lattice_to_dot(poset, node_limit=50)
+
+    def test_empty_frontier_label(self):
+        poset = Poset(["x"])
+        dot = ideal_lattice_to_dot(poset)
+        assert 'label="{}"' in dot
+
+
+class TestLatticeStatistics:
+    def test_chain_statistics(self):
+        computation = SyncComputation.from_pairs(
+            complete_topology(3), [("P1", "P2"), ("P2", "P3")]
+        )
+        stats = lattice_statistics(message_poset(computation))
+        assert stats == {"states": 3, "height": 3}
+
+    def test_concurrent_statistics(self):
+        computation = SyncComputation.from_pairs(
+            complete_topology(4), [("P1", "P2"), ("P3", "P4")]
+        )
+        stats = lattice_statistics(message_poset(computation))
+        assert stats["states"] == 4  # the 2-antichain boolean lattice

@@ -1,0 +1,100 @@
+"""Tests for ASCII time diagrams and DOT export."""
+
+from __future__ import annotations
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import complete_topology, path_topology
+from repro.order.message_order import message_poset
+from repro.sim.computation import SyncComputation
+from repro.sim.paper_figures import figure1_computation
+from repro.viz.dot import decomposition_to_dot, poset_to_dot, topology_to_dot
+from repro.viz.timediagram import render_time_diagram
+
+
+class TestTimeDiagram:
+    def test_contains_process_lines(self):
+        diagram = render_time_diagram(figure1_computation())
+        assert "P1" in diagram and "P4" in diagram
+
+    def test_contains_message_labels(self):
+        diagram = render_time_diagram(figure1_computation())
+        for name in ("m1", "m3", "m6"):
+            assert name in diagram
+
+    def test_vertical_arrows_have_heads(self):
+        diagram = render_time_diagram(figure1_computation())
+        assert "o" in diagram
+        assert "v" in diagram or "^" in diagram
+
+    def test_downward_and_upward_arrows(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(2), [("P1", "P2"), ("P2", "P1")]
+        )
+        diagram = render_time_diagram(computation)
+        assert "v" in diagram and "^" in diagram
+
+    def test_timestamps_appendix(self):
+        computation = figure1_computation()
+        clock = OnlineEdgeClock(decompose(computation.topology))
+        stamps = {
+            m: v for m, v in clock.timestamp_computation(computation).items()
+        }
+        diagram = render_time_diagram(computation, timestamps=stamps)
+        assert "v =" in diagram
+
+    def test_idle_processes_can_be_hidden(self):
+        computation = SyncComputation.from_pairs(
+            path_topology(4), [("P1", "P2")]
+        )
+        with_idle = render_time_diagram(computation)
+        without_idle = render_time_diagram(
+            computation, include_idle_processes=False
+        )
+        assert "P4" in with_idle
+        assert "P4" not in without_idle
+
+    def test_empty_computation(self):
+        computation = SyncComputation.from_pairs(path_topology(2), [])
+        diagram = render_time_diagram(computation)
+        assert "P1" in diagram
+
+    def test_long_arrow_spans_rows(self):
+        computation = SyncComputation.from_pairs(
+            complete_topology(4), [("P1", "P4")]
+        )
+        diagram = render_time_diagram(computation)
+        assert "|" in diagram
+
+
+class TestDot:
+    def test_topology_dot(self):
+        dot = topology_to_dot(path_topology(3))
+        assert dot.startswith("graph")
+        assert '"P1" -- "P2"' in dot
+        assert dot.endswith("}")
+
+    def test_decomposition_dot_colours_groups(self):
+        decomposition = decompose(complete_topology(5))
+        dot = decomposition_to_dot(decomposition)
+        assert "color=" in dot
+        assert 'label="E1"' in dot
+
+    def test_poset_dot_uses_covers(self):
+        computation = figure1_computation()
+        poset = message_poset(computation)
+        dot = poset_to_dot(poset)
+        assert dot.startswith("digraph")
+        assert "rankdir=BT" in dot
+        # m1 -> m5 is transitive, not a cover: must be absent.
+        m1 = repr(computation.message("m1"))
+        m5 = repr(computation.message("m5"))
+        assert f'"{m1}" -> "{m5}"' not in dot
+
+    def test_quoting(self):
+        from repro.graphs.graph import UndirectedGraph
+
+        graph = UndirectedGraph(['he"llo', "world"])
+        graph.add_edge('he"llo', "world")
+        dot = topology_to_dot(graph)
+        assert '\\"' in dot
