@@ -2,13 +2,30 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-report examples all clean
+.PHONY: install test obs-check lint bench bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test:
+test: obs-check
 	$(PYTHON) -m pytest tests/
+
+# Observability-layer guard: compiles + imports the repro.obs package,
+# asserts import leaves hooks disabled (no registry/tracer/threads),
+# then lints it when a linter is available.
+obs-check:
+	$(PYTHON) scripts/check_obs_import_clean.py
+	@$(MAKE) --no-print-directory lint
+
+# Lint is best-effort: ruff (configured in pyproject.toml) when
+# installed, otherwise skipped so offline boxes still pass.
+lint:
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		echo "lint: ruff check src/repro/obs tests/obs"; \
+		ruff check src/repro/obs tests/obs; \
+	else \
+		echo "lint: ruff not installed; skipping (pip install ruff to enable)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -10,11 +10,53 @@ appear in plain ``pytest benchmarks/ --benchmark-only`` output — no
 
 from __future__ import annotations
 
-from typing import List
+import datetime
+import json
+import pathlib
+from typing import Dict, List
 
 import pytest
 
 _REPORT_BUFFER: List[str] = []
+
+#: Perf snapshot entries accumulated by the bench tests (see
+#: ``record_perf``), flushed to ``BENCH_obs.json`` at session end.
+_PERF_SNAPSHOT: Dict[str, object] = {}
+
+PERF_SNAPSHOT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+)
+
+
+def record_perf(key: str, value) -> None:
+    """Add one entry to the ``BENCH_obs.json`` perf snapshot.
+
+    The snapshot tracks the cost of the observability layer run to run
+    (messages/sec with instrumentation off vs. on), so perf regressions
+    in the hook path show up as a trajectory, not an anecdote.
+    """
+    _PERF_SNAPSHOT[key] = value
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_perf_snapshot():
+    """Flush recorded perf entries to ``BENCH_obs.json`` on teardown."""
+    _PERF_SNAPSHOT.clear()
+    yield
+    if not _PERF_SNAPSHOT:
+        return
+    payload = dict(_PERF_SNAPSHOT)
+    off = payload.get("online_stamping_off")
+    on = payload.get("online_stamping_on")
+    if isinstance(off, dict) and isinstance(on, dict):
+        payload["obs_overhead_ratio"] = on["seconds"] / off["seconds"]
+    payload["generated_utc"] = (
+        datetime.datetime.now(datetime.timezone.utc).isoformat()
+    )
+    PERF_SNAPSHOT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
 
 
 def emit(text: str) -> None:

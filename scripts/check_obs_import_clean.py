@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Guard: the observability layer is import-clean.
+
+Checked invariants (run by ``make obs-check`` and the test suite):
+
+1. every ``repro.obs`` module imports on its own, with no syntax
+   errors (``compileall`` over the package);
+2. importing the whole library leaves observability *disabled* — no
+   module enables hooks, registers metrics, or starts a tracer as an
+   import side effect;
+3. the obs layer stays dependency-light: it must not pull in the
+   optional heavyweights (networkx, numpy) that only the test oracles
+   use;
+4. importing obs modules spawns no threads.
+
+Exit status 0 on success; prints the first violated invariant
+otherwise.
+"""
+
+from __future__ import annotations
+
+import compileall
+import importlib
+import pathlib
+import sys
+import threading
+
+OBS_MODULES = [
+    "repro.obs",
+    "repro.obs.metrics",
+    "repro.obs.tracing",
+    "repro.obs.export",
+    "repro.obs.instrument",
+]
+
+HEAVY_DEPS = ("networkx", "numpy")
+
+
+def fail(message: str) -> None:
+    print(f"obs-check: FAIL: {message}")
+    sys.exit(1)
+
+
+def main() -> int:
+    threads_before = threading.active_count()
+    heavy_before = {
+        name for name in HEAVY_DEPS if name in sys.modules
+    }
+
+    obs_dir = pathlib.Path(
+        importlib.import_module("repro").__file__
+    ).parent / "obs"
+    if not compileall.compile_dir(str(obs_dir), quiet=2):
+        fail("compileall found a syntax error under repro/obs")
+
+    for name in OBS_MODULES:
+        importlib.import_module(name)
+
+    import repro  # noqa: F401 - the full library, for side effects
+    import repro.cli  # noqa: F401
+    from repro.obs import instrument
+
+    if instrument.is_enabled():
+        fail("importing the library enabled observability")
+    if instrument.metrics is not None or instrument.tracer is not None:
+        fail("import left a registry or tracer behind")
+
+    heavy_now = {
+        name
+        for name in HEAVY_DEPS
+        if name in sys.modules and name not in heavy_before
+    }
+    if heavy_now:
+        fail(f"obs import pulled in heavyweight deps: {sorted(heavy_now)}")
+
+    if threading.active_count() != threads_before:
+        fail("importing obs modules started a thread")
+
+    print(f"obs-check: OK ({len(OBS_MODULES)} module(s) import-clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

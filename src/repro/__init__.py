@@ -34,6 +34,8 @@ Subpackages:
 * :mod:`repro.sim` — computations, workloads, threaded runtime, trace I/O;
 * :mod:`repro.order` — ground-truth relations and the encoding checker;
 * :mod:`repro.analysis` — overhead metrics and comparison tables;
+* :mod:`repro.obs` — live metrics, structured tracing, and export
+  (disabled by default; see ``docs/observability.md``);
 * :mod:`repro.viz` — ASCII time diagrams and DOT export.
 """
 
@@ -95,6 +97,7 @@ from repro.order import (
     message_poset,
     synchronously_precedes,
 )
+from repro.obs import MetricsRegistry, Span, Tracer
 from repro.sim import (
     EventedComputation,
     InternalEvent,
@@ -126,15 +129,18 @@ __all__ = [
     "FMMessageClock",
     "InternalEvent",
     "LamportMessageClock",
+    "MetricsRegistry",
     "OfflineRealizerClock",
     "OnlineEdgeClock",
     "OnlineProcessClock",
     "Poset",
     "ScriptRunner",
+    "Span",
     "StarGroup",
     "SyncComputation",
     "SyncMessage",
     "TimestampAssignment",
+    "Tracer",
     "TriangleGroup",
     "UndirectedGraph",
     "VectorTimestamp",

@@ -15,6 +15,7 @@ from typing import Dict, Hashable, List, Tuple
 
 from repro.core.vector import VectorTimestamp
 from repro.exceptions import ClockError
+from repro.obs import instrument as _obs
 
 Process = Hashable
 
@@ -27,6 +28,29 @@ class MonitoredMessage:
     sender: Process
     receiver: Process
     timestamp: VectorTimestamp
+
+
+@dataclass(frozen=True)
+class MonitorOverhead:
+    """The running clock-overhead picture the monitor has observed.
+
+    ``piggyback_bytes_total`` is the clock payload the monitored system
+    has shipped so far (vector size × component width × messages) —
+    the live counterpart of :mod:`repro.analysis.overhead`'s static
+    sizes.
+    """
+
+    vector_size: int
+    message_count: int
+    piggyback_bytes_per_message: int
+    piggyback_bytes_total: int
+
+    def describe(self) -> str:
+        return (
+            f"{self.message_count} message(s) x {self.vector_size} "
+            f"component(s) = {self.piggyback_bytes_total} piggybacked "
+            f"byte(s) ({self.piggyback_bytes_per_message}/message)"
+        )
 
 
 class CausalMonitor:
@@ -66,6 +90,9 @@ class CausalMonitor:
         self._records[name] = record
         self._order.append(record)
         self._frontier = self._frontier.join(timestamp)
+        m = _obs.metrics
+        if m is not None:
+            m.monitor_ingested.inc()
         return record
 
     def ingest_assignment(self, assignment) -> None:
@@ -101,11 +128,27 @@ class CausalMonitor:
 
     def precedes(self, first: str, second: str) -> bool:
         """``first ↦ second`` by vector comparison."""
+        m = _obs.metrics
+        if m is not None:
+            m.monitor_queries.inc()
         return self.get(first).timestamp < self.get(second).timestamp
 
     def concurrent(self, first: str, second: str) -> bool:
+        m = _obs.metrics
+        if m is not None:
+            m.monitor_queries.inc()
         a, b = self.get(first).timestamp, self.get(second).timestamp
         return not a < b and not b < a and a != b
+
+    def overhead(self) -> MonitorOverhead:
+        """Real-time clock overhead of everything ingested so far."""
+        per_message = self._size * _obs.COMPONENT_BYTES
+        return MonitorOverhead(
+            vector_size=self._size,
+            message_count=len(self._order),
+            piggyback_bytes_per_message=per_message,
+            piggyback_bytes_total=per_message * len(self._order),
+        )
 
     def causal_history(self, name: str) -> List[MonitoredMessage]:
         """Every ingested message in the causal past of ``name``."""

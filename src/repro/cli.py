@@ -26,6 +26,11 @@ Commands operate on the JSON trace format of :mod:`repro.sim.trace_io`:
 
 ``demo``
     Reproduce the paper's Figure 6 sample execution.
+
+``obs``
+    Run the rendezvous runtime demo with observability enabled and
+    export the structured trace (JSONL) and metrics (Prometheus text
+    or JSON) — the live counterpart of the Theorem 4–8 size bounds.
 """
 
 from __future__ import annotations
@@ -258,6 +263,107 @@ def cmd_rsc(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from repro.apps.monitor import CausalMonitor
+    from repro.obs import instrument
+    from repro.obs.export import (
+        render_prometheus,
+        write_metrics,
+        write_trace_jsonl,
+    )
+    from repro.sim.runtime import ScriptRunner, receive, send
+
+    if args.topology_file:
+        topology = topology_from_dict(_load_json(args.topology_file))
+    else:
+        topology = _builtin_topology(args.family)
+    if args.rounds < 1:
+        raise SystemExit("--rounds must be at least 1")
+
+    with instrument.enabled_session(
+        trace_capacity=args.trace_capacity
+    ) as obs:
+        # Exact vertex cover keeps the theorem5_bound gauge the true
+        # min(beta(G), N-2) on demo-sized topologies; larger graphs
+        # fall back to the greedy-cover upper bound.
+        use_exact = topology.edge_count() <= 32
+        decomposition = decompose(topology, use_exact_cover=use_exact)
+
+        # One rendezvous per channel per round, every process following
+        # the same global edge order, so the schedule is deadlock-free;
+        # direction alternates per round to exercise both endpoints.
+        scripts = {process: [] for process in topology.vertices}
+        for round_index in range(args.rounds):
+            for edge in topology.edges:
+                u, v = edge.endpoints
+                if round_index % 2:
+                    u, v = v, u
+                scripts[u].append(send(v, f"round-{round_index}"))
+                scripts[v].append(receive(u))
+        transport = ScriptRunner(
+            decomposition, scripts, timeout=args.timeout
+        ).run()
+
+        monitor = CausalMonitor(decomposition.size)
+        for entry in transport.log:
+            monitor.ingest(
+                f"m{entry.order}",
+                entry.sender,
+                entry.receiver,
+                entry.timestamp,
+            )
+
+        active_tracer = instrument.get_tracer()
+        spans = active_tracer.finished()
+        dropped = active_tracer.dropped_count
+        registry = obs.registry
+        snapshot = registry.snapshot()
+        wait_hist = obs.rendezvous_wait_seconds
+        rows = [
+            ["processes", topology.vertex_count()],
+            ["channels", topology.edge_count()],
+            ["rendezvous", snapshot["rendezvous_total"]["value"]],
+            [
+                "vector components",
+                snapshot["vector_component_count"]["value"],
+            ],
+            ["decomposition size", snapshot["decomposition_size"]["value"]],
+            [
+                "theorem5 bound",
+                snapshot["theorem5_bound"]["value"],
+            ],
+            [
+                "mean rendezvous wait",
+                f"{wait_hist.mean() * 1e3:.3f} ms",
+            ],
+            ["spans collected", len(spans)],
+            ["clock overhead", monitor.overhead().describe()],
+        ]
+        if dropped:
+            rows.insert(
+                -1,
+                [
+                    "spans dropped (ring full)",
+                    f"{dropped}; raise --trace-capacity",
+                ],
+            )
+        print(render_table(["metric", "value"], rows))
+
+        if args.trace_out:
+            count = write_trace_jsonl(spans, args.trace_out)
+            print(f"{count} span(s) written to {args.trace_out}")
+        if args.metrics_out:
+            write_metrics(registry, args.metrics_out, fmt=args.metrics_format)
+            print(
+                f"metrics ({args.metrics_format}) written to "
+                f"{args.metrics_out}"
+            )
+        else:
+            print()
+            print(render_prometheus(registry), end="")
+    return 0
+
+
 def cmd_demo(args) -> int:
     del args
     from repro.sim.paper_figures import figure6_computation
@@ -369,6 +475,50 @@ def build_parser() -> argparse.ArgumentParser:
         "demo", help="reproduce the paper's Figure 6 execution"
     )
     demo_cmd.set_defaults(handler=cmd_demo)
+
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="run the threaded rendezvous demo with observability on; "
+        "export a JSONL trace and a metrics dump",
+    )
+    obs_cmd.add_argument("--topology-file", help="topology JSON")
+    obs_cmd.add_argument(
+        "--family",
+        default="ring:4",
+        help="built-in family (default ring:4), e.g. complete:5, "
+        "tree:3x4, client-server:2x10",
+    )
+    obs_cmd.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="rendezvous rounds over every channel (default 3)",
+    )
+    obs_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-rendezvous timeout in seconds (default 30)",
+    )
+    obs_cmd.add_argument(
+        "--trace-out", help="write the span trace (JSONL) here"
+    )
+    obs_cmd.add_argument(
+        "--metrics-out",
+        help="write the metrics dump here (default: print to stdout)",
+    )
+    obs_cmd.add_argument(
+        "--metrics-format",
+        default="prometheus",
+        choices=["prometheus", "json"],
+    )
+    obs_cmd.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=4096,
+        help="span ring-buffer capacity (default 4096)",
+    )
+    obs_cmd.set_defaults(handler=cmd_obs)
     return parser
 
 

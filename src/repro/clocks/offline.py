@@ -32,6 +32,7 @@ from repro.core.linear_extensions import (
 )
 from repro.core.poset import Poset
 from repro.core.vector import VectorTimestamp
+from repro.obs import instrument as _obs
 from repro.order.message_order import message_poset
 from repro.sim.computation import SyncComputation, SyncMessage
 
@@ -87,7 +88,10 @@ class OfflineRealizerClock(MessageTimestamper[VectorTimestamp]):
     def timestamp_computation(
         self, computation: SyncComputation
     ) -> TimestampAssignment:
-        poset = message_poset(computation)
+        with _obs.span(
+            "offline.message_poset", messages=len(computation)
+        ):
+            poset = message_poset(computation)
         return self.timestamp_poset(computation, poset)
 
     def timestamp_poset(
@@ -103,22 +107,36 @@ class OfflineRealizerClock(MessageTimestamper[VectorTimestamp]):
             self._last_realizer = []
             self._last_chains = []
             return TimestampAssignment(computation, {})
-        if self._chain_strategy == "matching":
-            chains = minimum_chain_partition(poset)
-        else:
-            chains = greedy_chain_partition(poset)
-        realizer = realizer_from_chain_partition(poset, chains)
+        with _obs.span(
+            "offline.chain_partition",
+            strategy=self._chain_strategy,
+            messages=len(poset),
+        ):
+            if self._chain_strategy == "matching":
+                chains = minimum_chain_partition(poset)
+            else:
+                chains = greedy_chain_partition(poset)
+        with _obs.span("offline.realizer", chains=len(chains)):
+            realizer = realizer_from_chain_partition(poset, chains)
         self._last_chains = chains
         self._last_realizer = realizer
         self._last_width = len(realizer)
 
-        rank_maps = [ranks_in_extension(ext) for ext in realizer]
-        timestamps: Dict[SyncMessage, VectorTimestamp] = {
-            message: VectorTimestamp(
-                ranks[message] for ranks in rank_maps
+        with _obs.span("offline.rank_vectors", width=len(realizer)):
+            rank_maps = [ranks_in_extension(ext) for ext in realizer]
+            timestamps: Dict[SyncMessage, VectorTimestamp] = {
+                message: VectorTimestamp(
+                    ranks[message] for ranks in rank_maps
+                )
+                for message in poset.elements
+            }
+        m = _obs.metrics
+        if m is not None:
+            m.offline_width.set(len(realizer))
+            m.theorem8_bound.set(
+                len(computation.active_processes()) // 2
             )
-            for message in poset.elements
-        }
+            m.messages_timestamped.inc(len(poset))
         return TimestampAssignment(computation, timestamps)
 
     def precedes(self, ts1: VectorTimestamp, ts2: VectorTimestamp) -> bool:

@@ -35,6 +35,7 @@ from repro.clocks.base import MessageTimestamper, TimestampAssignment
 from repro.core.vector import VectorTimestamp
 from repro.exceptions import ClockError
 from repro.graphs.decomposition import EdgeDecomposition, decompose
+from repro.obs import instrument as _obs
 from repro.sim.computation import Process, SyncComputation, SyncMessage
 
 
@@ -51,6 +52,9 @@ class OnlineProcessClock:
         self.process = process
         self._decomposition = decomposition
         self._vector = VectorTimestamp.zeros(decomposition.size)
+        m = _obs.metrics
+        if m is not None:
+            m.vector_component_count.set(decomposition.size)
 
     @property
     def vector(self) -> VectorTimestamp:
@@ -73,6 +77,12 @@ class OnlineProcessClock:
         ack_vector = self._vector
         group = self._decomposition.group_index_of(sender, self.process)
         self._vector = self._vector.join(piggybacked).incremented(group)
+        m = _obs.metrics
+        if m is not None:
+            payload = _obs.piggyback_size_bytes(piggybacked)
+            m.messages_timestamped.inc()
+            m.piggyback_bytes.observe(payload)
+            m.piggyback_bytes_total.inc(payload)
         return ack_vector, self._vector
 
     def on_acknowledgement(
@@ -81,6 +91,12 @@ class OnlineProcessClock:
         """Lines (09)-(11); returns the message timestamp (sender view)."""
         group = self._decomposition.group_index_of(self.process, receiver)
         self._vector = self._vector.join(ack_vector).incremented(group)
+        m = _obs.metrics
+        if m is not None:
+            payload = _obs.piggyback_size_bytes(ack_vector)
+            m.acks_processed.inc()
+            m.piggyback_bytes.observe(payload)
+            m.piggyback_bytes_total.inc(payload)
         return self._vector
 
 
@@ -99,6 +115,9 @@ class OnlineEdgeClock(MessageTimestamper[VectorTimestamp]):
         topology_decomposition: EdgeDecomposition,
     ):
         self._decomposition = topology_decomposition
+        m = _obs.metrics
+        if m is not None:
+            m.vector_component_count.set(topology_decomposition.size)
 
     @classmethod
     def for_topology(cls, topology) -> "OnlineEdgeClock":
@@ -137,6 +156,20 @@ class OnlineEdgeClock(MessageTimestamper[VectorTimestamp]):
             for process in computation.processes
         }
         timestamps: Dict[SyncMessage, VectorTimestamp] = {}
+        with _obs.span(
+            "online.timestamp_computation",
+            messages=len(computation.messages),
+            vector_size=self._decomposition.size,
+        ):
+            self._run_handshakes(computation, clocks, timestamps)
+        return TimestampAssignment(computation, timestamps)
+
+    def _run_handshakes(
+        self,
+        computation: SyncComputation,
+        clocks: Dict[Process, OnlineProcessClock],
+        timestamps: Dict[SyncMessage, VectorTimestamp],
+    ) -> None:
         for message in computation.messages:
             sender_clock = clocks[message.sender]
             receiver_clock = clocks[message.receiver]
@@ -153,7 +186,6 @@ class OnlineEdgeClock(MessageTimestamper[VectorTimestamp]):
                     f"{sender_view!r} vs {receiver_view!r}"
                 )
             timestamps[message] = sender_view
-        return TimestampAssignment(computation, timestamps)
 
     def precedes(
         self, ts1: VectorTimestamp, ts2: VectorTimestamp

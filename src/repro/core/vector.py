@@ -17,6 +17,8 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, Sequence, Tuple, Union
 
+from repro.obs import instrument as _obs
+
 Number = Union[int, float]
 
 #: Component value used for the "no successor message" vector of Section 5.
@@ -120,6 +122,12 @@ class VectorTimestamp:
     def __le__(self, other: "VectorTimestamp") -> bool:
         """Component-wise ``<=`` (reflexive closure of the vector order)."""
         self._check_compatible(other)
+        # O(d) comparison pass — the cost the paper's small vectors buy
+        # down.  The hook is a single attribute load + None test when
+        # observability is off (see the overhead guard test).
+        m = _obs.metrics
+        if m is not None:
+            m.vector_comparisons.inc()
         return all(a <= b for a, b in zip(self._components, other._components))
 
     def __lt__(self, other: "VectorTimestamp") -> bool:
@@ -155,6 +163,9 @@ class VectorTimestamp:
     def join(self, other: "VectorTimestamp") -> "VectorTimestamp":
         """Component-wise maximum (lines (5) and (9) of Figure 5)."""
         self._check_compatible(other)
+        m = _obs.metrics
+        if m is not None:
+            m.vector_joins.inc()
         return VectorTimestamp(
             max(a, b) for a, b in zip(self._components, other._components)
         )

@@ -44,6 +44,7 @@ from typing import (
 
 from repro.exceptions import DecompositionError, EdgeNotFoundError
 from repro.graphs.graph import Edge, UndirectedGraph, as_edge
+from repro.obs import instrument as _obs
 from repro.graphs.vertex_cover import (
     greedy_vertex_cover,
     is_vertex_cover,
@@ -270,77 +271,92 @@ def paper_decomposition_algorithm(
         trace.record(step, group, note)
         working.remove_edges(edges)
 
-    while working.edge_count() > 0:
-        # ---- First step: peel stars around degree-1 vertices. --------
-        progressed = True
-        while progressed:
-            progressed = False
-            for x in working.vertices:
-                if working.degree(x) != 1:
-                    continue
-                (edge,) = working.incident_edges(x)
-                y = edge.other(x)
-                star_edges = working.incident_edges(y)
+    with _obs.span(
+        "figure7.decompose",
+        vertices=graph.vertex_count(),
+        edges=graph.edge_count(),
+    ) as algo_span:
+        while working.edge_count() > 0:
+            # ---- First step: peel stars around degree-1 vertices. ----
+            before = len(groups)
+            with _obs.span("figure7.step1_pendant_stars") as sp:
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for x in working.vertices:
+                        if working.degree(x) != 1:
+                            continue
+                        (edge,) = working.incident_edges(x)
+                        y = edge.other(x)
+                        star_edges = working.incident_edges(y)
+                        emit_star(
+                            y,
+                            star_edges,
+                            step=1,
+                            note=f"vertex {x!r} has degree 1",
+                        )
+                        progressed = True
+                        break
+                sp.set_attribute("groups_emitted", len(groups) - before)
+
+            # ---- Second step: peel triangles with two deg-2 corners. -
+            before = len(groups)
+            with _obs.span("figure7.step2_triangles") as sp:
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for corners in working.triangles():
+                        low_degree = [
+                            v for v in corners if working.degree(v) == 2
+                        ]
+                        if len(low_degree) < 2:
+                            continue
+                        a, b, c = corners
+                        group = triangle_group(a, b, c)
+                        groups.append(group)
+                        trace.record(
+                            2,
+                            group,
+                            "two corners have degree 2",
+                        )
+                        working.remove_edges(group.edges)
+                        progressed = True
+                        break
+                sp.set_attribute("groups_emitted", len(groups) - before)
+
+            if working.edge_count() == 0:
+                break
+
+            # ---- Third step: split around the most-adjacent edge. ----
+            before = len(groups)
+            with _obs.span("figure7.step3_split") as sp:
+                if step3_choice == "most-adjacent":
+                    pivot = max(
+                        working.edges,
+                        key=lambda e: working.adjacent_edge_count(e),
+                    )
+                else:
+                    pivot = working.edges[0]
+                x, y = pivot.endpoints
+                if working.degree(x) > working.degree(y):
+                    x, y = y, x  # root the first star at busier endpoint
+                y_edges = working.incident_edges(y)
                 emit_star(
                     y,
-                    star_edges,
-                    step=1,
-                    note=f"vertex {x!r} has degree 1",
+                    y_edges,
+                    step=3,
+                    note=f"edge {pivot!r} has the most adjacent edges",
                 )
-                progressed = True
-                break
-
-        # ---- Second step: peel triangles with two degree-2 corners. --
-        progressed = True
-        while progressed:
-            progressed = False
-            for corners in working.triangles():
-                low_degree = [
-                    v for v in corners if working.degree(v) == 2
-                ]
-                if len(low_degree) < 2:
-                    continue
-                a, b, c = corners
-                group = triangle_group(a, b, c)
-                groups.append(group)
-                trace.record(
-                    2,
-                    group,
-                    "two corners have degree 2",
-                )
-                working.remove_edges(group.edges)
-                progressed = True
-                break
-
-        if working.edge_count() == 0:
-            break
-
-        # ---- Third step: split around the most-adjacent edge. --------
-        if step3_choice == "most-adjacent":
-            pivot = max(
-                working.edges,
-                key=lambda e: working.adjacent_edge_count(e),
-            )
-        else:
-            pivot = working.edges[0]
-        x, y = pivot.endpoints
-        if working.degree(x) > working.degree(y):
-            x, y = y, x  # root the first star at the busier endpoint y
-        y_edges = working.incident_edges(y)
-        emit_star(
-            y,
-            y_edges,
-            step=3,
-            note=f"edge {pivot!r} has the most adjacent edges",
-        )
-        x_edges = working.incident_edges(x)
-        if x_edges:
-            emit_star(
-                x,
-                x_edges,
-                step=3,
-                note=f"companion star of edge {pivot!r}",
-            )
+                x_edges = working.incident_edges(x)
+                if x_edges:
+                    emit_star(
+                        x,
+                        x_edges,
+                        step=3,
+                        note=f"companion star of edge {pivot!r}",
+                    )
+                sp.set_attribute("groups_emitted", len(groups) - before)
+        algo_span.set_attribute("groups", len(groups))
 
     return EdgeDecomposition(graph, groups), trace
 
@@ -570,17 +586,36 @@ def decompose(
     """
     if graph.edge_count() == 0:
         raise DecompositionError("cannot decompose a graph with no edges")
-    candidates: List[EdgeDecomposition] = [
-        paper_decomposition_algorithm(graph)[0],
-        vertex_cover_decomposition(graph, greedy_vertex_cover(graph)),
-        vertex_cover_decomposition(graph, matching_vertex_cover(graph)),
-    ]
-    if use_exact_cover:
-        from repro.graphs.vertex_cover import exact_vertex_cover
+    with _obs.span(
+        "decompose",
+        vertices=graph.vertex_count(),
+        edges=graph.edge_count(),
+        use_exact_cover=use_exact_cover,
+    ) as sp:
+        greedy_cover = greedy_vertex_cover(graph)
+        candidates: List[EdgeDecomposition] = [
+            paper_decomposition_algorithm(graph)[0],
+            vertex_cover_decomposition(graph, greedy_cover),
+            vertex_cover_decomposition(graph, matching_vertex_cover(graph)),
+        ]
+        cover_bound = len(greedy_cover)
+        if use_exact_cover:
+            from repro.graphs.vertex_cover import exact_vertex_cover
 
-        candidates.append(
-            vertex_cover_decomposition(graph, exact_vertex_cover(graph))
-        )
-    if graph.vertex_count() > 3:
-        candidates.append(bounded_decomposition(graph))
-    return min(candidates, key=lambda d: d.size)
+            exact_cover = exact_vertex_cover(graph)
+            cover_bound = len(exact_cover)
+            candidates.append(
+                vertex_cover_decomposition(graph, exact_cover)
+            )
+        if graph.vertex_count() > 3:
+            candidates.append(bounded_decomposition(graph))
+        best = min(candidates, key=lambda d: d.size)
+        sp.set_attribute("size", best.size)
+        m = _obs.metrics
+        if m is not None:
+            n_minus_2 = max(1, graph.vertex_count() - 2)
+            m.decomposition_size.set(best.size)
+            m.decomposition_bound_n_minus_2.set(n_minus_2)
+            m.decomposition_bound_cover.set(cover_bound)
+            m.theorem5_bound.set(min(cover_bound, n_minus_2))
+        return best

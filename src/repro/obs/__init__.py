@@ -1,0 +1,88 @@
+"""Observability: metrics, tracing, export, and runtime hooks.
+
+The layer turns the paper's quantitative bounds into live, exportable
+measurements:
+
+* :mod:`repro.obs.metrics` — thread-safe counters, gauges and
+  fixed-bucket histograms in a :class:`MetricsRegistry`;
+* :mod:`repro.obs.tracing` — nested spans with monotonic timing and a
+  ring-buffer collector;
+* :mod:`repro.obs.export` — JSONL traces and Prometheus-text metrics;
+* :mod:`repro.obs.instrument` — the zero-overhead-when-disabled hooks
+  embedded in the clocks, the rendezvous runtime, the decomposition
+  algorithms and the causal monitor.
+
+Quickstart::
+
+    from repro.obs import instrument
+    from repro.obs.export import render_prometheus, write_trace_jsonl
+
+    with instrument.enabled_session() as obs:
+        ...  # run clocks / the threaded runtime
+        print(render_prometheus(obs.registry))
+        write_trace_jsonl(instrument.get_tracer().finished(), "trace.jsonl")
+
+Importing this package never enables anything: hooks stay no-ops until
+:func:`repro.obs.instrument.enable` runs (``repro obs`` on the command
+line does this for one run).
+"""
+
+from repro.obs.export import (
+    metrics_to_json,
+    read_trace_jsonl,
+    render_prometheus,
+    spans_to_jsonl,
+    write_metrics,
+    write_trace_jsonl,
+)
+from repro.obs.instrument import (
+    Instrumented,
+    ObsMetrics,
+    disable,
+    enable,
+    enabled_session,
+    get_registry,
+    get_tracer,
+    is_enabled,
+    piggyback_size_bytes,
+    span,
+)
+from repro.obs.metrics import (
+    BYTE_BUCKETS,
+    DURATION_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "Counter",
+    "DURATION_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrumented",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ObsMetrics",
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled_session",
+    "get_registry",
+    "get_tracer",
+    "is_enabled",
+    "metrics_to_json",
+    "piggyback_size_bytes",
+    "read_trace_jsonl",
+    "render_prometheus",
+    "span",
+    "spans_to_jsonl",
+    "write_metrics",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,128 @@
+"""Export formats: JSONL span traces and Prometheus-text metrics.
+
+Two consumers, two formats:
+
+* traces go out as JSON Lines — one span per line, streamable, and
+  round-trippable back into :class:`~repro.obs.tracing.Span` objects
+  for offline analysis next to :mod:`repro.analysis`;
+* metrics render in the Prometheus text exposition format (version
+  0.0.4), so a scrape endpoint or a file drop integrates with standard
+  dashboards; a JSON snapshot is available for the repo's own tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import IO, Iterable, List, Union
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span
+
+PathOrFile = Union[str, IO[str]]
+
+
+# ----------------------------------------------------------------------
+# JSONL traces
+# ----------------------------------------------------------------------
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Render spans as JSON Lines (one compact object per line)."""
+    return "".join(
+        json.dumps(span.to_dict(), sort_keys=True) + "\n" for span in spans
+    )
+
+
+def write_trace_jsonl(spans: Iterable[Span], target: PathOrFile) -> int:
+    """Write spans to ``target`` (path or file object); returns count."""
+    spans = list(spans)
+    text = spans_to_jsonl(spans)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)
+    return len(spans)
+
+
+def read_trace_jsonl(source: PathOrFile) -> List[Span]:
+    """Parse a JSONL trace back into :class:`Span` objects."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = source.read()
+    spans: List[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _format_value(value) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format 0.0.4."""
+    lines: List[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name} {_format_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            for bound, count in metric.bucket_counts():
+                lines.append(
+                    f'{metric.name}_bucket{{le="{_format_value(bound)}"}} '
+                    f"{count}"
+                )
+            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count {metric.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def metrics_to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The registry snapshot as pretty-printed JSON."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def write_metrics(
+    registry: MetricsRegistry,
+    target: PathOrFile,
+    fmt: str = "prometheus",
+) -> None:
+    """Write the registry to ``target`` as ``"prometheus"`` or ``"json"``."""
+    if fmt == "prometheus":
+        text = render_prometheus(registry)
+    elif fmt == "json":
+        text = metrics_to_json(registry) + "\n"
+    else:
+        raise ValueError(
+            f"unknown metrics format {fmt!r}; "
+            "expected 'prometheus' or 'json'"
+        )
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)

@@ -1,0 +1,307 @@
+"""Thread-safe metrics primitives: counters, gauges, histograms.
+
+The paper's results are quantitative — vector sizes track the
+edge-decomposition size (Theorems 4–6), the offline width obeys
+``floor(N/2)`` (Theorem 8) — so the observability layer's first job is
+to turn those bounds into live numbers.  A :class:`MetricsRegistry`
+holds named metrics; every metric is safe to update concurrently from
+the rendezvous runtime's process threads (each instance guards its
+state with its own lock, and the registry guards creation, so the same
+name always resolves to the same object no matter which thread asks
+first).
+
+The three metric kinds mirror the Prometheus data model so
+:mod:`repro.obs.export` can render the registry in the Prometheus text
+exposition format without translation:
+
+* :class:`Counter` — monotonically increasing totals (messages
+  timestamped, vector comparisons, piggyback bytes);
+* :class:`Gauge` — point-in-time values (vector component count,
+  decomposition size, theorem bounds);
+* :class:`Histogram` — fixed-bucket distributions (rendezvous blocking
+  time, per-message piggyback bytes).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ReproError
+
+Number = Union[int, float]
+
+
+class MetricError(ReproError):
+    """Raised on metric misuse (name clash, bad buckets, bad value)."""
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise MetricError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A value that can move both ways (sizes, bounds, backlog)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self._value: Number = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: Number) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> Number:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"type": self.kind, "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+#: Default histogram buckets for second-valued durations (rendezvous
+#: blocking time): sub-millisecond up to ten seconds.
+DURATION_BUCKETS: Tuple[float, ...] = (
+    0.0001,
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    10.0,
+)
+
+#: Default buckets for byte-valued sizes (piggybacked vectors).
+BYTE_BUCKETS: Tuple[float, ...] = (
+    8.0,
+    16.0,
+    32.0,
+    64.0,
+    128.0,
+    256.0,
+    512.0,
+    1024.0,
+    4096.0,
+)
+
+
+class Histogram:
+    """A fixed-bucket histogram with Prometheus-style cumulative view.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; an
+    implicit ``+Inf`` bucket catches everything above the last bound.
+    An observation lands in the first bucket whose bound is ``>=`` the
+    value (i.e. bounds are inclusive upper edges, as in Prometheus'
+    ``le`` label).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "_bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[Number],
+        help: str = "",
+    ):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise MetricError(
+                f"histogram {name!r} needs at least one bucket bound"
+            )
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise MetricError(
+                f"histogram {name!r} bounds must be strictly increasing: "
+                f"{bounds}"
+            )
+        if bounds[-1] == float("inf"):
+            bounds = bounds[:-1]  # the +Inf bucket is implicit
+            if not bounds:
+                raise MetricError(
+                    f"histogram {name!r} needs a finite bucket bound"
+                )
+        self.name = name
+        self.help = help
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self._sum: float = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    @property
+    def bounds(self) -> Tuple[float, ...]:
+        """The finite upper bucket edges (``+Inf`` is implicit)."""
+        return self._bounds
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_edge, count)`` pairs ending at ``+Inf``."""
+        with self._lock:
+            counts = list(self._counts)
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self._bounds, counts):
+            running += count
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + counts[-1]))
+        return pairs
+
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "type": self.kind,
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": [
+                [bound, count] for bound, count in self.bucket_counts()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count})"
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of metrics, safe to share across threads.
+
+    ``counter`` / ``gauge`` / ``histogram`` are get-or-create: asking
+    twice for the same name returns the same object, and asking for an
+    existing name with a different kind is an error — so independent
+    modules can resolve the same metric without coordination.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, kind, factory) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, not {kind.kind}"
+                    )
+                return existing
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(
+            name, Counter, lambda: Counter(name, help)
+        )
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[Number] = DURATION_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets, help)
+        )
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return iter(sorted(metrics, key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A plain-data view of every metric (JSON-serializable)."""
+        return {metric.name: metric.snapshot() for metric in self}

@@ -1,0 +1,259 @@
+"""Span-based structured tracing with a bounded ring-buffer collector.
+
+A *span* is one timed operation — a rendezvous, a clock update, one
+phase of the Figure 7 decomposition algorithm.  Spans nest: the tracer
+keeps a per-thread stack, so a ``rendezvous.receive`` span opened while
+an ``online.on_receive`` span is active records the latter as its
+parent, and exported traces reconstruct the call tree across the
+runtime's process threads.
+
+Timing uses :func:`time.perf_counter` (monotonic, unaffected by wall
+clock adjustments).  Finished spans land in a :class:`collections.deque`
+ring buffer, so a long-lived instrumented process has a hard memory
+bound: old spans fall off the back instead of growing without limit.
+
+:data:`NULL_SPAN` is the shared no-op used by
+:mod:`repro.obs.instrument` when observability is disabled — entering
+it allocates nothing, which is what makes the disabled hook path free.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One timed, attributed operation.
+
+    ``start`` and ``duration`` are :func:`time.perf_counter` values —
+    meaningful relative to other spans from the same tracer, not as
+    wall-clock timestamps.  ``status`` is ``"ok"`` unless the traced
+    block raised, in which case it is ``"error"`` and ``error`` names
+    the exception.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "thread",
+        "attributes",
+        "start",
+        "duration",
+        "status",
+        "error",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        thread: str,
+        attributes: Dict[str, Any],
+        start: float,
+    ):
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread = thread
+        self.attributes = attributes
+        self.start = start
+        self.duration: Optional[float] = None
+        self.status = "ok"
+        self.error: Optional[str] = None
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one attribute while the span is open (or after)."""
+        self.attributes[key] = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable record (one JSONL line per span)."""
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "attributes": dict(self.attributes),
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Span":
+        span = cls(
+            name=record["name"],
+            span_id=record["span_id"],
+            parent_id=record.get("parent_id"),
+            thread=record.get("thread", ""),
+            attributes=dict(record.get("attributes", {})),
+            start=record["start"],
+        )
+        span.duration = record.get("duration")
+        span.status = record.get("status", "ok")
+        span.error = record.get("error")
+        return span
+
+    def __repr__(self) -> str:
+        took = (
+            f"{self.duration * 1e3:.3f}ms"
+            if self.duration is not None
+            else "open"
+        )
+        return f"Span({self.name!r}, id={self.span_id}, {took})"
+
+
+class _ActiveSpan:
+    """Context manager pairing a :class:`Span` with its tracer."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self.span)
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        span.duration = time.perf_counter() - span.start
+        if exc_type is not None:
+            span.status = "error"
+            span.error = f"{exc_type.__name__}: {exc}"
+        self._tracer._pop(span)
+        return False  # never swallow the exception
+
+
+class _NullSpan:
+    """Shared no-op stand-in used when observability is disabled.
+
+    It is both the context manager and the yielded "span": entering
+    returns itself, every mutator is inert, and no per-call object is
+    ever created.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+
+#: The singleton no-op span; identity-comparable in tests.
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans and collects the finished ones in a ring buffer.
+
+    >>> tracer = Tracer(capacity=16)
+    >>> with tracer.span("outer", size=3):
+    ...     with tracer.span("inner") as inner:
+    ...         inner.set_attribute("step", 1)
+    >>> [s.name for s in tracer.finished()]
+    ['inner', 'outer']
+    >>> tracer.finished()[0].parent_id == tracer.finished()[1].span_id
+    True
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._finished: deque = deque(maxlen=capacity)
+        self._ids = itertools.count(1)
+        self._stacks = threading.local()
+        self._lock = threading.Lock()
+        self._started = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def span(self, name: str, **attributes: Any) -> _ActiveSpan:
+        """Open a span; use as ``with tracer.span("op", key=val) as sp:``.
+
+        The parent is whatever span is innermost *on the calling
+        thread* at entry time, so nesting is correct even with many
+        runtime threads tracing concurrently.
+        """
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent_id,
+            thread=threading.current_thread().name,
+            attributes=attributes,
+            start=time.perf_counter(),
+        )
+        return _ActiveSpan(self, span)
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+        with self._lock:
+            self._started += 1
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # exited out of order; drop it anyway
+            stack.remove(span)
+        with self._lock:
+            self._finished.append(span)
+
+    # ------------------------------------------------------------------
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def finished(self) -> List[Span]:
+        """A snapshot of collected spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._finished)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.finished())
+
+    @property
+    def started_count(self) -> int:
+        """Spans opened so far (including ones evicted from the ring)."""
+        with self._lock:
+            return self._started
+
+    @property
+    def dropped_count(self) -> int:
+        """Spans evicted from the ring buffer (plus any still open)."""
+        with self._lock:
+            return self._started - len(self._finished)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()

@@ -17,11 +17,13 @@ against the ground truth — see ``tests/integration/test_runtime.py``.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.clocks.online import OnlineProcessClock
 from repro.core.vector import VectorTimestamp
+from repro.obs import instrument as _obs
 from repro.exceptions import RuntimeDeadlockError, SimulationError
 from repro.graphs.decomposition import EdgeDecomposition
 from repro.sim.computation import (
@@ -161,48 +163,73 @@ class SynchronousTransport:
     ) -> VectorTimestamp:
         """Blocking synchronous send; returns the message timestamp."""
         clock = self._clocks[sender]
-        with self._lock:
-            offer = _Offer(sender, payload, clock.prepare_send())
-            self._inboxes[to].append(offer)
-            self._arrival.notify_all()
-        if not offer.completed.wait(self._timeout):
-            raise RuntimeDeadlockError(
-                f"send from {sender!r} to {to!r} timed out; "
-                "no matching receive"
-            )
-        assert offer.ack_vector is not None
-        timestamp = clock.on_acknowledgement(to, offer.ack_vector)
-        if timestamp != offer.timestamp:  # pragma: no cover
-            raise SimulationError(
-                "sender and receiver disagree on a message timestamp"
-            )
-        return timestamp
+        m = _obs.metrics
+        with _obs.span(
+            "rendezvous.send", sender=str(sender), receiver=str(to)
+        ) as sp:
+            with self._lock:
+                offer = _Offer(sender, payload, clock.prepare_send())
+                self._inboxes[to].append(offer)
+                self._arrival.notify_all()
+            wait_started = time.perf_counter() if m is not None else 0.0
+            completed = offer.completed.wait(self._timeout)
+            if m is not None:
+                waited = time.perf_counter() - wait_started
+                m.rendezvous_wait_seconds.observe(waited)
+                sp.set_attribute("blocking_seconds", waited)
+            if not completed:
+                raise RuntimeDeadlockError(
+                    f"send from {sender!r} to {to!r} timed out; "
+                    "no matching receive"
+                )
+            assert offer.ack_vector is not None
+            timestamp = clock.on_acknowledgement(to, offer.ack_vector)
+            if timestamp != offer.timestamp:  # pragma: no cover
+                raise SimulationError(
+                    "sender and receiver disagree on a message timestamp"
+                )
+            return timestamp
 
     def receive(
         self, receiver: Process, source: Optional[Process] = None
     ) -> Tuple[Process, Any, VectorTimestamp]:
         """Blocking receive; returns ``(sender, payload, timestamp)``."""
         clock = self._clocks[receiver]
-        with self._lock:
-            offer = self._take_offer(receiver, source)
-            ack_vector, timestamp = clock.on_receive(
-                offer.sender, offer.piggybacked
-            )
-            offer.ack_vector = ack_vector
-            offer.timestamp = timestamp
-            self._log.append(
-                DeliveredMessage(
-                    order=len(self._log),
-                    sender=offer.sender,
-                    receiver=receiver,
-                    payload=offer.payload,
-                    timestamp=timestamp,
+        m = _obs.metrics
+        with _obs.span(
+            "rendezvous.receive",
+            receiver=str(receiver),
+            source=None if source is None else str(source),
+        ) as sp:
+            wait_started = time.perf_counter() if m is not None else 0.0
+            with self._lock:
+                offer = self._take_offer(receiver, source)
+                if m is not None:
+                    waited = time.perf_counter() - wait_started
+                    m.rendezvous_wait_seconds.observe(waited)
+                    sp.set_attribute("blocking_seconds", waited)
+                    sp.set_attribute("sender", str(offer.sender))
+                ack_vector, timestamp = clock.on_receive(
+                    offer.sender, offer.piggybacked
                 )
-            )
-            self._message_counts[offer.sender] += 1
-            self._message_counts[receiver] += 1
-            offer.completed.set()
-            return offer.sender, offer.payload, timestamp
+                offer.ack_vector = ack_vector
+                offer.timestamp = timestamp
+                self._log.append(
+                    DeliveredMessage(
+                        order=len(self._log),
+                        sender=offer.sender,
+                        receiver=receiver,
+                        payload=offer.payload,
+                        timestamp=timestamp,
+                    )
+                )
+                if m is not None:
+                    m.rendezvous_total.inc()
+                    sp.set_attribute("commit_order", len(self._log) - 1)
+                self._message_counts[offer.sender] += 1
+                self._message_counts[receiver] += 1
+                offer.completed.set()
+                return offer.sender, offer.payload, timestamp
 
     def record_internal(self, process: Process, label: str) -> InternalEvent:
         """Record an internal event of ``process`` (a compute action).

@@ -1,0 +1,14 @@
+"""Observability tests always start and end with the hooks disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import instrument
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    instrument.disable()
+    yield
+    instrument.disable()

@@ -1,0 +1,40 @@
+"""The obs layer must be import-clean — run the same guard CI runs."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_obs_import_clean.py"
+
+
+def test_obs_check_script_passes():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"]
+        if env.get("PYTHONPATH")
+        else src
+    )
+    completed = subprocess.run(
+        [sys.executable, str(SCRIPT)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert completed.returncode == 0, (
+        completed.stdout + completed.stderr
+    )
+    assert "obs-check: OK" in completed.stdout
+
+
+def test_importing_repro_does_not_enable_observability():
+    """In-process double check of the no-side-effect invariant."""
+    from repro.obs import instrument
+
+    assert not instrument.is_enabled()

@@ -1,0 +1,103 @@
+"""The disabled hook path must be free: no allocation, no objects.
+
+This is the contract that lets instrumentation live inside
+``VectorTimestamp.__le__`` (the hottest comparison in the library) and
+the rendezvous hot path: with observability off, every hook resolves
+to an attribute load plus a ``None`` test (metrics) or the shared
+:data:`NULL_SPAN` singleton (tracing).  ``tracemalloc`` pins down the
+"no measurable allocation" half; identity checks pin down the
+"no per-call objects" half.
+"""
+
+from __future__ import annotations
+
+import gc
+import tracemalloc
+
+from repro.core.vector import VectorTimestamp
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import path_topology
+from repro.obs import instrument
+from repro.obs.tracing import NULL_SPAN
+
+ITERATIONS = 5000
+
+#: Net-new bytes tolerated across ITERATIONS disabled-hook calls.
+#: Genuinely allocating hooks would retain or churn orders of
+#: magnitude more; this headroom only absorbs interpreter noise
+#: (e.g. tracemalloc's own bookkeeping).
+ALLOWANCE_BYTES = 2048
+
+
+def _net_allocation(fn) -> int:
+    """Net bytes retained by ``fn()`` (negative clamped to zero)."""
+    tracemalloc.start()
+    try:
+        fn()  # warm up caches, interned objects, lazy imports
+        gc.collect()  # drop cyclic garbage so only true retention counts
+        before, _ = tracemalloc.get_traced_memory()
+        fn()
+        gc.collect()
+        after, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return max(0, after - before)
+
+
+def test_disabled_span_hook_is_the_shared_singleton():
+    assert not instrument.is_enabled()
+    assert instrument.span("anything") is NULL_SPAN
+    assert instrument.span("other", attr=1) is NULL_SPAN
+
+
+def test_disabled_metrics_hook_is_none():
+    assert instrument.metrics is None
+
+
+def test_disabled_flag_check_allocates_nothing():
+    def hammer():
+        for _ in range(ITERATIONS):
+            m = instrument.metrics
+            if m is not None:  # pragma: no cover - disabled here
+                m.vector_comparisons.inc()
+
+    assert _net_allocation(hammer) <= ALLOWANCE_BYTES
+
+
+def test_disabled_span_entry_allocates_nothing():
+    def hammer():
+        for _ in range(ITERATIONS):
+            with instrument.span("rendezvous.send"):
+                pass
+
+    assert _net_allocation(hammer) <= ALLOWANCE_BYTES
+
+
+def test_disabled_vector_comparison_allocates_nothing_extra():
+    """The instrumented ``__le__`` must not retain memory per call."""
+    u = VectorTimestamp([1, 2, 3])
+    v = VectorTimestamp([2, 3, 4])
+
+    def hammer():
+        for _ in range(ITERATIONS):
+            u < v  # noqa: B015 - exercising the comparison on purpose
+
+    assert _net_allocation(hammer) <= ALLOWANCE_BYTES
+
+
+def test_disabled_online_handshake_allocates_like_the_bare_algorithm():
+    """A full clock handshake retains only its own vectors: the hook
+    contributions are invisible next to a loose allowance."""
+    decomposition = decompose(path_topology(2))
+
+    def hammer():
+        from repro.clocks.online import OnlineProcessClock
+
+        sender = OnlineProcessClock("P1", decomposition)
+        receiver = OnlineProcessClock("P2", decomposition)
+        for _ in range(200):
+            piggybacked = sender.prepare_send()
+            ack, _ = receiver.on_receive("P1", piggybacked)
+            sender.on_acknowledgement("P2", ack)
+
+    assert _net_allocation(hammer) <= 16384

@@ -1,0 +1,145 @@
+"""Tracing: nesting, exception safety, ring buffer, threads."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+
+class TestNesting:
+    def test_parent_child_links(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert tracer.current_span() is None
+
+        inner_span, outer_span = tracer.finished()
+        assert inner_span.name == "inner"
+        assert inner_span.parent_id == outer_span.span_id
+        assert outer_span.parent_id is None
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, root = tracer.finished()
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_attributes(self):
+        tracer = Tracer()
+        with tracer.span("op", size=3) as span:
+            span.set_attribute("extra", "yes")
+        (finished,) = tracer.finished()
+        assert finished.attributes == {"size": 3, "extra": "yes"}
+        assert finished.duration is not None
+        assert finished.duration >= 0
+
+
+class TestExceptionSafety:
+    def test_error_is_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        (span,) = tracer.finished()
+        assert span.status == "error"
+        assert span.error == "ValueError: boom"
+        assert span.duration is not None
+
+    def test_stack_unwinds_after_error(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("x")
+        assert tracer.current_span() is None
+        # A new span after the error is a root again.
+        with tracer.span("fresh"):
+            pass
+        assert tracer.finished()[-1].parent_id is None
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_the_newest(self):
+        tracer = Tracer(capacity=3)
+        for index in range(6):
+            with tracer.span(f"s{index}"):
+                pass
+        names = [span.name for span in tracer.finished()]
+        assert names == ["s3", "s4", "s5"]
+        assert tracer.started_count == 6
+        assert tracer.dropped_count == 3
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_clear(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.finished() == []
+
+
+class TestThreads:
+    def test_per_thread_stacks_do_not_cross(self):
+        """Spans opened on different threads must not adopt parents
+        from each other — each runtime process thread has its own
+        stack."""
+        tracer = Tracer()
+        barrier = threading.Barrier(2)
+
+        def worker(label: str) -> None:
+            with tracer.span(f"root-{label}"):
+                barrier.wait(timeout=5)
+                with tracer.span(f"child-{label}"):
+                    pass
+
+        threads = [
+            threading.Thread(target=worker, args=(name,), name=name)
+            for name in ("t1", "t2")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        spans = {span.name: span for span in tracer.finished()}
+        assert len(spans) == 4
+        for label in ("t1", "t2"):
+            child = spans[f"child-{label}"]
+            root = spans[f"root-{label}"]
+            assert child.parent_id == root.span_id
+            assert child.thread == label
+
+
+class TestNullSpan:
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set_attribute("ignored", 1)
+        assert span is NULL_SPAN
+
+    def test_null_span_does_not_swallow_exceptions(self):
+        with pytest.raises(KeyError):
+            with NULL_SPAN:
+                raise KeyError("x")
+
+
+class TestSpanDict:
+    def test_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("op", a=1) as span:
+            span.set_attribute("b", [1, 2])
+        (original,) = tracer.finished()
+        restored = Span.from_dict(original.to_dict())
+        assert restored.to_dict() == original.to_dict()

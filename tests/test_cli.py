@@ -182,3 +182,79 @@ class TestDiagramAndDemo:
         assert main(["demo"]) == 0
         out = capsys.readouterr().out
         assert "(1,1,1)" in out
+
+
+class TestObs:
+    def test_obs_run_emits_artifacts(self, tmp_path, capsys):
+        """Acceptance: JSONL with one span pair per rendezvous, plus a
+        Prometheus dump whose gauges satisfy Theorems 4 and 5."""
+        from repro.obs import instrument
+        from repro.obs.export import read_trace_jsonl
+
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        assert (
+            main(
+                [
+                    "obs",
+                    "--family",
+                    "ring:4",
+                    "--rounds",
+                    "3",
+                    "--trace-out",
+                    str(trace),
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "rendezvous" in out
+        assert "theorem5 bound" in out
+
+        spans = read_trace_jsonl(str(trace))
+        receives = [s for s in spans if s.name == "rendezvous.receive"]
+        sends = [s for s in spans if s.name == "rendezvous.send"]
+        # ring:4 x 3 rounds = 12 rendezvous; >= 1 span per rendezvous.
+        assert len(receives) == 12
+        assert len(sends) == 12
+
+        prom = metrics.read_text()
+        assert "rendezvous_total 12" in prom
+        # Theorem 4: component count == decomposition size; Theorem 5:
+        # size <= min(beta(G), N-2) (both 2 for a 4-ring).
+        assert "vector_component_count 2" in prom
+        assert "decomposition_size 2" in prom
+        assert "theorem5_bound 2" in prom
+        # The session restored the disabled state afterwards.
+        assert not instrument.is_enabled()
+
+    def test_obs_defaults_print_prometheus(self, capsys):
+        assert main(["obs"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE rendezvous_total counter" in out
+        assert "vector_component_count" in out
+
+    def test_obs_json_metrics(self, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "--family",
+                    "star:4",
+                    "--metrics-out",
+                    str(metrics),
+                    "--metrics-format",
+                    "json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(metrics.read_text())
+        assert payload["vector_component_count"]["value"] == 1
+
+    def test_obs_rejects_bad_rounds(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "--family", "ring:4", "--rounds", "0"])
