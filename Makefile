@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test obs-check lint bench bench-report examples all clean
+.PHONY: install test obs-check lint bench bench-batch bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +29,10 @@ lint:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Slow-vs-fast online stamping snapshot; refreshes BENCH_batch.json.
+bench-batch:
+	$(PYTHON) -m pytest benchmarks/test_bench_batch.py -q
 
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

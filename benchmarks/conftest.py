@@ -23,8 +23,16 @@ _REPORT_BUFFER: List[str] = []
 #: ``record_perf``), flushed to ``BENCH_obs.json`` at session end.
 _PERF_SNAPSHOT: Dict[str, object] = {}
 
+#: Batch fast-path snapshot entries (see ``record_batch_perf``),
+#: flushed to ``BENCH_batch.json`` at session end.
+_BATCH_SNAPSHOT: Dict[str, object] = {}
+
 PERF_SNAPSHOT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+)
+
+BATCH_SNAPSHOT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_batch.json"
 )
 
 
@@ -36,6 +44,19 @@ def record_perf(key: str, value) -> None:
     in the hook path show up as a trajectory, not an anecdote.
     """
     _PERF_SNAPSHOT[key] = value
+
+
+def record_batch_perf(key: str, value) -> None:
+    """Add one entry to the ``BENCH_batch.json`` perf snapshot.
+
+    Tracks slow (per-object handshake) vs. fast (``stamp_batch``)
+    online stamping throughput across runs.
+    """
+    _BATCH_SNAPSHOT[key] = value
+
+
+def _utc_now_iso() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat()
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -50,10 +71,27 @@ def _write_perf_snapshot():
     on = payload.get("online_stamping_on")
     if isinstance(off, dict) and isinstance(on, dict):
         payload["obs_overhead_ratio"] = on["seconds"] / off["seconds"]
-    payload["generated_utc"] = (
-        datetime.datetime.now(datetime.timezone.utc).isoformat()
-    )
+    payload["generated_utc"] = _utc_now_iso()
     PERF_SNAPSHOT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_batch_snapshot():
+    """Flush recorded batch entries to ``BENCH_batch.json`` on teardown."""
+    _BATCH_SNAPSHOT.clear()
+    yield
+    if not _BATCH_SNAPSHOT:
+        return
+    payload = dict(_BATCH_SNAPSHOT)
+    slow = payload.get("handshake_path")
+    fast = payload.get("batch_path")
+    if isinstance(slow, dict) and isinstance(fast, dict):
+        payload["batch_speedup"] = slow["seconds"] / fast["seconds"]
+    payload["generated_utc"] = _utc_now_iso()
+    BATCH_SNAPSHOT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

@@ -24,6 +24,7 @@ from repro.core.dimension import (
     dimension_upper_bound,
     standard_example,
 )
+from repro.core.fastpath import MutableVector, stamp_batch
 from repro.core.ideals import (
     all_ideals,
     down_closure,
@@ -57,6 +58,7 @@ from repro.core.vector import (
 __all__ = [
     "BipartiteMatcher",
     "INFINITY",
+    "MutableVector",
     "Poset",
     "VectorTimestamp",
     "all_ideals",
@@ -89,6 +91,7 @@ __all__ = [
     "minimum_width_realizer",
     "ranks_in_extension",
     "realizer_from_chain_partition",
+    "stamp_batch",
     "standard_example",
     "strictly_dominates",
     "width",

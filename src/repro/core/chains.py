@@ -21,15 +21,23 @@ longest-chain-peeling partition used by the ablation benchmarks.
 
 from __future__ import annotations
 
-import sys
+import weakref
 from collections import deque
 from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.poset import Poset
+from repro.exceptions import PosetError
 
 Element = Hashable
 
-_UNMATCHED = object()
+#: Sentinel index for an unmatched vertex.
+_FREE = -1
+#: BFS layer value meaning "not layered this phase".
+_UNLAYERED = -1
+#: Layer value assigned to vertices proven dead ends this phase; chosen so
+#: ``_RETIRED + 1`` can never equal a live layer (layers are ``>= 0``) nor
+#: :data:`_UNLAYERED`, so retired vertices are never re-entered.
+_RETIRED = -3
 
 
 class BipartiteMatcher:
@@ -37,7 +45,14 @@ class BipartiteMatcher:
 
     ``adjacency`` maps each left vertex to the iterable of right vertices
     it may be matched with.  Left and right vertex sets may overlap as
-    Python values; they are treated as disjoint sides.
+    Python values; they are treated as disjoint sides.  Vertices within
+    each side must be distinct values.
+
+    The augmenting-path search is an explicit-stack iterative DFS, so
+    arbitrarily long alternating paths (near-chain posets produce paths
+    as long as the vertex count) never touch the interpreter's recursion
+    limit.  Internally vertices are insertion indices; values are only
+    hashed once at construction and translated back at the API boundary.
     """
 
     def __init__(
@@ -46,31 +61,62 @@ class BipartiteMatcher:
         right: Sequence[Element],
         adjacency: Dict[Element, Sequence[Element]],
     ):
-        self._left = list(left)
-        self._right = list(right)
-        self._adjacency = {u: list(adjacency.get(u, ())) for u in self._left}
-        self._match_left: Dict[Element, Element] = {}
-        self._match_right: Dict[Element, Element] = {}
+        left_values = list(left)
+        right_values = list(right)
+        right_index = {v: j for j, v in enumerate(right_values)}
+        adj = [
+            [right_index[v] for v in adjacency.get(u, ())]
+            for u in left_values
+        ]
+        self._init_from_indices(left_values, right_values, adj)
+
+    @classmethod
+    def from_adjacency_lists(
+        cls,
+        left: Sequence[Element],
+        right: Sequence[Element],
+        adjacency: Sequence[Sequence[int]],
+    ) -> "BipartiteMatcher":
+        """Build from pre-resolved right-vertex *indices* per left vertex.
+
+        Skips the per-edge hashing of the value-based constructor; the
+        comparability matcher feeds the poset's cached successor index
+        straight in.
+        """
+        matcher = cls.__new__(cls)
+        matcher._init_from_indices(
+            list(left), list(right), [list(row) for row in adjacency]
+        )
+        return matcher
+
+    def _init_from_indices(
+        self,
+        left_values: List[Element],
+        right_values: List[Element],
+        adj: List[List[int]],
+    ) -> None:
+        self._left = left_values
+        self._right = right_values
+        self._adj = adj
+        self._match_left: List[int] = [_FREE] * len(left_values)
+        self._match_right: List[int] = [_FREE] * len(right_values)
+        self._matching_size = 0
         self._solved = False
 
     # ------------------------------------------------------------------
     def solve(self) -> Dict[Element, Element]:
         """Run the algorithm; returns the left-to-right matching map."""
-        if self._solved:
-            return dict(self._match_left)
-        # Augmenting-path DFS recursion depth is bounded by the number of
-        # left vertices; posets that are near-chains can hit Python's
-        # default limit, so give ourselves headroom for this call.
-        needed = len(self._left) + 100
-        old_limit = sys.getrecursionlimit()
-        if needed > old_limit:
-            sys.setrecursionlimit(needed + old_limit)
-        try:
+        self._ensure_solved()
+        return {
+            self._left[u]: self._right[v]
+            for u, v in enumerate(self._match_left)
+            if v != _FREE
+        }
+
+    def _ensure_solved(self) -> None:
+        if not self._solved:
             self._run_phases()
-        finally:
-            sys.setrecursionlimit(old_limit)
-        self._solved = True
-        return dict(self._match_left)
+            self._solved = True
 
     def _run_phases(self) -> None:
         while True:
@@ -78,55 +124,80 @@ class BipartiteMatcher:
             if layers is None:
                 break
             augmented = 0
-            for u in self._left:
-                if u not in self._match_left:
+            for u in range(len(self._left)):
+                if self._match_left[u] == _FREE:
                     if self._dfs_augment(u, layers):
                         augmented += 1
             if augmented == 0:
                 break
 
     def matching_size(self) -> int:
-        self.solve()
-        return len(self._match_left)
+        self._ensure_solved()
+        return self._matching_size
 
     # ------------------------------------------------------------------
-    def _bfs_layers(self) -> Optional[Dict[Element, int]]:
+    def _bfs_layers(self) -> Optional[List[int]]:
         """Layer left vertices by shortest alternating path from a free one.
 
         Returns ``None`` when no augmenting path exists.
         """
-        layers: Dict[Element, int] = {}
+        match_left = self._match_left
+        match_right = self._match_right
+        layers = [_UNLAYERED] * len(self._left)
         queue: deque = deque()
-        for u in self._left:
-            if u not in self._match_left:
+        for u in range(len(self._left)):
+            if match_left[u] == _FREE:
                 layers[u] = 0
                 queue.append(u)
         found_free_right = False
         while queue:
             u = queue.popleft()
-            for v in self._adjacency[u]:
-                matched = self._match_right.get(v, _UNMATCHED)
-                if matched is _UNMATCHED:
+            next_layer = layers[u] + 1
+            for v in self._adj[u]:
+                w = match_right[v]
+                if w == _FREE:
                     found_free_right = True
-                elif matched not in layers:
-                    layers[matched] = layers[u] + 1
-                    queue.append(matched)
+                elif layers[w] == _UNLAYERED:
+                    layers[w] = next_layer
+                    queue.append(w)
         return layers if found_free_right else None
 
-    def _dfs_augment(self, u: Element, layers: Dict[Element, int]) -> bool:
-        for v in self._adjacency[u]:
-            matched = self._match_right.get(v, _UNMATCHED)
-            if matched is _UNMATCHED:
-                self._match_left[u] = v
-                self._match_right[v] = u
-                return True
-            if layers.get(matched) == layers.get(u, -2) + 1:
-                if self._dfs_augment(matched, layers):
-                    self._match_left[u] = v
-                    self._match_right[v] = u
+    def _dfs_augment(self, root: int, layers: List[int]) -> bool:
+        """Search for one augmenting path from free left vertex ``root``.
+
+        Explicit-stack DFS: each frame is ``[u, edge_iterator, chosen_v]``.
+        On reaching a free right vertex the whole stack is flipped into
+        the matching; dead ends are retired from this phase's layering so
+        sibling searches skip them (the layered-graph pruning Hopcroft–
+        Karp relies on for its complexity bound).
+        """
+        adj = self._adj
+        match_left = self._match_left
+        match_right = self._match_right
+        stack: List[List] = [[root, iter(adj[root]), _FREE]]
+        while stack:
+            frame = stack[-1]
+            u = frame[0]
+            next_layer = layers[u] + 1
+            descended = False
+            for v in frame[1]:
+                w = match_right[v]
+                if w == _FREE:
+                    # Free right vertex: flip every edge on the stack.
+                    frame[2] = v
+                    for fu, _edges, fv in stack:
+                        match_left[fu] = fv
+                        match_right[fv] = fu
+                    self._matching_size += 1
                     return True
-        # Dead end: remove u from this phase's layering.
-        layers.pop(u, None)
+                if layers[w] == next_layer:
+                    frame[2] = v
+                    stack.append([w, iter(adj[w]), _FREE])
+                    descended = True
+                    break
+            if not descended:
+                layers[u] = _RETIRED
+                stack.pop()
         return False
 
     # ------------------------------------------------------------------
@@ -137,41 +208,63 @@ class BipartiteMatcher:
         left vertex, plus right vertices that *are* reachable, form a
         minimum vertex cover of the bipartite graph.
         """
-        self.solve()
-        visited_left: Set[Element] = set()
-        visited_right: Set[Element] = set()
-        queue: deque = deque(
-            u for u in self._left if u not in self._match_left
-        )
-        visited_left.update(queue)
+        self._ensure_solved()
+        match_left = self._match_left
+        match_right = self._match_right
+        visited_left = [False] * len(self._left)
+        visited_right = [False] * len(self._right)
+        queue: deque = deque()
+        for u in range(len(self._left)):
+            if match_left[u] == _FREE:
+                visited_left[u] = True
+                queue.append(u)
         while queue:
             u = queue.popleft()
-            for v in self._adjacency[u]:
-                if v in visited_right:
+            for v in self._adj[u]:
+                if visited_right[v]:
                     continue
-                visited_right.add(v)
-                matched = self._match_right.get(v, _UNMATCHED)
-                if matched is not _UNMATCHED and matched not in visited_left:
-                    visited_left.add(matched)
-                    queue.append(matched)
-        left_cover = {u for u in self._left if u not in visited_left}
-        right_cover = {v for v in self._right if v in visited_right}
+                visited_right[v] = True
+                w = match_right[v]
+                if w != _FREE and not visited_left[w]:
+                    visited_left[w] = True
+                    queue.append(w)
+        left_cover = {
+            self._left[u]
+            for u in range(len(self._left))
+            if not visited_left[u]
+        }
+        right_cover = {
+            self._right[v]
+            for v in range(len(self._right))
+            if visited_right[v]
+        }
         return left_cover, right_cover
 
 
 # ----------------------------------------------------------------------
 # Dilworth machinery on posets
 # ----------------------------------------------------------------------
+#: Solved comparability matchers, keyed weakly by poset so repeated
+#: ``width`` / ``minimum_chain_partition`` / ``maximum_antichain`` calls
+#: on the same poset reuse one matching instead of re-running the
+#: Hopcroft–Karp phases.  Weak keys keep the cache from pinning posets.
+_MATCHER_CACHE: "weakref.WeakKeyDictionary[Poset, BipartiteMatcher]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def _comparability_matcher(poset: Poset) -> BipartiteMatcher:
-    elements = list(poset.elements)
-    adjacency = {
-        x: [y for y in poset.strictly_above(x)] for x in elements
-    }
-    # Sort successor lists deterministically by insertion order.
-    index = {e: i for i, e in enumerate(elements)}
-    for x in adjacency:
-        adjacency[x].sort(key=index.__getitem__)
-    return BipartiteMatcher(elements, elements, adjacency)
+    matcher = _MATCHER_CACHE.get(poset)
+    if matcher is None:
+        elements = poset.elements
+        # The poset's cached successor index is exactly the bipartite
+        # adjacency (x_left -> y_right iff x < y), already sorted by
+        # insertion order for determinism.
+        matcher = BipartiteMatcher.from_adjacency_lists(
+            elements, elements, poset.successor_index()
+        )
+        _MATCHER_CACHE[poset] = matcher
+    return matcher
 
 
 def minimum_chain_partition(poset: Poset) -> List[List[Element]]:
@@ -223,7 +316,11 @@ def maximum_antichain(poset: Poset) -> List[Element]:
         for e in poset.elements
         if e not in left_cover and e not in right_cover
     ]
-    assert poset.is_antichain(antichain), "Kőnig extraction failed"
+    if not poset.is_antichain(antichain):
+        raise PosetError(
+            "Kőnig extraction produced a non-antichain of size "
+            f"{len(antichain)}; the matching or cover is inconsistent"
+        )
     return antichain
 
 

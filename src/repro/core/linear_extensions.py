@@ -24,10 +24,11 @@ above ``y``) and ``L_j`` (where ``y`` is above ``x``).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, Hashable, Iterator, List, Sequence, Set, Tuple
 
 from repro.core.chains import minimum_chain_partition
-from repro.core.poset import Poset, _topological_order
+from repro.core.poset import Poset
 from repro.exceptions import NotALinearExtensionError, PosetError
 
 Element = Hashable
@@ -105,20 +106,62 @@ def chain_forced_extension(
     if not poset.is_chain(items):
         raise PosetError("chain_forced_extension requires a chain")
 
-    chain_set = set(items)
-    successors: Dict[Element, Set[Element]] = {}
-    for element in poset.elements:
-        successors[element] = set(poset.strictly_above(element))
-    for c in chain_set:
-        for x in poset.elements:
-            if x != c and x not in chain_set and poset.concurrent(x, c):
-                successors[x].add(c)
-            # Incomparable pairs inside the chain cannot exist.
+    # Deferred-chain Kahn's algorithm over the poset's cached successor
+    # index.  Materializing the forced edges ``x -> c`` (x incomparable
+    # to chain element c) is O(n * |C|); instead observe that in the
+    # augmented graph a chain element c has indegree
+    # ``|below(c)| + |incomp(c)| = n - 1 - |above(c)|``, so c becomes
+    # ready exactly when ``len(order) == n - 1 - |above(c)|`` — and at
+    # that moment nothing else can be ready (anything unplaced is above
+    # c and hence still blocked by c).  Since the chain is totally
+    # ordered, at most one chain element is ever waiting on that
+    # condition, so a single ``stalled`` slot suffices and the emitted
+    # order is identical to a topological sort of the full augmented
+    # relation.
+    elements = poset.elements
+    n = len(elements)
+    succ = poset.successor_index()
+    element_index = {e: i for i, e in enumerate(elements)}
+    in_chain = [False] * n
+    for element in items:
+        in_chain[element_index[element]] = True
 
-    order = _topological_order(list(poset.elements), successors)
-    if order is None:  # pragma: no cover - excluded by the lemma
-        raise PosetError("chain-forced relation unexpectedly cyclic")
-    return order
+    indegree = [0] * n
+    for row in succ:
+        for j in row:
+            indegree[j] += 1
+
+    def _chain_threshold(i: int) -> int:
+        return n - 1 - len(succ[i])
+
+    stalled = -1
+    ready: deque = deque()
+    for i in range(n):
+        if indegree[i] == 0:
+            if in_chain[i] and _chain_threshold(i) != 0:
+                stalled = i
+            else:
+                ready.append(i)
+
+    order_ids: List[int] = []
+    while ready or stalled != -1:
+        if stalled != -1 and len(order_ids) == _chain_threshold(stalled):
+            current = stalled
+            stalled = -1
+        elif ready:
+            current = ready.popleft()
+        else:  # pragma: no cover - excluded by the chain-forcing lemma
+            raise PosetError("chain-forced relation unexpectedly cyclic")
+        order_ids.append(current)
+        placed = len(order_ids)
+        for j in succ[current]:
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                if in_chain[j] and _chain_threshold(j) != placed:
+                    stalled = j
+                else:
+                    ready.append(j)
+    return [elements[i] for i in order_ids]
 
 
 def realizer_from_chain_partition(

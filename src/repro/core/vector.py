@@ -119,9 +119,23 @@ class VectorTimestamp:
                 f"{len(self)} vs {len(other)}"
             )
 
-    def __le__(self, other: "VectorTimestamp") -> bool:
-        """Component-wise ``<=`` (reflexive closure of the vector order)."""
-        self._check_compatible(other)
+    def _check_same_size(self, other: "VectorTimestamp") -> None:
+        if len(self._components) != len(other._components):
+            raise ValueError(
+                "cannot compare vectors of different sizes: "
+                f"{len(self)} vs {len(other)}"
+            )
+
+    def __le__(self, other: object) -> bool:
+        """Component-wise ``<=`` (reflexive closure of the vector order).
+
+        Foreign operand types get ``NotImplemented`` back so Python can
+        try the reflected comparison; only a size mismatch between two
+        vectors is a hard :class:`ValueError`.
+        """
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        self._check_same_size(other)
         # O(d) comparison pass — the cost the paper's small vectors buy
         # down.  The hook is a single attribute load + None test when
         # observability is off (see the overhead guard test).
@@ -130,18 +144,31 @@ class VectorTimestamp:
             m.vector_comparisons.inc()
         return all(a <= b for a, b in zip(self._components, other._components))
 
-    def __lt__(self, other: "VectorTimestamp") -> bool:
-        """The strict vector order of Equation (2)."""
-        self._check_compatible(other)
-        return self <= other and self._components != other._components
+    def __lt__(self, other: object) -> bool:
+        """The strict vector order of Equation (2), in a single pass."""
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        self._check_same_size(other)
+        m = _obs.metrics
+        if m is not None:
+            m.vector_comparisons.inc()
+        strict = False
+        for a, b in zip(self._components, other._components):
+            if a > b:
+                return False
+            if a < b:
+                strict = True
+        return strict
 
-    def __ge__(self, other: "VectorTimestamp") -> bool:
-        self._check_compatible(other)
-        return other <= self
+    def __ge__(self, other: object) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        return other.__le__(self)
 
-    def __gt__(self, other: "VectorTimestamp") -> bool:
-        self._check_compatible(other)
-        return other < self
+    def __gt__(self, other: object) -> bool:
+        if not isinstance(other, VectorTimestamp):
+            return NotImplemented
+        return other.__lt__(self)
 
     def concurrent_with(self, other: "VectorTimestamp") -> bool:
         """True when neither vector is below the other (``u ‖ v``).

@@ -195,6 +195,26 @@ class Histogram:
             self._sum += value
             self._count += 1
 
+    def observe_many(self, value: Number, count: int) -> None:
+        """Record ``count`` identical observations in one locked update.
+
+        Batch call sites (``repro.core.fastpath``) use this to mirror
+        what ``count`` individual :meth:`observe` calls would have
+        recorded without paying the per-observation lock round-trips.
+        """
+        if count < 0:
+            raise MetricError(
+                f"histogram {self.name!r} observation count must be "
+                f"non-negative, got {count}"
+            )
+        if count == 0:
+            return
+        index = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[index] += count
+            self._sum += value * count
+            self._count += count
+
     @property
     def count(self) -> int:
         with self._lock:

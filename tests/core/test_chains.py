@@ -2,11 +2,15 @@
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 from hypothesis import given, settings
 
+from repro.core import chains as chains_module
 from repro.core.chains import (
     BipartiteMatcher,
+    _comparability_matcher,
     antichain_partition,
     greedy_chain_partition,
     is_chain_partition,
@@ -16,6 +20,7 @@ from repro.core.chains import (
 )
 from repro.core.dimension import standard_example
 from repro.core.poset import Poset
+from repro.exceptions import PosetError
 from tests.strategies import posets_from_computations
 
 
@@ -56,6 +61,67 @@ class TestBipartiteMatcher:
     def test_solve_idempotent(self):
         matcher = BipartiteMatcher(["a"], ["x"], {"a": ["x"]})
         assert matcher.solve() == matcher.solve()
+
+    def test_deep_augmenting_path_stays_iterative(self):
+        """A staircase graph forcing one augmenting path of length ~2k.
+
+        Left vertices are listed in *reverse* order so the first phase
+        greedily matches ``u_i -> r_(i-1)``, leaving ``u_0`` free; the
+        second phase must then augment along the full staircase
+        ``u_0 -> r_0 -> u_1 -> r_1 -> ... -> r_(k-1)``.  With the old
+        recursive DFS this needed recursion depth ``k`` (here 3x the
+        interpreter default); the iterative rewrite must neither crash
+        nor touch the recursion limit.
+        """
+        k = 3_000
+        left = [f"u{i}" for i in reversed(range(k))]
+        right = [f"r{i}" for i in range(k)]
+        adjacency = {
+            f"u{i}": [f"r{j}" for j in (i - 1, i) if j >= 0]
+            for i in range(k)
+        }
+        limit_before = sys.getrecursionlimit()
+        matcher = BipartiteMatcher(left, right, adjacency)
+        matching = matcher.solve()
+        assert sys.getrecursionlimit() == limit_before
+        assert matcher.matching_size() == k
+        assert matching == {f"u{i}": f"r{i}" for i in range(k)}
+
+
+class TestMatcherCache:
+    def test_same_poset_reuses_matcher(self):
+        poset = standard_example(3)
+        assert _comparability_matcher(poset) is _comparability_matcher(poset)
+
+    def test_matching_solved_once_across_queries(self, monkeypatch):
+        poset = standard_example(3)
+        calls = []
+        original = BipartiteMatcher._run_phases
+
+        def counting(self):
+            calls.append(1)
+            return original(self)
+
+        monkeypatch.setattr(BipartiteMatcher, "_run_phases", counting)
+        expected_width = width(poset)
+        assert len(minimum_chain_partition(poset)) == expected_width
+        assert len(maximum_antichain(poset)) == expected_width
+        assert len(calls) == 1
+
+    def test_distinct_posets_get_distinct_matchers(self):
+        first = Poset.chain("abc")
+        second = Poset.chain("abc")
+        assert _comparability_matcher(first) is not _comparability_matcher(
+            second
+        )
+
+    def test_cache_does_not_pin_posets(self):
+        poset = Poset.chain("abc")
+        width(poset)
+        assert poset in chains_module._MATCHER_CACHE
+        before = len(chains_module._MATCHER_CACHE)
+        del poset
+        assert len(chains_module._MATCHER_CACHE) < before
 
 
 class TestWidth:
@@ -136,6 +202,19 @@ class TestMaximumAntichain:
         antichain = maximum_antichain(poset)
         assert poset.is_antichain(antichain)
         assert len(antichain) == width(poset)
+
+    def test_failed_extraction_raises_even_when_optimized(self, monkeypatch):
+        """The Kőnig sanity check must survive ``python -O``.
+
+        It used to be an ``assert`` statement, which ``-O`` strips; a
+        corrupted extraction would then return silently.  Simulate the
+        corruption by making the antichain validation fail.
+        """
+        monkeypatch.setattr(
+            Poset, "is_antichain", lambda self, elements: False
+        )
+        with pytest.raises(PosetError, match="non-antichain"):
+            maximum_antichain(Poset.chain("abc"))
 
 
 class TestOtherPartitions:

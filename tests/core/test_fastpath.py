@@ -1,0 +1,123 @@
+"""Unit tests for the batch stamping workspace and fast path."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.fastpath import MutableVector, stamp_batch
+from repro.core.vector import VectorTimestamp
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import star_topology, triangle_topology
+from repro.obs import instrument
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.computation import SyncComputation
+from repro.sim.workload import random_computation
+
+
+class TestMutableVector:
+    def test_zeros(self):
+        assert list(MutableVector.zeros(3)) == [0, 0, 0]
+
+    def test_zeros_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MutableVector.zeros(-1)
+
+    def test_join_into_takes_componentwise_max(self):
+        u = MutableVector([1, 0, 2])
+        u.join_into(MutableVector([0, 3, 2]))
+        assert list(u) == [1, 3, 2]
+
+    def test_join_into_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MutableVector([1]).join_into(MutableVector([1, 2]))
+
+    def test_join_into_self_is_identity(self):
+        u = MutableVector([2, 5])
+        u.join_into(u)
+        assert list(u) == [2, 5]
+
+    def test_inc(self):
+        u = MutableVector([0, 0])
+        u.inc(1)
+        assert list(u) == [0, 1]
+
+    def test_inc_out_of_range(self):
+        with pytest.raises(IndexError):
+            MutableVector([0]).inc(1)
+        with pytest.raises(IndexError):
+            MutableVector([0]).inc(-1)
+
+    def test_copy_from(self):
+        u = MutableVector([0, 0])
+        u.copy_from(MutableVector([4, 5]))
+        assert list(u) == [4, 5]
+
+    def test_copy_from_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MutableVector([0]).copy_from(MutableVector([1, 2]))
+
+    def test_copy_from_does_not_alias(self):
+        source = MutableVector([1, 2])
+        target = MutableVector([0, 0])
+        target.copy_from(source)
+        source.inc(0)
+        assert list(target) == [1, 2]
+
+    def test_freeze_returns_immutable_snapshot(self):
+        u = MutableVector([1, 2])
+        frozen = u.freeze()
+        u.inc(0)
+        assert frozen == VectorTimestamp([1, 2])
+        assert frozen.components == (1, 2)
+
+    def test_freeze_preserves_int_components(self):
+        frozen = MutableVector.zeros(2).freeze()
+        assert all(type(c) is int for c in frozen.components)
+
+    def test_sequence_protocol(self):
+        u = MutableVector([7, 8])
+        assert len(u) == 2
+        assert u[1] == 8
+        assert "7,8" in repr(u)
+
+
+class TestStampBatch:
+    def test_empty_computation_sets_component_gauge(self):
+        topology = triangle_topology()
+        decomposition = decompose(topology)
+        computation = SyncComputation.from_pairs(topology, [])
+        with instrument.enabled_session(MetricsRegistry()) as bundle:
+            result = stamp_batch(computation, decomposition)
+            assert result == {}
+            assert (
+                bundle.vector_component_count.value == decomposition.size
+            )
+            assert bundle.vector_joins.value == 0
+            assert bundle.messages_timestamped.value == 0
+
+    def test_counts_follow_paper_accounting(self):
+        topology = star_topology(4)
+        decomposition = decompose(topology)
+        computation = random_computation(topology, 25, random.Random(3))
+        d = decomposition.size
+        with instrument.enabled_session(MetricsRegistry()) as bundle:
+            stamp_batch(computation, decomposition)
+            assert bundle.messages_timestamped.value == 25
+            assert bundle.acks_processed.value == 25
+            assert bundle.vector_joins.value == 50
+            assert bundle.piggyback_bytes_total.value == 25 * 2 * d * 8
+            assert bundle.piggyback_bytes.count == 50
+
+    def test_timestamps_strictly_increase_along_a_channel(self):
+        topology = star_topology(2)
+        decomposition = decompose(topology)
+        computation = random_computation(topology, 30, random.Random(9))
+        stamps = stamp_batch(computation, decomposition)
+        previous = None
+        for message in computation.messages:
+            current = stamps[message]
+            if previous is not None:
+                assert sum(current) > sum(previous)
+            previous = current

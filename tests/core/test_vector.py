@@ -100,6 +100,44 @@ class TestVectorOrder:
         with pytest.raises(TypeError):
             vec(1) < (1,)  # noqa: B015
 
+    def test_foreign_types_get_not_implemented(self):
+        """All four order dunders must return ``NotImplemented`` (not
+        raise) for foreign operands, so Python can try the reflected
+        operation before giving up."""
+        v = vec(1, 2)
+        for dunder in ("__le__", "__lt__", "__ge__", "__gt__"):
+            assert getattr(v, dunder)((1, 2)) is NotImplemented
+            assert getattr(v, dunder)(None) is NotImplemented
+
+    def test_reflected_comparison_with_subclass(self):
+        """A subclass on the right-hand side gets its reflected method
+        called first — the protocol the old TypeError defeated."""
+
+        class TaggedVector(VectorTimestamp):
+            reflected_calls = 0
+
+            def __gt__(self, other):
+                TaggedVector.reflected_calls += 1
+                return super().__gt__(other)
+
+        plain = vec(1, 0)
+        tagged = TaggedVector([1, 1])
+        assert plain < tagged
+        assert TaggedVector.reflected_calls == 1
+
+    def test_single_pass_lt_agrees_with_definition(self):
+        cases = [
+            ((1, 0), (1, 1), True),
+            ((1, 1), (1, 1), False),
+            ((2, 0), (1, 1), False),
+            ((0, 0), (0, 0), False),
+            ((0, 1), (1, 1), True),
+        ]
+        for left, right, expected in cases:
+            u, v = vec(*left), vec(*right)
+            assert (u < v) is expected
+            assert (u < v) is (u <= v and u != v)
+
     def test_infinity_dominates_everything(self):
         assert vec(10**9, 10**9) < VectorTimestamp.infinities(2)
 
@@ -200,3 +238,30 @@ class TestOrderProperties:
     def test_trichotomy_of_tests(self, u, v):
         outcomes = [u < v, v < u, u == v, u.concurrent_with(v)]
         assert outcomes.count(True) == 1
+
+
+class TestComparisonCounters:
+    def test_each_operator_counts_exactly_once(self):
+        from repro.obs import instrument
+        from repro.obs.metrics import MetricsRegistry
+
+        u, v = vec(1, 0), vec(1, 1)
+        operations = [
+            lambda: u < v,
+            lambda: u <= v,
+            lambda: u > v,
+            lambda: u >= v,
+        ]
+        for operation in operations:
+            with instrument.enabled_session(MetricsRegistry()) as bundle:
+                operation()
+                assert bundle.vector_comparisons.value == 1
+
+    def test_concurrent_with_counts_two(self):
+        from repro.obs import instrument
+        from repro.obs.metrics import MetricsRegistry
+
+        u, w = vec(1, 0), vec(0, 2)
+        with instrument.enabled_session(MetricsRegistry()) as bundle:
+            assert u.concurrent_with(w)
+            assert bundle.vector_comparisons.value == 2

@@ -1,0 +1,50 @@
+"""Regression: deep chain posets must never touch the recursion limit.
+
+The original Hopcroft–Karp augmenting DFS was recursive and papered
+over deep alternating paths by raising ``sys.setrecursionlimit`` inside
+``BipartiteMatcher.solve()`` — a latent crash (and a thread-safety bug:
+the unconditional restore clobbered limits raised concurrently).  The
+iterative rewrite removed the hack entirely; this test drives a
+5,000-message chain-shaped poset — alternating paths as long as the
+poset itself — through the full offline pipeline while asserting the
+interpreter's recursion machinery is never consulted.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+from repro.clocks.offline import OfflineRealizerClock
+from repro.graphs.generators import path_topology
+from repro.sim.workload import sequential_chain_computation
+
+CHAIN_MESSAGES = 5_000
+
+
+class TestChainRegression:
+    def test_offline_stamps_5000_message_chain_without_recursion_limit(
+        self, monkeypatch
+    ):
+        def _forbidden(limit):
+            raise AssertionError(
+                f"sys.setrecursionlimit({limit}) called during offline "
+                "stamping; the matcher must stay iterative"
+            )
+
+        monkeypatch.setattr(sys, "setrecursionlimit", _forbidden)
+        limit_before = sys.getrecursionlimit()
+
+        topology = path_topology(4)
+        computation = sequential_chain_computation(
+            topology, CHAIN_MESSAGES, random.Random(7)
+        )
+        clock = OfflineRealizerClock()
+        assignment = clock.timestamp_computation(computation)
+
+        assert sys.getrecursionlimit() == limit_before
+        # A sequential chain is a total order: width 1, so every
+        # timestamp is the message's rank in the single extension.
+        assert clock.timestamp_size == 1
+        for rank, message in enumerate(computation.messages):
+            assert assignment.of(message).components == (rank,)

@@ -1,0 +1,99 @@
+"""Property-based equivalence of the batch fast path and matcher cache.
+
+Two families of properties pin the PR-level invariants down on random
+inputs:
+
+* :func:`repro.core.fastpath.stamp_batch` must agree with the reference
+  per-process handshake **message for message** — same component values,
+  same component types, and same ``_obs`` counter totals;
+* the weak matcher cache must be invisible: ``width``,
+  ``minimum_chain_partition`` and ``maximum_antichain`` return the same
+  answers on repeated calls and match a freshly built identical poset.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.chains import (
+    is_chain_partition,
+    maximum_antichain,
+    minimum_chain_partition,
+    width,
+)
+from repro.core.fastpath import stamp_batch
+from repro.core.poset import Poset
+from repro.obs import instrument
+from repro.obs.metrics import MetricsRegistry
+from tests.strategies import (
+    decomposed_computations,
+    posets_from_computations,
+)
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestStampBatchEquivalence:
+    @RELAXED
+    @given(decomposed_computations(max_messages=30))
+    def test_matches_handshake_message_for_message(self, case):
+        computation, decomposition = case
+        clock = OnlineEdgeClock(decomposition)
+        reference = clock.timestamp_computation_handshake(computation)
+        batch = stamp_batch(computation, decomposition)
+        assert set(batch) == set(computation.messages)
+        for message in computation.messages:
+            expected = reference.of(message)
+            actual = batch[message]
+            assert actual == expected
+            assert actual.components == expected.components
+            assert [type(c) for c in actual.components] == [
+                type(c) for c in expected.components
+            ]
+
+    @RELAXED
+    @given(decomposed_computations(max_messages=25))
+    def test_obs_counters_identical_on_both_paths(self, case):
+        computation, decomposition = case
+        clock = OnlineEdgeClock(decomposition)
+        with instrument.enabled_session(MetricsRegistry()) as bundle:
+            clock.timestamp_computation_handshake(computation)
+            slow_snapshot = bundle.registry.snapshot()
+        with instrument.enabled_session(MetricsRegistry()) as bundle:
+            clock.timestamp_computation(computation)
+            fast_snapshot = bundle.registry.snapshot()
+        assert fast_snapshot == slow_snapshot
+
+
+class TestMatcherCacheEquivalence:
+    @RELAXED
+    @given(posets_from_computations(max_messages=25))
+    def test_repeated_calls_stable(self, poset):
+        first = (
+            width(poset),
+            minimum_chain_partition(poset),
+            maximum_antichain(poset),
+        )
+        second = (
+            width(poset),
+            minimum_chain_partition(poset),
+            maximum_antichain(poset),
+        )
+        assert first == second
+        assert is_chain_partition(poset, first[1])
+        assert len(first[1]) == first[0]
+        assert len(first[2]) == first[0]
+
+    @RELAXED
+    @given(posets_from_computations(max_messages=25))
+    def test_cached_poset_matches_fresh_poset(self, poset):
+        cached_width = width(poset)  # populates the cache
+        cached_partition = minimum_chain_partition(poset)
+        fresh = Poset(poset.elements, poset.relation_pairs())
+        assert width(fresh) == cached_width
+        assert minimum_chain_partition(fresh) == cached_partition

@@ -84,3 +84,17 @@ def posets_from_computations(draw, **kwargs):
     from repro.order.message_order import message_poset
 
     return message_poset(draw(computations(**kwargs)))
+
+
+@st.composite
+def decomposed_computations(draw, **kwargs):
+    """A ``(computation, decomposition)`` pair over a shared topology.
+
+    Feeds the fast-path equivalence properties: the decomposition is the
+    library default for the computation's topology, so both the batch
+    and handshake stampers see identical ``e(m)`` lookups.
+    """
+    from repro.graphs.decomposition import decompose
+
+    computation = draw(computations(**kwargs))
+    return computation, decompose(computation.topology)
