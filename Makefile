@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test obs-check lint bench bench-batch bench-report examples all clean
+.PHONY: install test obs-check lint bench bench-batch bench-offline bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -33,6 +33,12 @@ bench:
 # Slow-vs-fast online stamping snapshot; refreshes BENCH_batch.json.
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/test_bench_batch.py -q
+
+# Old-vs-new offline (Figure 9) kernel snapshot; refreshes
+# BENCH_offline.json.  Set BENCH_OFFLINE_SMOKE=1 for a quick one-round
+# run that leaves the committed snapshot untouched (the CI smoke step).
+bench-offline:
+	$(PYTHON) -m pytest benchmarks/test_bench_offline.py -q
 
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

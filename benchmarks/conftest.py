@@ -27,12 +27,20 @@ _PERF_SNAPSHOT: Dict[str, object] = {}
 #: flushed to ``BENCH_batch.json`` at session end.
 _BATCH_SNAPSHOT: Dict[str, object] = {}
 
+#: Offline-pipeline snapshot entries (see ``record_offline_perf``),
+#: flushed to ``BENCH_offline.json`` at session end.
+_OFFLINE_SNAPSHOT: Dict[str, object] = {}
+
 PERF_SNAPSHOT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 )
 
 BATCH_SNAPSHOT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+)
+
+OFFLINE_SNAPSHOT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_offline.json"
 )
 
 
@@ -53,6 +61,16 @@ def record_batch_perf(key: str, value) -> None:
     online stamping throughput across runs.
     """
     _BATCH_SNAPSHOT[key] = value
+
+
+def record_offline_perf(key: str, value) -> None:
+    """Add one entry to the ``BENCH_offline.json`` perf snapshot.
+
+    Tracks the offline (Figure 9) pipeline on the reference dict-of-sets
+    poset kernel vs. the bitset kernel: construction, width, and full
+    stamping times plus the old-vs-new speedups.
+    """
+    _OFFLINE_SNAPSHOT[key] = value
 
 
 def _utc_now_iso() -> str:
@@ -92,6 +110,33 @@ def _write_batch_snapshot():
         payload["batch_speedup"] = slow["seconds"] / fast["seconds"]
     payload["generated_utc"] = _utc_now_iso()
     BATCH_SNAPSHOT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_offline_snapshot():
+    """Flush recorded offline-pipeline entries to ``BENCH_offline.json``.
+
+    Smoke runs (``BENCH_OFFLINE_SMOKE=1``, the CI smoke step) record
+    nothing and therefore never rewrite the committed snapshot.
+    """
+    _OFFLINE_SNAPSHOT.clear()
+    yield
+    if not _OFFLINE_SNAPSHOT:
+        return
+    payload = dict(_OFFLINE_SNAPSHOT)
+    for size_key in list(payload):
+        entry = payload[size_key]
+        if not isinstance(entry, dict):
+            continue
+        reference = entry.get("reference_seconds")
+        bitset = entry.get("bitset_seconds")
+        if isinstance(reference, float) and isinstance(bitset, float):
+            entry["speedup"] = reference / bitset
+    payload["generated_utc"] = _utc_now_iso()
+    OFFLINE_SNAPSHOT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

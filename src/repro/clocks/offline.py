@@ -14,6 +14,17 @@ Given the *completed* computation, the offline algorithm:
 The resulting vectors characterize ``↦`` with ``w`` components, and for
 comparable messages *every* component moves, so the precedence test is
 the same strict vector order as everywhere else.
+
+Every phase above runs on the bitset poset kernel
+(:mod:`repro.core.poset`): the closure is a word-parallel OR-sweep, the
+Dilworth matching consumes the closed bitmask rows directly, and the
+realizer's forced extensions sweep the cached cover rows — the phase
+costs are measured by the ``offline.*`` spans and snapshotted old-kernel
+vs. new-kernel by ``benchmarks/test_bench_offline.py`` into
+``BENCH_offline.json``.  Callers that need the width, partition, and
+timestamps of the *same* computation should build the poset once and use
+:meth:`OfflineRealizerClock.timestamp_poset` (see the usage cookbook) so
+the per-poset matcher and cover caches are shared across the calls.
 """
 
 from __future__ import annotations

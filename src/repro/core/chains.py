@@ -53,6 +53,15 @@ class BipartiteMatcher:
     as long as the vertex count) never touch the interpreter's recursion
     limit.  Internally vertices are insertion indices; values are only
     hashed once at construction and translated back at the API boundary.
+
+    Adjacency comes in two interchangeable representations: explicit
+    per-left index lists, or one integer bitmask per left vertex
+    (:meth:`from_bitmask_rows`, fed straight from
+    ``Poset.above_bit_rows``).  The bitmask mode replaces per-edge
+    neighbour scans with word-parallel mask intersections while making
+    exactly the same augmenting choices — both modes visit candidate
+    right vertices in ascending index order — so the matching, and
+    everything derived from it, is identical either way.
     """
 
     def __init__(
@@ -89,6 +98,31 @@ class BipartiteMatcher:
         )
         return matcher
 
+    @classmethod
+    def from_bitmask_rows(
+        cls,
+        left: Sequence[Element],
+        right: Sequence[Element],
+        rows: Sequence[int],
+    ) -> "BipartiteMatcher":
+        """Build from one right-vertex bitmask per left vertex.
+
+        Bit ``j`` of ``rows[i]`` marks an edge ``left[i] — right[j]``.
+        The comparability matcher feeds the poset's closed bitmask rows
+        straight in, so no per-edge adjacency is ever materialized.
+        """
+        matcher = cls.__new__(cls)
+        matcher._left = list(left)
+        matcher._right = list(right)
+        matcher._adj = None
+        matcher._adj_masks = list(rows)
+        matcher._free_right_mask = (1 << len(matcher._right)) - 1
+        matcher._match_left = [_FREE] * len(matcher._left)
+        matcher._match_right = [_FREE] * len(matcher._right)
+        matcher._matching_size = 0
+        matcher._solved = False
+        return matcher
+
     def _init_from_indices(
         self,
         left_values: List[Element],
@@ -98,6 +132,8 @@ class BipartiteMatcher:
         self._left = left_values
         self._right = right_values
         self._adj = adj
+        self._adj_masks: "List[int] | None" = None
+        self._free_right_mask = 0
         self._match_left: List[int] = [_FREE] * len(left_values)
         self._match_right: List[int] = [_FREE] * len(right_values)
         self._matching_size = 0
@@ -119,14 +155,24 @@ class BipartiteMatcher:
             self._solved = True
 
     def _run_phases(self) -> None:
+        masked = self._adj_masks is not None
         while True:
-            layers = self._bfs_layers()
+            if masked:
+                layers = self._bfs_layers_masks()
+            else:
+                layers = self._bfs_layers()
             if layers is None:
                 break
+            if masked:
+                eligible = self._rights_by_partner_layer(layers)
             augmented = 0
             for u in range(len(self._left)):
                 if self._match_left[u] == _FREE:
-                    if self._dfs_augment(u, layers):
+                    if masked:
+                        hit = self._dfs_augment_masks(u, layers, eligible)
+                    else:
+                        hit = self._dfs_augment(u, layers)
+                    if hit:
                         augmented += 1
             if augmented == 0:
                 break
@@ -201,6 +247,108 @@ class BipartiteMatcher:
         return False
 
     # ------------------------------------------------------------------
+    # Bitmask-mode phases.  Same traversal order as the list mode — the
+    # lowest set bit of a mask intersection is exactly "the first
+    # eligible right vertex in ascending order" — so both modes compute
+    # the same matching; only the per-step cost differs (word-parallel
+    # AND/OR instead of per-edge scans).
+    # ------------------------------------------------------------------
+    def _bfs_layers_masks(self) -> Optional[List[int]]:
+        match_left = self._match_left
+        match_right = self._match_right
+        masks = self._adj_masks
+        layers = [_UNLAYERED] * len(self._left)
+        queue: deque = deque()
+        for u in range(len(self._left)):
+            if match_left[u] == _FREE:
+                layers[u] = 0
+                queue.append(u)
+        found_free_right = False
+        free_right = self._free_right_mask
+        # Rights whose matched left has not been layered yet: initially
+        # every matched right (free lefts sit at layer 0 already).
+        unlayered_partner = ((1 << len(self._right)) - 1) & ~free_right
+        while queue:
+            u = queue.popleft()
+            row = masks[u]
+            if row & free_right:
+                found_free_right = True
+            m = row & unlayered_partner
+            if m:
+                unlayered_partner &= ~m
+                next_layer = layers[u] + 1
+                while m:
+                    low = m & -m
+                    w = match_right[low.bit_length() - 1]
+                    layers[w] = next_layer
+                    queue.append(w)
+                    m ^= low
+        return layers if found_free_right else None
+
+    def _rights_by_partner_layer(self, layers: List[int]) -> Dict[int, int]:
+        """Mask of right vertices keyed by their matched left's layer."""
+        eligible: Dict[int, int] = {}
+        match_left = self._match_left
+        for u, v in enumerate(match_left):
+            if v != _FREE:
+                layer = layers[u]
+                eligible[layer] = eligible.get(layer, 0) | (1 << v)
+        return eligible
+
+    def _dfs_augment_masks(
+        self, root: int, layers: List[int], eligible: Dict[int, int]
+    ) -> bool:
+        """Mask-mode augmenting search from free left vertex ``root``.
+
+        A frame's candidate rights are ``adj[u] & (free ∪ rights whose
+        partner sits on the next layer)``; within one root's search that
+        mask only shrinks (dead ends retire their right), so taking the
+        lowest set bit at each resume reproduces the list-mode scan.
+        Augmenting flips re-home each flipped right into its new
+        partner's layer mask so later roots in the phase see the
+        updated matching.
+        """
+        masks = self._adj_masks
+        match_left = self._match_left
+        match_right = self._match_right
+        free_right = self._free_right_mask
+        stack: List[List[int]] = [[root, _FREE]]
+        while stack:
+            u = stack[-1][0]
+            next_layer = layers[u] + 1
+            cand = masks[u] & (free_right | eligible.get(next_layer, 0))
+            if cand:
+                low = cand & -cand
+                v = low.bit_length() - 1
+                stack[-1][1] = v
+                if low & free_right:
+                    # Free right vertex: flip every edge on the stack.
+                    for position, (fu, fv) in enumerate(stack):
+                        bit = 1 << fv
+                        if position + 1 < len(stack):
+                            old_partner = stack[position + 1][0]
+                            eligible[layers[old_partner]] &= ~bit
+                        else:
+                            self._free_right_mask &= ~bit
+                        fu_layer = layers[fu]
+                        eligible[fu_layer] = (
+                            eligible.get(fu_layer, 0) | bit
+                        )
+                        match_left[fu] = fv
+                        match_right[fv] = fu
+                    self._matching_size += 1
+                    return True
+                stack.append([match_right[v], _FREE])
+            else:
+                old_layer = layers[u]
+                layers[u] = _RETIRED
+                matched_v = match_left[u]
+                if matched_v != _FREE:
+                    eligible[old_layer] &= ~(1 << matched_v)
+                stack.pop()
+        return False
+
+    # ------------------------------------------------------------------
     def minimum_vertex_cover(self) -> Tuple[Set[Element], Set[Element]]:
         """Kőnig's construction: ``(left_cover, right_cover)``.
 
@@ -211,6 +359,7 @@ class BipartiteMatcher:
         self._ensure_solved()
         match_left = self._match_left
         match_right = self._match_right
+        masks = self._adj_masks
         visited_left = [False] * len(self._left)
         visited_right = [False] * len(self._right)
         queue: deque = deque()
@@ -218,16 +367,32 @@ class BipartiteMatcher:
             if match_left[u] == _FREE:
                 visited_left[u] = True
                 queue.append(u)
-        while queue:
-            u = queue.popleft()
-            for v in self._adj[u]:
-                if visited_right[v]:
-                    continue
-                visited_right[v] = True
-                w = match_right[v]
-                if w != _FREE and not visited_left[w]:
-                    visited_left[w] = True
-                    queue.append(w)
+        if masks is not None:
+            visited_right_mask = 0
+            while queue:
+                u = queue.popleft()
+                newly = masks[u] & ~visited_right_mask
+                visited_right_mask |= newly
+                while newly:
+                    low = newly & -newly
+                    v = low.bit_length() - 1
+                    newly ^= low
+                    visited_right[v] = True
+                    w = match_right[v]
+                    if w != _FREE and not visited_left[w]:
+                        visited_left[w] = True
+                        queue.append(w)
+        else:
+            while queue:
+                u = queue.popleft()
+                for v in self._adj[u]:
+                    if visited_right[v]:
+                        continue
+                    visited_right[v] = True
+                    w = match_right[v]
+                    if w != _FREE and not visited_left[w]:
+                        visited_left[w] = True
+                        queue.append(w)
         left_cover = {
             self._left[u]
             for u in range(len(self._left))
@@ -257,12 +422,19 @@ def _comparability_matcher(poset: Poset) -> BipartiteMatcher:
     matcher = _MATCHER_CACHE.get(poset)
     if matcher is None:
         elements = poset.elements
-        # The poset's cached successor index is exactly the bipartite
-        # adjacency (x_left -> y_right iff x < y), already sorted by
-        # insertion order for determinism.
-        matcher = BipartiteMatcher.from_adjacency_lists(
-            elements, elements, poset.successor_index()
-        )
+        # The poset's closed bitmask rows are exactly the bipartite
+        # adjacency (x_left -> y_right iff x < y); posets without the
+        # bitset kernel (the reference implementation) fall back to the
+        # cached successor index, which yields the same matching.
+        rows = getattr(poset, "above_bit_rows", None)
+        if rows is not None:
+            matcher = BipartiteMatcher.from_bitmask_rows(
+                elements, elements, rows()
+            )
+        else:
+            matcher = BipartiteMatcher.from_adjacency_lists(
+                elements, elements, poset.successor_index()
+            )
         _MATCHER_CACHE[poset] = matcher
     return matcher
 

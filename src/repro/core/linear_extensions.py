@@ -28,7 +28,7 @@ from collections import deque
 from typing import Dict, Hashable, Iterator, List, Sequence, Set, Tuple
 
 from repro.core.chains import minimum_chain_partition
-from repro.core.poset import Poset
+from repro.core.poset import Poset, _popcount
 from repro.exceptions import NotALinearExtensionError, PosetError
 
 Element = Hashable
@@ -106,10 +106,10 @@ def chain_forced_extension(
     if not poset.is_chain(items):
         raise PosetError("chain_forced_extension requires a chain")
 
-    # Deferred-chain Kahn's algorithm over the poset's cached successor
-    # index.  Materializing the forced edges ``x -> c`` (x incomparable
-    # to chain element c) is O(n * |C|); instead observe that in the
-    # augmented graph a chain element c has indegree
+    # Deferred-chain Kahn's algorithm over the poset's closed order.
+    # Materializing the forced edges ``x -> c`` (x incomparable to chain
+    # element c) is O(n * |C|); instead observe that in the augmented
+    # graph a chain element c has indegree
     # ``|below(c)| + |incomp(c)| = n - 1 - |above(c)|``, so c becomes
     # ready exactly when ``len(order) == n - 1 - |above(c)|`` — and at
     # that moment nothing else can be ready (anything unplaced is above
@@ -118,21 +118,49 @@ def chain_forced_extension(
     # condition, so a single ``stalled`` slot suffices and the emitted
     # order is identical to a topological sort of the full augmented
     # relation.
+    #
+    # Bitset-backed posets drive the sweep off their bitmask rows
+    # (indegrees are popcounts, successor visits are bit extractions in
+    # the same ascending order); other posets use the cached successor
+    # index.  Both paths emit the identical extension.
     elements = poset.elements
     n = len(elements)
-    succ = poset.successor_index()
     element_index = {e: i for i, e in enumerate(elements)}
     in_chain = [False] * n
     for element in items:
         in_chain[element_index[element]] = True
 
-    indegree = [0] * n
-    for row in succ:
-        for j in row:
-            indegree[j] += 1
+    rows_accessor = getattr(poset, "above_bit_rows", None)
+    if rows_accessor is not None:
+        # Sweep the cover rows, not the closure: for a transitively
+        # closed order the FIFO Kahn orders coincide (an element's
+        # last-placed predecessor is always one of its covers, and
+        # newly-ready elements append in the same ascending order), and
+        # the cover sweep touches O(covers) edges per extension.  The
+        # stall thresholds still come from the closure row popcounts.
+        above = rows_accessor()
+        cover_rows = poset.cover_bit_rows()
+        out_count = [_popcount(row) for row in above]
+        indegree = [0] * n
+        for row in cover_rows:
+            m = row
+            while m:
+                low = m & -m
+                indegree[low.bit_length() - 1] += 1
+                m ^= low
+        succ_rows: "Sequence[int] | None" = cover_rows
+        succ = None
+    else:
+        succ = poset.successor_index()
+        succ_rows = None
+        indegree = [0] * n
+        for row in succ:
+            for j in row:
+                indegree[j] += 1
+        out_count = [len(row) for row in succ]
 
     def _chain_threshold(i: int) -> int:
-        return n - 1 - len(succ[i])
+        return n - 1 - out_count[i]
 
     stalled = -1
     ready: deque = deque()
@@ -154,13 +182,26 @@ def chain_forced_extension(
             raise PosetError("chain-forced relation unexpectedly cyclic")
         order_ids.append(current)
         placed = len(order_ids)
-        for j in succ[current]:
-            indegree[j] -= 1
-            if indegree[j] == 0:
-                if in_chain[j] and _chain_threshold(j) != placed:
-                    stalled = j
-                else:
-                    ready.append(j)
+        if succ_rows is not None:
+            m = succ_rows[current]
+            while m:
+                low = m & -m
+                j = low.bit_length() - 1
+                m ^= low
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    if in_chain[j] and _chain_threshold(j) != placed:
+                        stalled = j
+                    else:
+                        ready.append(j)
+        else:
+            for j in succ[current]:
+                indegree[j] -= 1
+                if indegree[j] == 0:
+                    if in_chain[j] and _chain_threshold(j) != placed:
+                        stalled = j
+                    else:
+                        ready.append(j)
     return [elements[i] for i in order_ids]
 
 

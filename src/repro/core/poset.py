@@ -1,4 +1,4 @@
-"""Finite partially ordered sets.
+"""Finite partially ordered sets on a word-parallel bitset kernel.
 
 The paper's central object is the poset ``(M, ↦)`` formed by the messages
 of a synchronous computation under the *synchronously precedes* relation.
@@ -13,6 +13,17 @@ exactly the operations the algorithms need:
   efficient chain searches;
 * enumeration of all ordered/incomparable pairs, used by the encoding
   checker and by the dimension machinery.
+
+Internally the strict order is stored as two arrays of arbitrary-
+precision integer bitmasks indexed by insertion position: bit ``j`` of
+``_above_bits[i]`` is set exactly when ``elements[i] < elements[j]``,
+and ``_below_bits`` is the transpose.  Transitive closure is a
+word-parallel OR-sweep over a topological order, the covering relation
+is a per-row mask subtraction, and pair enumerations are bit
+extractions — the representation that makes the offline (Figure 9)
+pipeline fast at scale.  ``tests/properties`` pins this kernel as
+observationally identical to the reference dict-of-sets implementation
+kept in :mod:`repro.core.poset_reference`.
 
 Elements may be any hashable values.  Iteration order over elements is
 the insertion order, which keeps every algorithm in the library
@@ -29,13 +40,26 @@ from typing import (
     Iterator,
     List,
     Sequence,
-    Set,
     Tuple,
 )
 
 from repro.exceptions import NotAPartialOrderError, PosetError
 
 Element = Hashable
+
+try:  # Python >= 3.10
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set-bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 class Poset:
@@ -56,9 +80,11 @@ class Poset:
     __slots__ = (
         "_elements",
         "_index",
-        "_below",
-        "_above",
+        "_above_bits",
+        "_below_bits",
         "_succ_index",
+        "_cover_bits",
+        "_cover_pair_cache",
         "__weakref__",
     )
 
@@ -68,6 +94,8 @@ class Poset:
         relation: Iterable[Tuple[Element, Element]] = (),
     ):
         self._succ_index: "Tuple[Tuple[int, ...], ...] | None" = None
+        self._cover_bits: "List[int] | None" = None
+        self._cover_pair_cache: "List[Tuple[Element, Element]] | None" = None
         self._elements: List[Element] = []
         self._index: Dict[Element, int] = {}
         for element in elements:
@@ -76,58 +104,98 @@ class Poset:
             self._index[element] = len(self._elements)
             self._elements.append(element)
 
-        # _below[x] = set of elements strictly below x (its down-set minus x).
-        self._below: Dict[Element, Set[Element]] = {
-            element: set() for element in self._elements
-        }
-        self._above: Dict[Element, Set[Element]] = {
-            element: set() for element in self._elements
-        }
-
-        successors: Dict[Element, Set[Element]] = {
-            element: set() for element in self._elements
-        }
+        index = self._index
+        direct = [0] * len(self._elements)
         for smaller, larger in relation:
-            if smaller not in self._index:
+            i = index.get(smaller, -1)
+            if i < 0:
                 raise PosetError(f"unknown element {smaller!r} in relation")
-            if larger not in self._index:
+            j = index.get(larger, -1)
+            if j < 0:
                 raise PosetError(f"unknown element {larger!r} in relation")
-            if smaller == larger:
+            if i == j:
                 raise NotAPartialOrderError(
                     f"relation is not irreflexive: {smaller!r} < {smaller!r}"
                 )
-            successors[smaller].add(larger)
+            direct[i] |= 1 << j
 
-        self._close_transitively(successors)
+        self._close_transitively(direct)
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
-    def _close_transitively(
-        self, successors: Dict[Element, Set[Element]]
-    ) -> None:
-        """Fill ``_below``/``_above`` with the transitive closure.
+    def _close_transitively(self, direct: List[int]) -> None:
+        """Fill the bitmask rows with the transitive closure of ``direct``.
 
-        Processes elements in reverse topological order so each element's
-        up-set is the union of its direct successors' up-sets.  A cycle is
-        detected by the topological sort running short.
+        Processes positions in reverse topological order so each row is
+        the word-parallel OR of its direct successors' rows; the below
+        rows come from a forward sweep over the (cheap to transpose)
+        direct relation.  A cycle is detected by the topological sort
+        running short.
         """
-        order = _topological_order(self._elements, successors)
+        order = _topological_order_positions(direct)
         if order is None:
             raise NotAPartialOrderError("relation contains a cycle")
 
-        strictly_above: Dict[Element, Set[Element]] = {}
-        for element in reversed(order):
-            above: Set[Element] = set()
-            for succ in successors[element]:
-                above.add(succ)
-                above.update(strictly_above[succ])
-            strictly_above[element] = above
+        n = len(direct)
+        above = [0] * n
+        for i in reversed(order):
+            row = direct[i]
+            acc = row
+            m = row
+            while m:
+                low = m & -m
+                acc |= above[low.bit_length() - 1]
+                m ^= low
+            above[i] = acc
 
-        for element, above in strictly_above.items():
-            self._above[element] = above
-            for other in above:
-                self._below[other].add(element)
+        direct_pred = [0] * n
+        for i in range(n):
+            bit = 1 << i
+            m = direct[i]
+            while m:
+                low = m & -m
+                direct_pred[low.bit_length() - 1] |= bit
+                m ^= low
+
+        below = [0] * n
+        for i in order:
+            row = direct_pred[i]
+            acc = row
+            m = row
+            while m:
+                low = m & -m
+                acc |= below[low.bit_length() - 1]
+                m ^= low
+            below[i] = acc
+
+        self._above_bits = above
+        self._below_bits = below
+
+    @classmethod
+    def _from_closed_bits(
+        cls,
+        elements: List[Element],
+        above_bits: List[int],
+        below_bits: List[int],
+    ) -> "Poset":
+        """Trusted constructor over already-transitively-closed rows.
+
+        Used by :meth:`restricted_to` and :meth:`dual`, whose inputs are
+        closed by construction — re-validating and re-closing them
+        through ``__init__`` would redo the whole closure from pairs.
+        The public constructor's :class:`NotAPartialOrderError`
+        behaviour is unchanged; this path is internal only.
+        """
+        poset = cls.__new__(cls)
+        poset._elements = elements
+        poset._index = {e: i for i, e in enumerate(elements)}
+        poset._above_bits = above_bits
+        poset._below_bits = below_bits
+        poset._succ_index = None
+        poset._cover_bits = None
+        poset._cover_pair_cache = None
+        return poset
 
     @classmethod
     def from_cover_relation(
@@ -168,15 +236,17 @@ class Poset:
         """The elements in insertion order."""
         return tuple(self._elements)
 
-    def _require(self, element: Element) -> None:
-        if element not in self._index:
+    def _require(self, element: Element) -> int:
+        position = self._index.get(element, -1)
+        if position < 0:
             raise PosetError(f"element {element!r} not in poset")
+        return position
 
     def less(self, x: Element, y: Element) -> bool:
         """True when ``x`` is strictly below ``y``."""
-        self._require(x)
-        self._require(y)
-        return y in self._above[x]
+        i = self._require(x)
+        j = self._require(y)
+        return (self._above_bits[i] >> j) & 1 == 1
 
     def less_equal(self, x: Element, y: Element) -> bool:
         """True when ``x == y`` or ``x`` is strictly below ``y``."""
@@ -184,7 +254,10 @@ class Poset:
 
     def comparable(self, x: Element, y: Element) -> bool:
         """True when ``x < y`` or ``y < x`` (distinct comparable pair)."""
-        return self.less(x, y) or self.less(y, x)
+        i = self._require(x)
+        j = self._require(y)
+        above = self._above_bits
+        return (above[i] >> j) & 1 == 1 or (above[j] >> i) & 1 == 1
 
     def concurrent(self, x: Element, y: Element) -> bool:
         """True when ``x`` and ``y`` are distinct and incomparable.
@@ -196,44 +269,76 @@ class Poset:
         return x != y and not self.comparable(x, y)
 
     # ------------------------------------------------------------------
+    # Bitmask kernel access
+    # ------------------------------------------------------------------
+    def above_bit_rows(self) -> Tuple[int, ...]:
+        """The strict order as bitmask rows by insertion position.
+
+        Bit ``j`` of row ``i`` is set exactly when
+        ``elements[i] < elements[j]``.  The chain machinery
+        (:mod:`repro.core.chains`, :mod:`repro.core.linear_extensions`)
+        and the encoding checker consume these rows directly instead of
+        re-deriving per-pair adjacency through :meth:`less`.
+        """
+        return tuple(self._above_bits)
+
+    def below_bit_rows(self) -> Tuple[int, ...]:
+        """Transpose of :meth:`above_bit_rows` (strict predecessors)."""
+        return tuple(self._below_bits)
+
+    def cover_bit_rows(self) -> Tuple[int, ...]:
+        """The covering relation as bitmask rows (cached, see
+        :meth:`cover_pairs`).
+
+        A topological sort driven off these rows visits elements in the
+        same order as one driven off the full closure — the last-placed
+        predecessor of any element is always one of its covers — which
+        is what lets the realizer construction sweep O(covers) edges per
+        extension instead of O(ordered pairs).
+        """
+        return tuple(self._cover_rows())
+
+    # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
+    def _members(self, mask: int) -> FrozenSet[Element]:
+        elements = self._elements
+        return frozenset(elements[b] for b in iter_bits(mask))
+
     def strictly_below(self, element: Element) -> FrozenSet[Element]:
         """All elements strictly less than ``element``."""
-        self._require(element)
-        return frozenset(self._below[element])
+        return self._members(self._below_bits[self._require(element)])
 
     def strictly_above(self, element: Element) -> FrozenSet[Element]:
         """All elements strictly greater than ``element``."""
-        self._require(element)
-        return frozenset(self._above[element])
+        return self._members(self._above_bits[self._require(element)])
 
     def successor_index(self) -> Tuple[Tuple[int, ...], ...]:
         """The strict order as insertion-index adjacency, cached.
 
         ``successor_index()[i]`` lists (sorted ascending) the insertion
-        indices of every element strictly above ``elements[i]``.  The
-        structure is computed once per poset and shared by the chain
-        machinery (matching, linear extensions), which would otherwise
-        rebuild it — and re-hash every element — on each call.
+        indices of every element strictly above ``elements[i]``.  Kept
+        for callers that want explicit adjacency lists; the bitmask rows
+        (:meth:`above_bit_rows`) carry the same information without
+        materializing the tuples.
         """
         cached = self._succ_index
         if cached is None:
-            index = self._index
             cached = tuple(
-                tuple(sorted(index[y] for y in self._above[x]))
-                for x in self._elements
+                tuple(iter_bits(row)) for row in self._above_bits
             )
             self._succ_index = cached
         return cached
 
     def down_set(self, element: Element) -> FrozenSet[Element]:
         """The principal ideal: ``element`` and all elements below it."""
-        return self.strictly_below(element) | {element}
+        position = self._require(element)
+        return self._members(self._below_bits[position] | (1 << position))
 
     def up_set(self, element: Element) -> FrozenSet[Element]:
         """The principal filter: ``element`` and all elements above it."""
-        return self.strictly_above(element) | {element}
+        position = self._require(element)
+        return self._members(self._above_bits[position] | (1 << position))
 
     def minimal_elements(self) -> List[Element]:
         """Elements with nothing below them.
@@ -241,64 +346,121 @@ class Poset:
         The paper calls such messages *minimal messages* in the induction
         of Theorem 4.
         """
-        return [e for e in self._elements if not self._below[e]]
+        below = self._below_bits
+        return [
+            e for i, e in enumerate(self._elements) if not below[i]
+        ]
 
     def maximal_elements(self) -> List[Element]:
         """Elements with nothing above them."""
-        return [e for e in self._elements if not self._above[e]]
+        above = self._above_bits
+        return [
+            e for i, e in enumerate(self._elements) if not above[i]
+        ]
+
+    def _cover_rows(self) -> List[int]:
+        """Bitmask rows of the covering relation, cached.
+
+        Row ``i`` keeps exactly the successors of ``elements[i]`` that
+        are not reachable through another successor: subtract the union
+        of the successors' own up-rows.  Processing the row low-bit
+        first lets already-reached successors be skipped, so each row
+        costs roughly one word-parallel OR per cover when the insertion
+        order respects the order (as message posets do).
+        """
+        cached = self._cover_bits
+        if cached is None:
+            above = self._above_bits
+            cached = []
+            for row in above:
+                reach = 0
+                m = row
+                while m:
+                    low = m & -m
+                    reach |= above[low.bit_length() - 1]
+                    m = (m ^ low) & ~reach
+                cached.append(row & ~reach)
+            self._cover_bits = cached
+        return cached
 
     def cover_pairs(self) -> List[Tuple[Element, Element]]:
-        """The transitive reduction as ``(lower, upper)`` pairs.
+        """The transitive reduction as ``(lower, upper)`` pairs, cached.
 
         ``y`` covers ``x`` when ``x < y`` and no ``z`` has ``x < z < y``.
+        Posets are immutable, so the reduction is computed once and
+        shared by drawing, checking, and the decomposition demos.
         """
-        covers: List[Tuple[Element, Element]] = []
-        for x in self._elements:
-            above_x = self._above[x]
-            for y in self._elements:
-                if y not in above_x:
-                    continue
-                if any(z in above_x and y in self._above[z] for z in above_x):
-                    continue
-                covers.append((x, y))
-        return covers
+        cached = self._cover_pair_cache
+        if cached is None:
+            elements = self._elements
+            cached = [
+                (elements[i], elements[j])
+                for i, row in enumerate(self._cover_rows())
+                for j in iter_bits(row)
+            ]
+            self._cover_pair_cache = cached
+        return list(cached)
 
     def relation_pairs(self) -> List[Tuple[Element, Element]]:
         """Every ordered pair ``(x, y)`` with ``x < y``."""
-        pairs: List[Tuple[Element, Element]] = []
-        for x in self._elements:
-            for y in self._elements:
-                if y in self._above[x]:
-                    pairs.append((x, y))
-        return pairs
+        elements = self._elements
+        return [
+            (elements[i], elements[j])
+            for i, row in enumerate(self._above_bits)
+            for j in iter_bits(row)
+        ]
 
     def incomparable_pairs(self) -> List[Tuple[Element, Element]]:
         """Every unordered incomparable pair, listed once (x before y)."""
+        elements = self._elements
+        above = self._above_bits
+        below = self._below_bits
+        full = (1 << len(elements)) - 1
         pairs: List[Tuple[Element, Element]] = []
-        for i, x in enumerate(self._elements):
-            for y in self._elements[i + 1 :]:
-                if not self.comparable(x, y):
-                    pairs.append((x, y))
+        for i, x in enumerate(elements):
+            mask = (full & ~(above[i] | below[i])) >> (i + 1) << (i + 1)
+            for j in iter_bits(mask):
+                pairs.append((x, elements[j]))
         return pairs
 
     def restricted_to(self, subset: Iterable[Element]) -> "Poset":
-        """The induced sub-poset on ``subset``."""
+        """The induced sub-poset on ``subset``.
+
+        The closure of an induced sub-order is the restriction of the
+        closure, so the already-closed rows are compressed onto the kept
+        positions directly — no re-validation, no re-closure.
+        """
         keep = list(dict.fromkeys(subset))
-        keep_set = set(keep)
-        for element in keep:
-            self._require(element)
-        pairs = [
-            (x, y)
-            for x in keep
-            for y in self._above[x]
-            if y in keep_set
-        ]
-        return Poset(keep, pairs)
+        old_ids = [self._require(element) for element in keep]
+        keep_mask = 0
+        for oi in old_ids:
+            keep_mask |= 1 << oi
+        new_position = {oi: ni for ni, oi in enumerate(old_ids)}
+
+        def compress(row: int) -> int:
+            out = 0
+            m = row & keep_mask
+            while m:
+                low = m & -m
+                out |= 1 << new_position[low.bit_length() - 1]
+                m ^= low
+            return out
+
+        above = self._above_bits
+        below = self._below_bits
+        return Poset._from_closed_bits(
+            keep,
+            [compress(above[oi]) for oi in old_ids],
+            [compress(below[oi]) for oi in old_ids],
+        )
 
     def dual(self) -> "Poset":
         """The order-reversed poset."""
-        pairs = [(y, x) for (x, y) in self.relation_pairs()]
-        return Poset(self._elements, pairs)
+        return Poset._from_closed_bits(
+            list(self._elements),
+            list(self._below_bits),
+            list(self._above_bits),
+        )
 
     # ------------------------------------------------------------------
     # Chains within the poset
@@ -313,37 +475,55 @@ class Poset:
         the consecutive ``less`` test rejects them).
         """
         items = list(dict.fromkeys(elements))
-        for element in items:
-            self._require(element)
-        if len(items) <= 1:
+        ids = [self._require(element) for element in items]
+        if len(ids) <= 1:
             return True
-        items.sort(key=lambda e: len(self._below[e]))
+        above = self._above_bits
+        below = self._below_bits
+        ids.sort(key=lambda i: _popcount(below[i]))
         return all(
-            self.less(items[i], items[i + 1]) for i in range(len(items) - 1)
+            (above[ids[k]] >> ids[k + 1]) & 1 for k in range(len(ids) - 1)
         )
 
     def is_antichain(self, elements: Sequence[Element]) -> bool:
         """True when the given elements are pairwise incomparable."""
         items = list(elements)
-        return all(
-            not self.comparable(items[i], items[j]) and items[i] != items[j]
-            for i in range(len(items))
-            for j in range(i + 1, len(items))
-        )
+        if len(items) < 2:
+            return True
+        above = self._above_bits
+        below = self._below_bits
+        seen = 0
+        for element in items:
+            i = self._require(element)
+            bit = 1 << i
+            if seen & bit:  # duplicate element
+                return False
+            if (above[i] | below[i]) & seen:
+                return False
+            seen |= bit
+        return True
 
     def longest_chain(self) -> List[Element]:
         """A longest chain, bottom to top (the poset's height witness)."""
-        best_to: Dict[Element, List[Element]] = {}
+        index = self._index
+        below = self._below_bits
+        best_to: List[List[Element]] = [[] for _ in self._elements]
+        best: List[Element] = []
         for element in self.linear_extension():
+            i = index[element]
             best_prefix: List[Element] = []
-            for lower in self._below[element]:
-                candidate = best_to[lower]
+            m = below[i]
+            while m:
+                low = m & -m
+                candidate = best_to[low.bit_length() - 1]
                 if len(candidate) > len(best_prefix):
                     best_prefix = candidate
-            best_to[element] = best_prefix + [element]
-        if not best_to:
-            return []
-        return max(best_to.values(), key=len)
+                m ^= low
+            chain = best_prefix + [element]
+            best_to[i] = chain
+            if len(chain) > len(best):
+                best = chain
+        return best
 
     def height(self) -> int:
         """Size of the longest chain (number of elements in it)."""
@@ -351,63 +531,69 @@ class Poset:
 
     def linear_extension(self) -> List[Element]:
         """A deterministic linear extension (topological order)."""
-        successors = {e: set(self._cover_successors(e)) for e in self._elements}
-        order = _topological_order(self._elements, successors)
-        assert order is not None  # construction guaranteed acyclicity
-        return order
-
-    def _cover_successors(self, element: Element) -> List[Element]:
-        above = self._above[element]
-        return [
-            y
-            for y in above
-            if not any(z in above and y in self._above[z] for z in above)
-        ]
+        order = _topological_order_positions(self._cover_rows())
+        if order is None:  # pragma: no cover - construction is acyclic
+            raise PosetError("closed relation unexpectedly cyclic")
+        elements = self._elements
+        return [elements[i] for i in order]
 
     # ------------------------------------------------------------------
     # Equality / presentation
     # ------------------------------------------------------------------
     def same_order_as(self, other: "Poset") -> bool:
         """True when both posets have equal element sets and equal orders."""
+        if self is other:
+            return True
+        if self._index == other._index:
+            return self._above_bits == other._above_bits
         if set(self._elements) != set(other._elements):
             return False
         return all(
-            self._above[e] == other._above[e] for e in self._elements
+            self.strictly_above(e) == other.strictly_above(e)
+            for e in self._elements
         )
 
     def __repr__(self) -> str:
+        ordered = sum(_popcount(row) for row in self._above_bits)
         return (
             f"Poset({len(self._elements)} elements, "
-            f"{len(self.relation_pairs())} ordered pairs)"
+            f"{ordered} ordered pairs)"
         )
 
 
-def _topological_order(
-    elements: Sequence[Element],
-    successors: Dict[Element, Set[Element]],
-) -> "List[Element] | None":
-    """Kahn's algorithm; returns ``None`` when the relation has a cycle.
+def _topological_order_positions(
+    succ_masks: Sequence[int],
+) -> "List[int] | None":
+    """Kahn's algorithm over bitmask adjacency; ``None`` on a cycle.
 
-    Ties are broken by insertion order of ``elements``, which makes every
-    downstream algorithm deterministic.
+    Ties are broken by insertion position (the FIFO ready queue starts
+    in position order and successors are appended lowest bit first),
+    which makes every downstream algorithm deterministic.
     """
-    index = {element: position for position, element in enumerate(elements)}
-    indegree: Dict[Element, int] = {e: 0 for e in elements}
-    for element in elements:
-        for succ in successors.get(element, ()):
-            indegree[succ] += 1
+    n = len(succ_masks)
+    indegree = [0] * n
+    for mask in succ_masks:
+        m = mask
+        while m:
+            low = m & -m
+            indegree[low.bit_length() - 1] += 1
+            m ^= low
 
-    ready = [e for e in elements if indegree[e] == 0]
-    order: List[Element] = []
+    ready = [i for i in range(n) if indegree[i] == 0]
+    order: List[int] = []
     position = 0
     while position < len(ready):
         current = ready[position]
         position += 1
         order.append(current)
-        for succ in sorted(successors.get(current, ()), key=index.__getitem__):
-            indegree[succ] -= 1
-            if indegree[succ] == 0:
-                ready.append(succ)
-    if len(order) != len(elements):
+        m = succ_masks[current]
+        while m:
+            low = m & -m
+            j = low.bit_length() - 1
+            m ^= low
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                ready.append(j)
+    if len(order) != n:
         return None
     return order

@@ -1,0 +1,317 @@
+"""The pre-bitset dict-of-sets poset kernel, kept as a specification.
+
+:class:`repro.core.poset.Poset` stores the order as bitmask rows; this
+module preserves the original representation — one Python ``set`` of
+elements above/below per element — byte for byte in behaviour.  It
+exists for two reasons:
+
+* the Hypothesis suite in ``tests/properties`` replays random
+  computations through both kernels and demands identical closures,
+  covers, incomparable pairs, widths, and realizer ranks, so the bitset
+  kernel can never silently drift from the semantics the rest of the
+  library was verified against;
+* ``benchmarks/test_bench_offline.py`` runs the full offline (Figure 9)
+  pipeline on both kernels and snapshots the old-vs-new speedup to
+  ``BENCH_offline.json``.
+
+It is **not** part of the public API and nothing on a hot path may
+import it.  The only deliberate deviation from the original:
+:meth:`ReferencePoset.same_order_as` compares via the public
+``strictly_above`` accessor so it can be checked against a bitset-backed
+poset, not just another reference one.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.exceptions import NotAPartialOrderError, PosetError
+
+Element = Hashable
+
+
+class ReferencePoset:
+    """The seed ``Poset``: per-element ``set`` closure, O(n³) covers."""
+
+    __slots__ = (
+        "_elements",
+        "_index",
+        "_below",
+        "_above",
+        "_succ_index",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        elements: Iterable[Element],
+        relation: Iterable[Tuple[Element, Element]] = (),
+    ):
+        self._succ_index: "Tuple[Tuple[int, ...], ...] | None" = None
+        self._elements: List[Element] = []
+        self._index: Dict[Element, int] = {}
+        for element in elements:
+            if element in self._index:
+                raise PosetError(f"duplicate element {element!r}")
+            self._index[element] = len(self._elements)
+            self._elements.append(element)
+
+        self._below: Dict[Element, Set[Element]] = {
+            element: set() for element in self._elements
+        }
+        self._above: Dict[Element, Set[Element]] = {
+            element: set() for element in self._elements
+        }
+
+        successors: Dict[Element, Set[Element]] = {
+            element: set() for element in self._elements
+        }
+        for smaller, larger in relation:
+            if smaller not in self._index:
+                raise PosetError(f"unknown element {smaller!r} in relation")
+            if larger not in self._index:
+                raise PosetError(f"unknown element {larger!r} in relation")
+            if smaller == larger:
+                raise NotAPartialOrderError(
+                    f"relation is not irreflexive: {smaller!r} < {smaller!r}"
+                )
+            successors[smaller].add(larger)
+
+        self._close_transitively(successors)
+
+    # ------------------------------------------------------------------
+    def _close_transitively(
+        self, successors: Dict[Element, Set[Element]]
+    ) -> None:
+        order = _topological_order(self._elements, successors)
+        if order is None:
+            raise NotAPartialOrderError("relation contains a cycle")
+
+        strictly_above: Dict[Element, Set[Element]] = {}
+        for element in reversed(order):
+            above: Set[Element] = set()
+            for succ in successors[element]:
+                above.add(succ)
+                above.update(strictly_above[succ])
+            strictly_above[element] = above
+
+        for element, above in strictly_above.items():
+            self._above[element] = above
+            for other in above:
+                self._below[other].add(element)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements)
+
+    def __contains__(self, element: Element) -> bool:
+        return element in self._index
+
+    @property
+    def elements(self) -> Tuple[Element, ...]:
+        return tuple(self._elements)
+
+    def _require(self, element: Element) -> None:
+        if element not in self._index:
+            raise PosetError(f"element {element!r} not in poset")
+
+    def less(self, x: Element, y: Element) -> bool:
+        self._require(x)
+        self._require(y)
+        return y in self._above[x]
+
+    def less_equal(self, x: Element, y: Element) -> bool:
+        return x == y or self.less(x, y)
+
+    def comparable(self, x: Element, y: Element) -> bool:
+        return self.less(x, y) or self.less(y, x)
+
+    def concurrent(self, x: Element, y: Element) -> bool:
+        self._require(x)
+        self._require(y)
+        return x != y and not self.comparable(x, y)
+
+    # ------------------------------------------------------------------
+    def strictly_below(self, element: Element) -> FrozenSet[Element]:
+        self._require(element)
+        return frozenset(self._below[element])
+
+    def strictly_above(self, element: Element) -> FrozenSet[Element]:
+        self._require(element)
+        return frozenset(self._above[element])
+
+    def successor_index(self) -> Tuple[Tuple[int, ...], ...]:
+        cached = self._succ_index
+        if cached is None:
+            index = self._index
+            cached = tuple(
+                tuple(sorted(index[y] for y in self._above[x]))
+                for x in self._elements
+            )
+            self._succ_index = cached
+        return cached
+
+    def down_set(self, element: Element) -> FrozenSet[Element]:
+        return self.strictly_below(element) | {element}
+
+    def up_set(self, element: Element) -> FrozenSet[Element]:
+        return self.strictly_above(element) | {element}
+
+    def minimal_elements(self) -> List[Element]:
+        return [e for e in self._elements if not self._below[e]]
+
+    def maximal_elements(self) -> List[Element]:
+        return [e for e in self._elements if not self._above[e]]
+
+    def cover_pairs(self) -> List[Tuple[Element, Element]]:
+        covers: List[Tuple[Element, Element]] = []
+        for x in self._elements:
+            above_x = self._above[x]
+            for y in self._elements:
+                if y not in above_x:
+                    continue
+                if any(z in above_x and y in self._above[z] for z in above_x):
+                    continue
+                covers.append((x, y))
+        return covers
+
+    def relation_pairs(self) -> List[Tuple[Element, Element]]:
+        pairs: List[Tuple[Element, Element]] = []
+        for x in self._elements:
+            for y in self._elements:
+                if y in self._above[x]:
+                    pairs.append((x, y))
+        return pairs
+
+    def incomparable_pairs(self) -> List[Tuple[Element, Element]]:
+        pairs: List[Tuple[Element, Element]] = []
+        for i, x in enumerate(self._elements):
+            for y in self._elements[i + 1 :]:
+                if not self.comparable(x, y):
+                    pairs.append((x, y))
+        return pairs
+
+    def restricted_to(self, subset: Iterable[Element]) -> "ReferencePoset":
+        keep = list(dict.fromkeys(subset))
+        keep_set = set(keep)
+        for element in keep:
+            self._require(element)
+        pairs = [
+            (x, y)
+            for x in keep
+            for y in self._above[x]
+            if y in keep_set
+        ]
+        return ReferencePoset(keep, pairs)
+
+    def dual(self) -> "ReferencePoset":
+        pairs = [(y, x) for (x, y) in self.relation_pairs()]
+        return ReferencePoset(self._elements, pairs)
+
+    # ------------------------------------------------------------------
+    def is_chain(self, elements: Sequence[Element]) -> bool:
+        items = list(dict.fromkeys(elements))
+        for element in items:
+            self._require(element)
+        if len(items) <= 1:
+            return True
+        items.sort(key=lambda e: len(self._below[e]))
+        return all(
+            self.less(items[i], items[i + 1]) for i in range(len(items) - 1)
+        )
+
+    def is_antichain(self, elements: Sequence[Element]) -> bool:
+        items = list(elements)
+        return all(
+            not self.comparable(items[i], items[j]) and items[i] != items[j]
+            for i in range(len(items))
+            for j in range(i + 1, len(items))
+        )
+
+    def longest_chain(self) -> List[Element]:
+        best_to: Dict[Element, List[Element]] = {}
+        for element in self.linear_extension():
+            best_prefix: List[Element] = []
+            for lower in self._below[element]:
+                candidate = best_to[lower]
+                if len(candidate) > len(best_prefix):
+                    best_prefix = candidate
+            best_to[element] = best_prefix + [element]
+        if not best_to:
+            return []
+        return max(best_to.values(), key=len)
+
+    def height(self) -> int:
+        return len(self.longest_chain())
+
+    def linear_extension(self) -> List[Element]:
+        successors = {
+            e: set(self._cover_successors(e)) for e in self._elements
+        }
+        order = _topological_order(self._elements, successors)
+        if order is None:  # pragma: no cover - construction is acyclic
+            raise PosetError("closed relation unexpectedly cyclic")
+        return order
+
+    def _cover_successors(self, element: Element) -> List[Element]:
+        above = self._above[element]
+        return [
+            y
+            for y in above
+            if not any(z in above and y in self._above[z] for z in above)
+        ]
+
+    # ------------------------------------------------------------------
+    def same_order_as(self, other) -> bool:
+        if set(self._elements) != set(other.elements):
+            return False
+        return all(
+            frozenset(self._above[e]) == other.strictly_above(e)
+            for e in self._elements
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferencePoset({len(self._elements)} elements, "
+            f"{len(self.relation_pairs())} ordered pairs)"
+        )
+
+
+def _topological_order(
+    elements: Sequence[Element],
+    successors: Dict[Element, Set[Element]],
+) -> "List[Element] | None":
+    """Kahn's algorithm; returns ``None`` when the relation has a cycle."""
+    index = {element: position for position, element in enumerate(elements)}
+    indegree: Dict[Element, int] = {e: 0 for e in elements}
+    for element in elements:
+        for succ in successors.get(element, ()):
+            indegree[succ] += 1
+
+    ready = [e for e in elements if indegree[e] == 0]
+    order: List[Element] = []
+    position = 0
+    while position < len(ready):
+        current = ready[position]
+        position += 1
+        order.append(current)
+        for succ in sorted(successors.get(current, ()), key=index.__getitem__):
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                ready.append(succ)
+    if len(order) != len(elements):
+        return None
+    return order

@@ -14,10 +14,22 @@ deliberately simple: per-process projections give ``▷``, and
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from repro.core.poset import Poset
 from repro.sim.computation import SyncComputation, SyncMessage
+
+
+def _process_projections(
+    computation: SyncComputation,
+) -> Iterator[Sequence[SyncMessage]]:
+    """Each process's message projection, in process order.
+
+    The single source of the per-process timelines both pair
+    enumerations below are derived from.
+    """
+    for process in computation.processes:
+        yield computation.process_messages(process)
 
 
 def direct_precedence_pairs(
@@ -26,8 +38,7 @@ def direct_precedence_pairs(
     """All ``(m1, m2)`` with ``m1 ▷ m2`` — shared process, m1 earlier."""
     pairs: List[Tuple[SyncMessage, SyncMessage]] = []
     seen: Set[Tuple[int, int]] = set()
-    for process in computation.processes:
-        projection = computation.process_messages(process)
+    for projection in _process_projections(computation):
         for i, earlier in enumerate(projection):
             for later in projection[i + 1 :]:
                 key = (earlier.index, later.index)
@@ -43,8 +54,7 @@ def covering_pairs(
     """Consecutive pairs per process projection — generate the same
     closure as :func:`direct_precedence_pairs` but in O(messages)."""
     pairs: List[Tuple[SyncMessage, SyncMessage]] = []
-    for process in computation.processes:
-        projection = computation.process_messages(process)
+    for projection in _process_projections(computation):
         pairs.extend(zip(projection, projection[1:]))
     return pairs
 
@@ -85,7 +95,12 @@ def synchronously_precedes(
 def concurrent_messages(
     poset: Poset,
 ) -> List[Tuple[SyncMessage, SyncMessage]]:
-    """All unordered concurrent pairs ``m1 ‖ m2``."""
+    """All unordered concurrent pairs ``m1 ‖ m2``.
+
+    Delegates to the poset's bitset-backed ``incomparable_pairs`` — one
+    mask extraction per message row rather than an O(n²) hash-probing
+    sweep, so monitors can afford it on large completed computations.
+    """
     return poset.incomparable_pairs()
 
 

@@ -1,0 +1,114 @@
+"""Unit tests for the bitmask internals of :class:`Poset`.
+
+The public behaviour is pinned against the reference kernel by
+``tests/properties/test_property_poset_kernel.py``; these tests cover
+the bitset-specific machinery directly — row accessors, the cover
+cache, and the trusted constructor used by ``restricted_to``/``dual``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.poset import Poset, iter_bits
+from repro.exceptions import NotAPartialOrderError, PosetError
+
+
+def _diamond() -> Poset:
+    return Poset("abcd", [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+
+
+class TestBitRows:
+    def test_above_rows_encode_the_closure(self):
+        poset = _diamond()
+        rows = poset.above_bit_rows()
+        index = {e: i for i, e in enumerate(poset.elements)}
+        for x in poset.elements:
+            for y in poset.elements:
+                expected = poset.less(x, y)
+                assert bool(
+                    (rows[index[x]] >> index[y]) & 1
+                ) == expected
+
+    def test_below_rows_are_the_transpose(self):
+        poset = _diamond()
+        above = poset.above_bit_rows()
+        below = poset.below_bit_rows()
+        n = len(poset)
+        for i in range(n):
+            for j in range(n):
+                assert (above[i] >> j) & 1 == (below[j] >> i) & 1
+
+    def test_cover_rows_drop_transitive_edges(self):
+        poset = Poset("abc", [("a", "b"), ("b", "c"), ("a", "c")])
+        covers = poset.cover_bit_rows()
+        # a covers only b (a->c is implied), b covers c, c covers none.
+        assert list(iter_bits(covers[0])) == [1]
+        assert list(iter_bits(covers[1])) == [2]
+        assert covers[2] == 0
+
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b101001)) == [0, 3, 5]
+
+
+class TestCoverCache:
+    def test_cover_pairs_computed_once(self):
+        poset = _diamond()
+        first = poset.cover_pairs()
+        assert poset._cover_pair_cache is not None
+        assert poset._cover_bits is not None
+        second = poset.cover_pairs()
+        assert first == second
+
+    def test_cover_pairs_returns_a_fresh_list(self):
+        poset = _diamond()
+        first = poset.cover_pairs()
+        first.append(("x", "y"))
+        assert ("x", "y") not in poset.cover_pairs()
+
+    def test_bit_row_accessors_return_copies(self):
+        poset = _diamond()
+        assert isinstance(poset.above_bit_rows(), tuple)
+        assert isinstance(poset.below_bit_rows(), tuple)
+        assert isinstance(poset.cover_bit_rows(), tuple)
+
+
+class TestTrustedConstructor:
+    def test_restricted_to_reuses_closed_rows(self):
+        poset = _diamond()
+        sub = poset.restricted_to(["a", "b", "d"])
+        # The restriction of a closure is already closed: a < d survives
+        # even though the witness c was dropped.
+        assert sub.less("a", "d")
+        assert sub.relation_pairs() == [
+            ("a", "b"),
+            ("a", "d"),
+            ("b", "d"),
+        ]
+
+    def test_restricted_to_rejects_unknown_elements(self):
+        with pytest.raises(PosetError):
+            _diamond().restricted_to(["a", "z"])
+
+    def test_dual_swaps_rows_without_copying_state(self):
+        poset = _diamond()
+        dual = poset.dual()
+        assert dual.above_bit_rows() == poset.below_bit_rows()
+        assert dual.below_bit_rows() == poset.above_bit_rows()
+        assert dual.dual().same_order_as(poset)
+
+    def test_dual_caches_are_independent(self):
+        poset = _diamond()
+        dual = poset.dual()
+        poset.cover_pairs()
+        assert dual._cover_pair_cache is None
+        assert sorted(dual.cover_pairs()) == sorted(
+            (y, x) for (x, y) in poset.cover_pairs()
+        )
+
+    def test_public_constructor_still_validates(self):
+        with pytest.raises(NotAPartialOrderError):
+            Poset("ab", [("a", "b"), ("b", "a")])
+        with pytest.raises(PosetError):
+            Poset("aa")

@@ -1,0 +1,126 @@
+"""The bitset poset kernel is observationally identical to the seed.
+
+:class:`repro.core.poset_reference.ReferencePoset` preserves the
+pre-bitset dict-of-sets implementation verbatim as an executable
+specification.  Every property here drives a random computation through
+both kernels and demands equal answers — not merely isomorphic ones:
+element lists, pair lists, extension orders, realizer ranks, and full
+offline timestamps must match exactly, because downstream code (and the
+committed benchmark snapshots) depend on deterministic output.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.clocks.offline import OfflineRealizerClock
+from repro.core.chains import minimum_chain_partition, width
+from repro.core.poset import Poset
+from repro.core.poset_reference import ReferencePoset
+from repro.order.message_order import covering_pairs
+from tests.strategies import computations
+
+RELAXED = settings(
+    max_examples=50,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _both_kernels(computation):
+    pairs = covering_pairs(computation)
+    return (
+        Poset(computation.messages, pairs),
+        ReferencePoset(computation.messages, pairs),
+    )
+
+
+class TestKernelObservationalIdentity:
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_closure_identical(self, computation):
+        bitset, reference = _both_kernels(computation)
+        assert bitset.elements == reference.elements
+        assert bitset.relation_pairs() == reference.relation_pairs()
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_cover_pairs_identical(self, computation):
+        bitset, reference = _both_kernels(computation)
+        assert bitset.cover_pairs() == reference.cover_pairs()
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_incomparable_pairs_identical(self, computation):
+        bitset, reference = _both_kernels(computation)
+        assert (
+            bitset.incomparable_pairs() == reference.incomparable_pairs()
+        )
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_extremal_elements_identical(self, computation):
+        bitset, reference = _both_kernels(computation)
+        assert bitset.minimal_elements() == reference.minimal_elements()
+        assert bitset.maximal_elements() == reference.maximal_elements()
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_linear_extension_identical(self, computation):
+        bitset, reference = _both_kernels(computation)
+        assert bitset.linear_extension() == reference.linear_extension()
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_down_and_up_sets_identical(self, computation):
+        bitset, reference = _both_kernels(computation)
+        for element in computation.messages:
+            assert bitset.down_set(element) == reference.down_set(
+                element
+            )
+            assert bitset.up_set(element) == reference.up_set(element)
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_restriction_and_dual_identical(self, computation):
+        bitset, reference = _both_kernels(computation)
+        kept = computation.messages[::2]
+        assert (
+            bitset.restricted_to(kept).relation_pairs()
+            == reference.restricted_to(kept).relation_pairs()
+        )
+        assert (
+            bitset.dual().relation_pairs()
+            == reference.dual().relation_pairs()
+        )
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_width_and_chain_partition_identical(self, computation):
+        bitset, reference = _both_kernels(computation)
+        if len(bitset) == 0:
+            return
+        assert width(bitset) == width(reference)
+        assert minimum_chain_partition(
+            bitset
+        ) == minimum_chain_partition(reference)
+
+    @RELAXED
+    @given(computations(max_messages=25))
+    def test_offline_timestamps_identical(self, computation):
+        bitset, reference = _both_kernels(computation)
+        new_clock = OfflineRealizerClock()
+        old_clock = OfflineRealizerClock()
+        new_assignment = new_clock.timestamp_poset(computation, bitset)
+        old_assignment = old_clock.timestamp_poset(
+            computation, reference
+        )
+        if len(computation) == 0:
+            return
+        assert new_clock.timestamp_size == old_clock.timestamp_size
+        assert new_clock.realizer == old_clock.realizer
+        for message in computation.messages:
+            assert (
+                new_assignment.of(message).components
+                == old_assignment.of(message).components
+            )
