@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test obs-check lint bench bench-batch bench-offline bench-report examples all clean
+.PHONY: install test obs-check lint bench bench-batch bench-offline bench-lattice bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -39,6 +39,12 @@ bench-batch:
 # run that leaves the committed snapshot untouched (the CI smoke step).
 bench-offline:
 	$(PYTHON) -m pytest benchmarks/test_bench_offline.py -q
+
+# Layered-BFS-vs-chain-indexed-kernel lattice snapshot; refreshes
+# BENCH_lattice.json.  Set BENCH_LATTICE_SMOKE=1 for a quick reduced
+# run that leaves the committed snapshot untouched (the CI smoke step).
+bench-lattice:
+	$(PYTHON) -m pytest benchmarks/test_bench_lattice.py -q
 
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

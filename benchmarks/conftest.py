@@ -31,6 +31,10 @@ _BATCH_SNAPSHOT: Dict[str, object] = {}
 #: flushed to ``BENCH_offline.json`` at session end.
 _OFFLINE_SNAPSHOT: Dict[str, object] = {}
 
+#: Lattice-kernel snapshot entries (see ``record_lattice_perf``),
+#: flushed to ``BENCH_lattice.json`` at session end.
+_LATTICE_SNAPSHOT: Dict[str, object] = {}
+
 PERF_SNAPSHOT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 )
@@ -41,6 +45,10 @@ BATCH_SNAPSHOT_PATH = (
 
 OFFLINE_SNAPSHOT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_offline.json"
+)
+
+LATTICE_SNAPSHOT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_lattice.json"
 )
 
 
@@ -71,6 +79,16 @@ def record_offline_perf(key: str, value) -> None:
     stamping times plus the old-vs-new speedups.
     """
     _OFFLINE_SNAPSHOT[key] = value
+
+
+def record_lattice_perf(key: str, value) -> None:
+    """Add one entry to the ``BENCH_lattice.json`` perf snapshot.
+
+    Tracks ideal-lattice enumeration on the layered-BFS reference vs.
+    the chain-indexed bitset kernel: ideals/sec for both, counting vs.
+    materializing, and the old-vs-new speedups.
+    """
+    _LATTICE_SNAPSHOT[key] = value
 
 
 def _utc_now_iso() -> str:
@@ -137,6 +155,33 @@ def _write_offline_snapshot():
             entry["speedup"] = reference / bitset
     payload["generated_utc"] = _utc_now_iso()
     OFFLINE_SNAPSHOT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_lattice_snapshot():
+    """Flush recorded lattice entries to ``BENCH_lattice.json``.
+
+    Smoke runs (``BENCH_LATTICE_SMOKE=1``, the CI smoke step) record
+    nothing and therefore never rewrite the committed snapshot.
+    """
+    _LATTICE_SNAPSHOT.clear()
+    yield
+    if not _LATTICE_SNAPSHOT:
+        return
+    payload = dict(_LATTICE_SNAPSHOT)
+    for size_key in list(payload):
+        entry = payload[size_key]
+        if not isinstance(entry, dict):
+            continue
+        reference = entry.get("reference_seconds")
+        kernel = entry.get("kernel_seconds")
+        if isinstance(reference, float) and isinstance(kernel, float):
+            entry["speedup"] = reference / kernel
+    payload["generated_utc"] = _utc_now_iso()
+    LATTICE_SNAPSHOT_PATH.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

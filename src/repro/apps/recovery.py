@@ -12,15 +12,26 @@ With characterizing timestamps the orphan test is a pure vector
 comparison — ``m`` is orphan iff ``v(lost) < v(m)`` for some lost
 message — no causal graph traversal required.  That is exactly the
 operational benefit of Equation (1).
+
+After the rollback the system restarts from the surviving cut, and the
+states it can reach without the lost messages are exactly the ideals
+*between* the surviving cut and the full computation — an interval of
+the global-state lattice that :func:`restart_state_count` and
+:func:`restart_cuts` query through the chain-indexed kernel
+(:mod:`repro.core.lattice_kernel`) without materializing anything.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.clocks.base import TimestampAssignment
+from repro.core.lattice_kernel import count_ideals_between, ideal_masks_between
+from repro.core.poset import Poset, iter_bits
 from repro.exceptions import SimulationError
+from repro.order.cuts import Cut, cut_from_messages
+from repro.order.message_order import message_poset
 from repro.sim.computation import Process, SyncComputation, SyncMessage
 
 
@@ -92,3 +103,60 @@ def find_orphans(
         orphans=tuple(orphans),
         rollback_points=rollback_points,
     )
+
+
+def surviving_cut(report: OrphanReport) -> Cut:
+    """The rollback points as a :class:`~repro.order.cuts.Cut`.
+
+    The surviving set is causally closed (orphan analysis removed every
+    dependent) and prefix-shaped by construction, so this cut is always
+    consistent — the integration tests assert it.
+    """
+    return Cut(dict(report.rollback_points))
+
+
+def _restart_interval(
+    computation: SyncComputation,
+    report: OrphanReport,
+    poset: Optional[Poset],
+) -> Tuple[Poset, int, int]:
+    if poset is None:
+        poset = message_poset(computation)
+    lower = surviving_cut(report).message_mask(computation)
+    upper = (1 << len(computation.messages)) - 1
+    return poset, lower, upper
+
+
+def restart_state_count(
+    computation: SyncComputation,
+    report: OrphanReport,
+    poset: Optional[Poset] = None,
+    limit: int = 100_000,
+) -> int:
+    """How many consistent global states lie at or above the rollback.
+
+    These are the ideals in the lattice interval between the surviving
+    cut and the full computation — the states a replay from the
+    checkpoint can pass through.  Counted by the kernel's interval
+    query without materializing any of them.
+    """
+    poset, lower, upper = _restart_interval(computation, report, poset)
+    return count_ideals_between(poset, lower, upper, limit=limit)
+
+
+def restart_cuts(
+    computation: SyncComputation,
+    report: OrphanReport,
+    poset: Optional[Poset] = None,
+    limit: int = 100_000,
+) -> Iterator[Cut]:
+    """Enumerate the consistent cuts reachable by replay, smallest
+    first being the surviving cut itself (the kernel yields the interval
+    bottom before any proper extension)."""
+    poset, lower, upper = _restart_interval(computation, report, poset)
+    all_messages = computation.messages
+    for mask in ideal_masks_between(poset, lower, upper, limit=limit):
+        yield cut_from_messages(
+            computation,
+            frozenset(all_messages[b] for b in iter_bits(mask)),
+        )

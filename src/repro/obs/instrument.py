@@ -117,6 +117,17 @@ class ObsMetrics:
             "theorem8_bound",
             "floor(N_active / 2): Theorem 8's cap on the offline width",
         )
+        self.lattice_ideals_enumerated = registry.counter(
+            "lattice_ideals_enumerated_total",
+            "Ideals (consistent global states) produced by the "
+            "chain-indexed lattice kernel",
+        )
+        self.lattice_enumeration_seconds = registry.histogram(
+            "lattice_enumeration_seconds",
+            buckets=DURATION_BUCKETS,
+            help="Wall-clock seconds per lattice-kernel traversal "
+            "(ideals/sec = lattice_ideals_enumerated_total / sum)",
+        )
         self.monitor_ingested = registry.counter(
             "monitor_ingested_total",
             "Records ingested by the causal monitor",

@@ -16,14 +16,40 @@ which the integration tests assert.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Mapping, Set
+from typing import Dict, FrozenSet, List, Mapping, Tuple
 
 from repro.clocks.base import TimestampAssignment
-from repro.core.poset import Poset
+from repro.core.poset import Poset, iter_bits
 from repro.core.vector import VectorTimestamp
 from repro.exceptions import SimulationError
 from repro.sim.computation import Process, SyncComputation, SyncMessage
+
+#: Per-computation projection indices, cached weakly: for each process,
+#: its projection as a ``{message: position}`` map plus the projection's
+#: global message indices in order.  Computed once per computation so
+#: membership tests are O(1) dict probes instead of list slices with a
+#: linear ``in`` per message (the old ``Cut._keeps`` hot spot).
+_PROJECTION_CACHE: "weakref.WeakKeyDictionary[SyncComputation, Dict[Process, Tuple[Dict[SyncMessage, int], List[int]]]]" = (  # noqa: E501
+    weakref.WeakKeyDictionary()
+)
+
+
+def _projection_index(
+    computation: SyncComputation,
+) -> Dict[Process, Tuple[Dict[SyncMessage, int], List[int]]]:
+    cached = _PROJECTION_CACHE.get(computation)
+    if cached is None:
+        cached = {}
+        for process in computation.processes:
+            projection = computation.process_messages(process)
+            cached[process] = (
+                {message: k for k, message in enumerate(projection)},
+                [message.index for message in projection],
+            )
+        _PROJECTION_CACHE[computation] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -34,13 +60,28 @@ class Cut:
 
     def messages(self, computation: SyncComputation) -> FrozenSet[SyncMessage]:
         """Messages kept by *both* of their participants."""
-        included: Set[SyncMessage] = set()
-        for message in computation.messages:
-            if self._keeps(computation, message.sender, message) and (
-                self._keeps(computation, message.receiver, message)
-            ):
-                included.add(message)
-        return frozenset(included)
+        all_messages = computation.messages
+        return frozenset(
+            all_messages[b]
+            for b in iter_bits(self.message_mask(computation))
+        )
+
+    def message_mask(self, computation: SyncComputation) -> int:
+        """The kept set as a bitmask over global message indices.
+
+        A message survives exactly when *no* participant drops it, so
+        the mask is the complement of the union of every process's
+        dropped suffix — O(messages) bit sets, and directly usable as
+        an ideal mask against ``message_poset(computation)`` (whose
+        insertion positions are the global indices).
+        """
+        index = _projection_index(computation)
+        excluded = 0
+        for process, (_, global_indices) in index.items():
+            keep = self.kept.get(process, 0)
+            for gi in global_indices[keep:]:
+                excluded |= 1 << gi
+        return ((1 << len(computation.messages)) - 1) & ~excluded
 
     def _keeps(
         self,
@@ -48,9 +89,12 @@ class Cut:
         process: Process,
         message: SyncMessage,
     ) -> bool:
-        projection = computation.process_messages(process)
-        keep = self.kept.get(process, 0)
-        return message in projection[:keep]
+        positions, _ = _projection_index(computation)[process]
+        position = positions.get(message)
+        return (
+            position is not None
+            and position < self.kept.get(process, 0)
+        )
 
     def validate_against(self, computation: SyncComputation) -> None:
         for process, keep in self.kept.items():
@@ -88,6 +132,21 @@ def cut_from_messages(
     return Cut(kept)
 
 
+def mask_is_consistent(
+    computation: SyncComputation, poset: Poset, mask: int
+) -> bool:
+    """Down-set test for a kept-message bitmask, on the kernel's rows.
+
+    ``poset`` must be the message poset of ``computation`` (insertion
+    positions equal to global message indices, as
+    :func:`repro.order.message_order.message_poset` guarantees); the
+    check is then one closed-row AND per kept message.
+    """
+    from repro.core.lattice_kernel import is_ideal_mask
+
+    return is_ideal_mask(poset, mask)
+
+
 def is_consistent(
     computation: SyncComputation,
     cut: Cut,
@@ -101,16 +160,28 @@ def is_consistent(
         poset = message_poset(computation)
 
     # (a) participants agree: a kept message must be within *both*
-    # participants' prefixes.
-    agreed = cut.messages(computation)
-    for process in computation.processes:
-        projection = computation.process_messages(process)
+    # participants' prefixes — each process's kept prefix, as a mask of
+    # global indices, must be contained in the agreed mask.
+    agreed_mask = cut.message_mask(computation)
+    index = _projection_index(computation)
+    for process, (_, global_indices) in index.items():
         keep = cut.kept.get(process, 0)
-        for message in projection[:keep]:
-            if message not in agreed:
-                return False
+        prefix = 0
+        for gi in global_indices[:keep]:
+            prefix |= 1 << gi
+        if prefix & ~agreed_mask:
+            return False
 
-    # (b) down-set under ↦.
+    # (b) down-set under ↦: one closed-row AND per kept message when
+    # the poset's insertion positions are the global message indices
+    # (always true for ``message_poset``); otherwise the portable
+    # frozenset walk.
+    if (
+        getattr(poset, "below_bit_rows", None) is not None
+        and poset.elements == computation.messages
+    ):
+        return mask_is_consistent(computation, poset, agreed_mask)
+    agreed = cut.messages(computation)
     for message in agreed:
         if not poset.strictly_below(message) <= agreed:
             return False

@@ -1,0 +1,155 @@
+"""Unit tests for the chain-indexed bitset lattice kernel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.lattice_kernel import (
+    count_ideals,
+    count_ideals_between,
+    ideal_masks_between,
+    is_ideal_mask,
+    iterate_ideal_masks,
+    lattice_index,
+    mask_of,
+    members_of_mask,
+    popcount,
+)
+from repro.core.poset import Poset
+from repro.exceptions import PosetError
+from repro.obs import instrument
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def vee():
+    return Poset("abc", [("a", "b"), ("a", "c")])
+
+
+class TestCounting:
+    def test_empty_poset(self):
+        poset = Poset([], [])
+        assert count_ideals(poset) == 1
+        assert list(iterate_ideal_masks(poset)) == [0]
+
+    def test_chain(self):
+        # Ideals of an n-chain are its n+1 prefixes.
+        poset = Poset("abcd", [("a", "b"), ("b", "c"), ("c", "d")])
+        assert count_ideals(poset) == 5
+        masks = list(iterate_ideal_masks(poset))
+        assert sorted(masks) == [0b0000, 0b0001, 0b0011, 0b0111, 0b1111]
+
+    def test_antichain(self):
+        # Every subset of an antichain is an ideal: 2^n of them.
+        poset = Poset("abcd", [])
+        assert count_ideals(poset) == 16
+        assert len(set(iterate_ideal_masks(poset))) == 16
+
+    def test_vee(self, vee):
+        # {}, {a}, {a,b}, {a,c}, {a,b,c}
+        assert count_ideals(vee) == 5
+
+    def test_count_and_enumeration_agree(self, vee):
+        assert count_ideals(vee) == len(list(iterate_ideal_masks(vee)))
+
+
+class TestCanonicalOrder:
+    def test_bottom_first(self, vee):
+        assert next(iterate_ideal_masks(vee)) == 0
+
+    def test_deterministic(self, vee):
+        assert list(iterate_ideal_masks(vee)) == list(
+            iterate_ideal_masks(vee)
+        )
+
+    def test_index_cached_per_poset(self, vee):
+        assert lattice_index(vee) is lattice_index(vee)
+
+
+class TestLimit:
+    def test_limit_raises(self):
+        poset = Poset("abcd", [])
+        with pytest.raises(PosetError, match="more than 5 ideals"):
+            list(iterate_ideal_masks(poset, limit=5))
+        with pytest.raises(PosetError, match="more than 5 ideals"):
+            count_ideals(poset, limit=5)
+
+    def test_limit_exact_is_fine(self, vee):
+        assert len(list(iterate_ideal_masks(vee, limit=5))) == 5
+        assert count_ideals(vee, limit=5) == 5
+
+
+class TestBridge:
+    def test_roundtrip(self, vee):
+        mask = mask_of(vee, {"a", "c"})
+        assert members_of_mask(vee, mask) == frozenset({"a", "c"})
+        assert is_ideal_mask(vee, mask)
+
+    def test_non_ideal_mask(self, vee):
+        assert not is_ideal_mask(vee, mask_of(vee, {"b"}))
+
+    def test_foreign_element_raises(self, vee):
+        with pytest.raises(PosetError):
+            mask_of(vee, {"z"})
+
+    def test_non_strict_ignores_foreign(self, vee):
+        assert mask_of(vee, {"a", "z"}, strict=False) == mask_of(
+            vee, {"a"}
+        )
+
+
+class TestIntervals:
+    def test_full_interval(self, vee):
+        full = (1 << len(vee)) - 1
+        assert count_ideals_between(vee, 0, full) == 5
+
+    def test_proper_interval(self, vee):
+        a = mask_of(vee, {"a"})
+        full = (1 << len(vee)) - 1
+        # Ideals containing {a}: all but the empty one.
+        assert count_ideals_between(vee, a, full) == 4
+        assert set(ideal_masks_between(vee, a, full)) == {
+            m for m in iterate_ideal_masks(vee) if m & a == a
+        }
+
+    def test_bottom_yielded_first(self, vee):
+        a = mask_of(vee, {"a"})
+        full = (1 << len(vee)) - 1
+        assert next(ideal_masks_between(vee, a, full)) == a
+
+    def test_non_ideal_bound_raises(self, vee):
+        b = mask_of(vee, {"b"})
+        full = (1 << len(vee)) - 1
+        with pytest.raises(PosetError):
+            list(ideal_masks_between(vee, b, full))
+
+    def test_non_nested_bounds_raise(self, vee):
+        a = mask_of(vee, {"a"})
+        ab = mask_of(vee, {"a", "b"})
+        ac = mask_of(vee, {"a", "c"})
+        with pytest.raises(PosetError):
+            list(ideal_masks_between(vee, ab, ac))
+        with pytest.raises(PosetError):
+            count_ideals_between(vee, ab, a)
+
+    def test_out_of_range_mask_raises(self, vee):
+        with pytest.raises(PosetError):
+            list(ideal_masks_between(vee, 0, 1 << 10))
+
+
+class TestObservability:
+    def test_counters_advance(self, vee):
+        with instrument.enabled_session(MetricsRegistry()) as bundle:
+            produced = len(list(iterate_ideal_masks(vee)))
+            assert bundle.lattice_ideals_enumerated.value == produced
+            assert bundle.lattice_enumeration_seconds.count == 1
+
+    def test_disabled_is_silent(self, vee):
+        instrument.disable()
+        assert count_ideals(vee) == 5
+
+
+def test_popcount():
+    assert popcount(0) == 0
+    assert popcount(0b1011) == 3
+    assert popcount((1 << 200) - 1) == 200

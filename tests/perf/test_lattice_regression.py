@@ -1,0 +1,46 @@
+"""Regression: counting a 65,536-ideal lattice must stay fast.
+
+One batch of ``adversarial_antichain_computation`` on a 32-clique fires
+16 pairwise-concurrent messages — an antichain whose ideal lattice is
+the full powerset, ``2^16 = 65,536`` consistent global states.  The
+pre-kernel layered BFS builds every one of them as a frozenset and
+hashes whole layers (minutes of work); the chain-indexed bitset kernel
+counts them in well under a second with O(width) mask operations per
+ideal.  As with the other perf guards, the budget leaves an order of
+magnitude of headroom for slow CI boxes while staying far below what
+the frozenset BFS could ever meet.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.ideals import ideal_count
+from repro.graphs.generators import complete_topology
+from repro.order.message_order import message_poset
+from repro.sim.workload import adversarial_antichain_computation
+
+EXPECTED_IDEALS = 2**16
+
+# ~0.15s on the kernel; the layered BFS needs minutes and several GB.
+BUDGET_SECONDS = 15.0
+
+
+class TestLatticeRegression:
+    def test_counts_65536_ideals_within_budget(self):
+        computation = adversarial_antichain_computation(
+            complete_topology(32), batch_count=1
+        )
+        poset = message_poset(computation)
+        assert len(poset) == 16
+
+        started = time.perf_counter()
+        count = ideal_count(poset, limit=EXPECTED_IDEALS)
+        elapsed = time.perf_counter() - started
+
+        assert count == EXPECTED_IDEALS
+        assert elapsed < BUDGET_SECONDS, (
+            f"counting {EXPECTED_IDEALS} ideals took {elapsed:.1f}s "
+            f"(budget {BUDGET_SECONDS}s); the lattice kernel fast path "
+            "is not engaging"
+        )
