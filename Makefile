@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test obs-check lint bench bench-batch bench-offline bench-lattice bench-report examples all clean
+.PHONY: install test obs-check obs-report lint bench bench-batch bench-offline bench-lattice bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -26,6 +26,14 @@ lint:
 	else \
 		echo "lint: ruff not installed; skipping (pip install ruff to enable)"; \
 	fi
+
+# Bench-trajectory report: merge the committed BENCH_*.json snapshots
+# and gate them against the committed baseline (warn-only, so machine
+# drift never breaks the build; drop --warn-only locally to enforce).
+obs-report:
+	PYTHONPATH=src $(PYTHON) -m repro obs report \
+		--baseline benchmarks/baselines/bench_baseline.json \
+		--warn-only
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -31,6 +31,9 @@ OBS_MODULES = [
     "repro.obs.tracing",
     "repro.obs.export",
     "repro.obs.instrument",
+    "repro.obs.flightrec",
+    "repro.obs.audit",
+    "repro.obs.report",
 ]
 
 HEAVY_DEPS = ("networkx", "numpy")
@@ -64,6 +67,13 @@ def main() -> int:
         fail("importing the library enabled observability")
     if instrument.metrics is not None or instrument.tracer is not None:
         fail("import left a registry or tracer behind")
+
+    from repro.obs import audit, flightrec
+
+    if flightrec.is_recording() or flightrec.recorder is not None:
+        fail("import left a flight recorder installed")
+    if audit.is_auditing() or audit.auditor is not None:
+        fail("import left a live auditor installed")
 
     heavy_now = {
         name

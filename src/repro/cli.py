@@ -31,6 +31,10 @@ Commands operate on the JSON trace format of :mod:`repro.sim.trace_io`:
     Run the rendezvous runtime demo with observability enabled and
     export the structured trace (JSONL) and metrics (Prometheus text
     or JSON) — the live counterpart of the Theorem 4–8 size bounds.
+    Optional flags record a causal flight record (``--flight-out``)
+    and cross-check live timestamps against the ground truth
+    (``--audit-rate``); ``obs report`` merges the ``BENCH_*.json``
+    snapshots into a gated bench-trajectory report.
 """
 
 from __future__ import annotations
@@ -45,6 +49,7 @@ from repro.clocks.fm import FMMessageClock
 from repro.clocks.lamport import LamportMessageClock
 from repro.clocks.offline import OfflineRealizerClock
 from repro.clocks.online import OnlineEdgeClock
+from repro.exceptions import ReproError
 from repro.graphs.decomposition import decompose
 from repro.graphs.generators import (
     client_server_topology,
@@ -71,7 +76,12 @@ def _load_json(path: str):
 
 
 def _builtin_topology(spec: str):
-    """Parse family specs like ``complete:6`` or ``client-server:2x10``."""
+    """Parse family specs like ``complete:6`` or ``client-server:2x10``.
+
+    Every malformed spec — a non-numeric size (``ring:one``), an
+    out-of-range one (``ring:0``), or an unknown family — exits with a
+    one-line error, never a traceback.
+    """
     family, _, arg = spec.partition(":")
     try:
         if family == "complete":
@@ -88,7 +98,7 @@ def _builtin_topology(spec: str):
         if family == "client-server":
             servers, _, clients = arg.partition("x")
             return client_server_topology(int(servers), int(clients))
-    except ValueError as exc:
+    except (ValueError, ReproError) as exc:
         raise SystemExit(f"bad topology spec {spec!r}: {exc}") from exc
     raise SystemExit(
         f"unknown topology family {family!r}; choose from complete, path, "
@@ -264,7 +274,14 @@ def cmd_rsc(args) -> int:
 
 
 def cmd_obs(args) -> int:
+    if args.mode == "report":
+        return cmd_obs_report(args)
+
+    from contextlib import ExitStack
+
     from repro.apps.monitor import CausalMonitor
+    from repro.obs import audit as obs_audit
+    from repro.obs import flightrec as obs_flightrec
     from repro.obs import instrument
     from repro.obs.export import (
         render_prometheus,
@@ -279,10 +296,29 @@ def cmd_obs(args) -> int:
         topology = _builtin_topology(args.family)
     if args.rounds < 1:
         raise SystemExit("--rounds must be at least 1")
+    if not 0.0 <= args.audit_rate <= 1.0:
+        raise SystemExit("--audit-rate must be in [0, 1]")
+    if args.flight_capacity < 1:
+        raise SystemExit("--flight-capacity must be at least 1")
 
-    with instrument.enabled_session(
-        trace_capacity=args.trace_capacity
-    ) as obs:
+    with ExitStack() as stack:
+        obs = stack.enter_context(
+            instrument.enabled_session(
+                trace_capacity=args.trace_capacity
+            )
+        )
+        flight = None
+        if args.flight_out:
+            flight = stack.enter_context(
+                obs_flightrec.recording_session(
+                    capacity=args.flight_capacity
+                )
+            )
+        auditor = None
+        if args.audit_rate > 0:
+            auditor = stack.enter_context(
+                obs_audit.audit_session(sample_rate=args.audit_rate)
+            )
         # Exact vertex cover keeps the theorem5_bound gauge the true
         # min(beta(G), N-2) on demo-sized topologies; larger graphs
         # fall back to the greedy-cover upper bound.
@@ -339,6 +375,21 @@ def cmd_obs(args) -> int:
             ["spans collected", len(spans)],
             ["clock overhead", monitor.overhead().describe()],
         ]
+        if auditor is not None:
+            rows.insert(
+                -1,
+                [
+                    "audit pairs checked",
+                    snapshot["audit_pairs_checked_total"]["value"],
+                ],
+            )
+            rows.insert(
+                -1,
+                [
+                    "audit violations",
+                    snapshot["audit_violations_total"]["value"],
+                ],
+            )
         if dropped:
             rows.insert(
                 -1,
@@ -348,6 +399,20 @@ def cmd_obs(args) -> int:
                 ],
             )
         print(render_table(["metric", "value"], rows))
+
+        if flight is not None:
+            count = flight.dump_jsonl(args.flight_out)
+            print(
+                f"{count} flight event(s) written to {args.flight_out}"
+                + (
+                    f" ({flight.dropped_count} evicted)"
+                    if flight.dropped_count
+                    else ""
+                )
+            )
+        if auditor is not None and auditor.violations:
+            for violation in auditor.violations[:5]:
+                print(f"AUDIT VIOLATION: {violation.describe()}")
 
         if args.trace_out:
             count = write_trace_jsonl(spans, args.trace_out)
@@ -361,6 +426,56 @@ def cmd_obs(args) -> int:
         else:
             print()
             print(render_prometheus(registry), end="")
+        if auditor is not None and auditor.violations:
+            return 1
+    return 0
+
+
+def cmd_obs_report(args) -> int:
+    from repro.obs import report as obs_report
+
+    try:
+        current = obs_report.load_bench_dir(args.dir)
+    except obs_report.BenchReportError as exc:
+        raise SystemExit(f"obs report: {exc}") from exc
+    if not len(current):
+        raise SystemExit(
+            f"obs report: no BENCH_*.json snapshots under {args.dir!r}"
+        )
+    gate = None
+    if args.baseline:
+        if args.tolerance < 0:
+            raise SystemExit("--tolerance must be non-negative")
+        try:
+            baseline = obs_report.load_baseline(args.baseline)
+            gate = obs_report.compare_reports(
+                current, baseline, tolerance=args.tolerance
+            )
+        except obs_report.BenchReportError as exc:
+            raise SystemExit(f"obs report: {exc}") from exc
+    renderer = {
+        "text": obs_report.render_text,
+        "markdown": obs_report.render_markdown,
+        "json": obs_report.render_json,
+    }[args.report_format]
+    rendered = renderer(current, gate)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"report ({args.report_format}) written to {args.out}")
+        if gate is not None:
+            print(gate.describe())
+    else:
+        print(rendered, end="")
+    if gate is not None and not gate.ok:
+        if args.warn_only:
+            print(
+                "warning: bench regression gate failed "
+                "(--warn-only: exiting 0)",
+                file=sys.stderr,
+            )
+            return 0
+        return 1
     return 0
 
 
@@ -478,8 +593,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     obs_cmd = commands.add_parser(
         "obs",
-        help="run the threaded rendezvous demo with observability on; "
-        "export a JSONL trace and a metrics dump",
+        help="run the threaded rendezvous demo with observability on "
+        "(default), or 'report': merge BENCH_*.json into one bench-"
+        "trajectory report with an optional regression gate",
+    )
+    obs_cmd.add_argument(
+        "mode",
+        nargs="?",
+        default="run",
+        choices=["run", "report"],
+        help="'run' (default): the instrumented rendezvous demo; "
+        "'report': the bench-trajectory report",
     )
     obs_cmd.add_argument("--topology-file", help="topology JSON")
     obs_cmd.add_argument(
@@ -517,6 +641,57 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=4096,
         help="span ring-buffer capacity (default 4096)",
+    )
+    obs_cmd.add_argument(
+        "--flight-out",
+        help="record a flight-recorder ring during the run and write "
+        "it here as JSONL",
+    )
+    obs_cmd.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=4096,
+        help="flight-recorder ring capacity (default 4096)",
+    )
+    obs_cmd.add_argument(
+        "--audit-rate",
+        type=float,
+        default=0.0,
+        help="live Theorem-4 audit sampling rate in [0, 1] "
+        "(default 0: audit off)",
+    )
+    obs_cmd.add_argument(
+        "--dir",
+        default=".",
+        help="[report] directory holding the BENCH_*.json snapshots "
+        "(default: current directory)",
+    )
+    obs_cmd.add_argument(
+        "--baseline",
+        help="[report] normalized report JSON to gate against "
+        "(generate with --report-format json)",
+    )
+    obs_cmd.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.1,
+        help="[report] relative drift allowed by the regression gate "
+        "(default 0.1 = 10%%)",
+    )
+    obs_cmd.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="[report] print gate failures but exit 0 (CI smoke mode)",
+    )
+    obs_cmd.add_argument(
+        "--report-format",
+        default="text",
+        choices=["text", "markdown", "json"],
+        help="[report] output format (default text)",
+    )
+    obs_cmd.add_argument(
+        "--out",
+        help="[report] write the rendered report here instead of stdout",
     )
     obs_cmd.set_defaults(handler=cmd_obs)
     return parser

@@ -43,6 +43,7 @@ from repro.core.linear_extensions import (
 )
 from repro.core.poset import Poset
 from repro.core.vector import VectorTimestamp
+from repro.obs import audit as _audit
 from repro.obs import instrument as _obs
 from repro.order.message_order import message_poset
 from repro.sim.computation import SyncComputation, SyncMessage
@@ -148,6 +149,13 @@ class OfflineRealizerClock(MessageTimestamper[VectorTimestamp]):
                 len(computation.active_processes()) // 2
             )
             m.messages_timestamped.inc(len(poset))
+        aud = _audit.auditor
+        if aud is not None:
+            # Read-only cross-check against the same poset we stamped
+            # from; never mutates the assignment.
+            aud.audit_offline(
+                computation, poset, timestamps, len(realizer)
+            )
         return TimestampAssignment(computation, timestamps)
 
     def precedes(self, ts1: VectorTimestamp, ts2: VectorTimestamp) -> bool:

@@ -36,6 +36,7 @@ from repro.core.fastpath import stamp_batch
 from repro.core.vector import VectorTimestamp
 from repro.exceptions import ClockError
 from repro.graphs.decomposition import EdgeDecomposition, decompose
+from repro.obs import audit as _audit
 from repro.obs import instrument as _obs
 from repro.sim.computation import Process, SyncComputation, SyncMessage
 
@@ -161,6 +162,13 @@ class OnlineEdgeClock(MessageTimestamper[VectorTimestamp]):
             vector_size=self._decomposition.size,
         ):
             timestamps = stamp_batch(computation, self._decomposition)
+        aud = _audit.auditor
+        if aud is not None:
+            # Read-only cross-check; the audit never mutates the
+            # assignment, so output is identical with it on or off.
+            aud.audit_batch(
+                computation, timestamps, self._decomposition
+            )
         return TimestampAssignment(computation, timestamps)
 
     def timestamp_computation_handshake(

@@ -20,9 +20,11 @@ the entire computation is in hand — none of that churn is necessary:
   message — the timestamp itself.
 
 The observability contract is preserved: :func:`stamp_batch` reports
-*identical* ``_obs`` counter values to the per-object handshake path
-(two joins, one message, one ack, and two piggybacked vectors of
-``d * COMPONENT_BYTES`` bytes per message), applied as bulk updates.
+*identical* ``_obs`` counter values to the per-object handshake path —
+two joins, one message, one ack, and two piggybacked vectors per
+message, with the varint payload of each pre-join workspace measured
+exactly where the handshake measures its piggybacked/ack vectors.  The
+metrics-off loop stays free of any accounting work.
 """
 
 from __future__ import annotations
@@ -154,25 +156,45 @@ def stamp_batch(
         groups.append(group)
 
     timestamps: Dict[SyncMessage, VectorTimestamp] = {}
-    for position, message in enumerate(messages):
-        send = sender_ws[position]
-        recv = receiver_ws[position]
-        recv.join_into(send)
-        recv.inc(groups[position])
-        send.copy_from(recv)
-        timestamps[message] = recv.freeze()
-
     m = _obs.metrics
-    if m is not None:
-        # Bulk-apply exactly what the per-message handshake would have
-        # recorded: per message, one receive (join + piggybacked vector)
-        # and one ack (join + piggybacked vector).
+    if m is None:
+        for position, message in enumerate(messages):
+            send = sender_ws[position]
+            recv = receiver_ws[position]
+            recv.join_into(send)
+            recv.inc(groups[position])
+            send.copy_from(recv)
+            timestamps[message] = recv.freeze()
+    else:
+        # Metrics branch: measure the varint payload of each pre-join
+        # workspace exactly where the handshake measures its
+        # piggybacked vector (receiver side sees the sender's pre-send
+        # vector; sender side sees the receiver's pre-merge ack), then
+        # bulk-apply the per-run counters.  Per-message histogram
+        # observations are batched by distinct payload size, which is
+        # order-insensitive and therefore snapshot-identical to the
+        # handshake's one-at-a-time observes.
+        payload_of = _obs.piggyback_size_bytes
+        payload_counts: Dict[int, int] = {}
+        total_payload = 0
+        for position, message in enumerate(messages):
+            send = sender_ws[position]
+            recv = receiver_ws[position]
+            sent = payload_of(send)
+            acked = payload_of(recv)
+            total_payload += sent + acked
+            payload_counts[sent] = payload_counts.get(sent, 0) + 1
+            payload_counts[acked] = payload_counts.get(acked, 0) + 1
+            recv.join_into(send)
+            recv.inc(groups[position])
+            send.copy_from(recv)
+            timestamps[message] = recv.freeze()
         m.vector_component_count.set(size)
         if count:
-            payload = size * _obs.COMPONENT_BYTES
             m.vector_joins.inc(2 * count)
             m.messages_timestamped.inc(count)
             m.acks_processed.inc(count)
-            m.piggyback_bytes_total.inc(2 * count * payload)
-            m.piggyback_bytes.observe_many(payload, 2 * count)
+            m.piggyback_bytes_total.inc(total_payload)
+            for payload, times in payload_counts.items():
+                m.piggyback_bytes.observe_many(payload, times)
     return timestamps

@@ -10,7 +10,14 @@ measurements:
 * :mod:`repro.obs.export` — JSONL traces and Prometheus-text metrics;
 * :mod:`repro.obs.instrument` — the zero-overhead-when-disabled hooks
   embedded in the clocks, the rendezvous runtime, the decomposition
-  algorithms and the causal monitor.
+  algorithms and the causal monitor;
+* :mod:`repro.obs.flightrec` — the causal flight recorder: a bounded
+  ring of runtime events with post-mortem wait-for and reconstruction
+  views;
+* :mod:`repro.obs.audit` — the sampling live audit of Theorem 4 and
+  the Theorem 5/8 size bounds;
+* :mod:`repro.obs.report` — the bench-trajectory report and regression
+  gate over the committed ``BENCH_*.json`` snapshots.
 
 Quickstart::
 
@@ -27,6 +34,7 @@ Importing this package never enables anything: hooks stay no-ops until
 line does this for one run).
 """
 
+from repro.obs.audit import Auditor, AuditViolation, audit_session
 from repro.obs.export import (
     metrics_to_json,
     read_trace_jsonl,
@@ -34,6 +42,13 @@ from repro.obs.export import (
     spans_to_jsonl,
     write_metrics,
     write_trace_jsonl,
+)
+from repro.obs.flightrec import (
+    FlightEvent,
+    FlightRecorder,
+    recording_session,
+    reconstruct_computation,
+    wait_for_summary,
 )
 from repro.obs.instrument import (
     Instrumented,
@@ -46,6 +61,7 @@ from repro.obs.instrument import (
     is_enabled,
     piggyback_size_bytes,
     span,
+    varint_size,
 )
 from repro.obs.metrics import (
     BYTE_BUCKETS,
@@ -56,12 +72,24 @@ from repro.obs.metrics import (
     MetricError,
     MetricsRegistry,
 )
+from repro.obs.report import (
+    BenchReport,
+    BenchReportError,
+    compare_reports,
+    load_bench_dir,
+)
 from repro.obs.tracing import NULL_SPAN, Span, Tracer
 
 __all__ = [
+    "AuditViolation",
+    "Auditor",
     "BYTE_BUCKETS",
+    "BenchReport",
+    "BenchReportError",
     "Counter",
     "DURATION_BUCKETS",
+    "FlightEvent",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instrumented",
@@ -71,18 +99,25 @@ __all__ = [
     "ObsMetrics",
     "Span",
     "Tracer",
+    "audit_session",
+    "compare_reports",
     "disable",
     "enable",
     "enabled_session",
     "get_registry",
     "get_tracer",
     "is_enabled",
+    "load_bench_dir",
     "metrics_to_json",
     "piggyback_size_bytes",
     "read_trace_jsonl",
+    "recording_session",
+    "reconstruct_computation",
     "render_prometheus",
     "span",
     "spans_to_jsonl",
+    "varint_size",
+    "wait_for_summary",
     "write_metrics",
     "write_trace_jsonl",
 ]

@@ -1,0 +1,479 @@
+"""Causal flight recorder: a bounded ring of runtime events.
+
+The threaded rendezvous runtime (:mod:`repro.sim.runtime`) can hang on
+an unmatched send, misorder under a scheduling bug, or lose a process
+to an injected crash — and until now it left no post-mortem record.
+The flight recorder is a fixed-capacity ring buffer of
+:class:`FlightEvent` records — send offers, rendezvous commits,
+blocking intervals, internal events, crashes — each carrying a
+monotonic ``perf_counter`` time and a per-process sequence number, so
+after a failure the last ``capacity`` events reconstruct what the
+threads were doing when things went wrong.
+
+Two post-mortem views are built in:
+
+* :func:`wait_for_summary` — the "who is blocked on whom" table
+  derived from unmatched or timed-out blocking intervals, including
+  cycle detection over the wait-for edges (a cycle *is* the deadlock);
+* :func:`reconstruct_computation` — rebuilds the partial
+  :class:`~repro.sim.computation.SyncComputation` from the committed
+  rendezvous events, so the messages that *did* complete can be
+  re-timestamped and audited offline.
+
+The hook discipline matches :mod:`repro.obs.instrument`: call sites
+load the module attribute :data:`recorder` once and test it against
+``None``, so a disabled recorder costs one attribute load per call and
+allocates nothing (pinned by ``tests/obs/test_overhead_guard.py``).
+Recording itself takes one short uncontended critical section per
+event — the same cost profile as a ``Counter.inc`` — and never takes
+any other lock, so it is safe to call while holding the transport
+lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import (
+    IO,
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+PathOrFile = Union[str, IO[str]]
+
+# ----------------------------------------------------------------------
+# Event kinds recorded by the built-in runtime instrumentation
+# ----------------------------------------------------------------------
+SEND_OFFER = "send_offer"  #: sender parked an offer in the inbox
+RENDEZVOUS = "rendezvous"  #: a rendezvous committed (receiver side)
+BLOCK_START = "block_start"  #: a thread started blocking (send/receive)
+BLOCK_END = "block_end"  #: blocking ended ("matched" or "timeout")
+INTERNAL = "internal"  #: a compute action was recorded
+CRASH = "crash"  #: fault injection abandoned a script
+SCRIPT_START = "script_start"  #: a process thread began its script
+SCRIPT_END = "script_end"  #: a process thread finished its script
+SCRIPT_ERROR = "script_error"  #: a process thread died on an exception
+DEADLOCK = "deadlock"  #: the runner gave up waiting for a thread
+AUDIT_VIOLATION = "audit_violation"  #: the live audit caught a bad pair
+
+EVENT_KINDS = frozenset(
+    {
+        SEND_OFFER,
+        RENDEZVOUS,
+        BLOCK_START,
+        BLOCK_END,
+        INTERNAL,
+        CRASH,
+        SCRIPT_START,
+        SCRIPT_END,
+        SCRIPT_ERROR,
+        DEADLOCK,
+        AUDIT_VIOLATION,
+    }
+)
+
+
+class FlightEvent:
+    """One recorded runtime event.
+
+    ``seq`` numbers events *per process* (1-based, gap-free even when
+    the ring evicts old events), ``t`` is a monotonic
+    :func:`time.perf_counter` value comparable across all events of one
+    recorder, and ``detail`` carries kind-specific fields
+    (``commit_order`` for rendezvous, ``op``/``status``/``seconds`` for
+    blocking intervals, ...).
+    """
+
+    __slots__ = ("kind", "process", "peer", "seq", "t", "detail")
+
+    def __init__(
+        self,
+        kind: str,
+        process: Any,
+        peer: Any,
+        seq: int,
+        t: float,
+        detail: Dict[str, Any],
+    ):
+        self.kind = kind
+        self.process = process
+        self.peer = peer
+        self.seq = seq
+        self.t = t
+        self.detail = detail
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable record (one JSONL line per event)."""
+        return {
+            "kind": self.kind,
+            "process": self.process,
+            "peer": self.peer,
+            "seq": self.seq,
+            "t": self.t,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "FlightEvent":
+        return cls(
+            kind=record["kind"],
+            process=record["process"],
+            peer=record.get("peer"),
+            seq=record["seq"],
+            t=record["t"],
+            detail=dict(record.get("detail", {})),
+        )
+
+    def __repr__(self) -> str:
+        peer = f" peer={self.peer!r}" if self.peer is not None else ""
+        return (
+            f"FlightEvent({self.kind}, {self.process!r}#{self.seq}"
+            f"{peer}, t={self.t:.6f})"
+        )
+
+
+class FlightRecorder:
+    """Fixed-capacity ring buffer of :class:`FlightEvent` records.
+
+    Old events fall off the back once ``capacity`` is reached, so a
+    long-lived instrumented runtime has a hard memory bound; the
+    per-process sequence numbers and :attr:`dropped_count` make the
+    eviction visible.  All methods are thread-safe; :meth:`record`
+    holds one private lock for a few attribute updates and never calls
+    out, so it cannot deadlock against the transport lock it is
+    typically called under.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError(
+                f"capacity must be positive, got {capacity}"
+            )
+        self._capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._seqs: Dict[Any, int] = {}
+        self._recorded = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def record(
+        self, kind: str, process: Any, peer: Any = None, **detail: Any
+    ) -> FlightEvent:
+        """Append one event; returns it (useful for tests)."""
+        t = time.perf_counter()
+        with self._lock:
+            self._recorded += 1
+            seq = self._seqs.get(process, 0) + 1
+            self._seqs[process] = seq
+            event = FlightEvent(kind, process, peer, seq, t, detail)
+            self._events.append(event)
+        return event
+
+    def events(self) -> List[FlightEvent]:
+        """A snapshot of the ring, oldest first."""
+        with self._lock:
+            return list(self._events)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __iter__(self) -> Iterator[FlightEvent]:
+        return iter(self.events())
+
+    @property
+    def recorded_count(self) -> int:
+        """Events recorded so far, including evicted ones."""
+        with self._lock:
+            return self._recorded
+
+    @property
+    def dropped_count(self) -> int:
+        """Events evicted from the ring (or removed by :meth:`clear`)."""
+        with self._lock:
+            return self._recorded - len(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    # ------------------------------------------------------------------
+    def dump_jsonl(self, target: PathOrFile) -> int:
+        """Write the ring to ``target`` as JSON Lines; returns count.
+
+        Non-JSON process identities are stringified (``default=str``),
+        which is lossless for the usual string process names.
+        """
+        events = self.events()
+        text = "".join(
+            json.dumps(event.to_dict(), sort_keys=True, default=str)
+            + "\n"
+            for event in events
+        )
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        else:
+            target.write(text)
+        return len(events)
+
+
+def load_jsonl(source: PathOrFile) -> List[FlightEvent]:
+    """Parse a flight-record JSONL dump back into events."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = source.read()
+    events: List[FlightEvent] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            events.append(FlightEvent.from_dict(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Module-level hook (same discipline as ``instrument.metrics``)
+# ----------------------------------------------------------------------
+#: The active recorder, or ``None`` when flight recording is off.
+#: Instrumented sites read this *through the module object* at call
+#: time (``_flightrec.recorder``) and test against ``None``.
+recorder: Optional[FlightRecorder] = None
+
+_state_lock = threading.Lock()
+
+
+def is_recording() -> bool:
+    """True when a flight recorder is installed."""
+    return recorder is not None
+
+
+def install(
+    rec: Optional[FlightRecorder] = None, capacity: int = 4096
+) -> FlightRecorder:
+    """Install ``rec`` (or a fresh recorder) as the active recorder."""
+    global recorder
+    with _state_lock:
+        if rec is None:
+            rec = FlightRecorder(capacity)
+        recorder = rec
+        return rec
+
+
+def uninstall() -> None:
+    """Remove the active recorder; hooks revert to no-ops."""
+    global recorder
+    with _state_lock:
+        recorder = None
+
+
+@contextmanager
+def recording_session(
+    capacity: int = 4096, rec: Optional[FlightRecorder] = None
+) -> Iterator[FlightRecorder]:
+    """Scoped install/restore — tests and the CLI wrap runs in this."""
+    global recorder
+    previous = recorder
+    active = install(rec, capacity)
+    try:
+        yield active
+    finally:
+        with _state_lock:
+            recorder = previous
+
+
+# ----------------------------------------------------------------------
+# Post-mortem: wait-for summary
+# ----------------------------------------------------------------------
+class BlockedEntry:
+    """One process observed blocked (still waiting, or timed out)."""
+
+    __slots__ = ("process", "op", "peer", "since", "seconds", "status")
+
+    def __init__(
+        self,
+        process: Any,
+        op: str,
+        peer: Any,
+        since: float,
+        seconds: Optional[float],
+        status: str,
+    ):
+        self.process = process
+        self.op = op  # "send" | "receive"
+        self.peer = peer  # None means "any sender" (open receive)
+        self.since = since
+        self.seconds = seconds
+        self.status = status  # "open" | "timeout"
+
+    def describe(self) -> str:
+        arrow = "->" if self.op == "send" else "<-"
+        peer = "any" if self.peer is None else repr(self.peer)
+        took = (
+            f" after {self.seconds:.3f}s"
+            if self.seconds is not None
+            else ""
+        )
+        return (
+            f"{self.process!r} blocked in {self.op} {arrow} {peer} "
+            f"({self.status}{took})"
+        )
+
+    def __repr__(self) -> str:
+        return f"BlockedEntry({self.describe()})"
+
+
+class WaitForSummary:
+    """The "who is blocked on whom" view of a flight record."""
+
+    def __init__(self, blocked: List[BlockedEntry]):
+        self.blocked = blocked
+
+    def edges(self) -> List[Tuple[Any, Any]]:
+        """``(blocked_process, waited_on_peer)`` pairs (peer known)."""
+        return [
+            (entry.process, entry.peer)
+            for entry in self.blocked
+            if entry.peer is not None
+        ]
+
+    def deadlock_cycle(self) -> Optional[List[Any]]:
+        """A cycle in the wait-for graph, if one exists.
+
+        Uses each process's *latest* blocked entry as its single
+        outgoing edge (a thread waits on one rendezvous at a time), so
+        cycle detection is a pointer chase.
+        """
+        waits_on: Dict[Any, Any] = {}
+        for entry in self.blocked:  # later entries overwrite earlier
+            if entry.peer is not None:
+                waits_on[entry.process] = entry.peer
+        for start in waits_on:
+            seen: List[Any] = []
+            node = start
+            while node in waits_on and node not in seen:
+                seen.append(node)
+                node = waits_on[node]
+            if node in seen:
+                return seen[seen.index(node):]
+        return None
+
+    def describe(self) -> str:
+        if not self.blocked:
+            return "no blocked processes recorded"
+        lines = [entry.describe() for entry in self.blocked]
+        cycle = self.deadlock_cycle()
+        if cycle is not None:
+            chain = " -> ".join(repr(p) for p in cycle + [cycle[0]])
+            lines.append(f"deadlock cycle: {chain}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"WaitForSummary({len(self.blocked)} blocked)"
+
+
+def _event_stream(
+    events: Union[FlightRecorder, Iterable[FlightEvent]],
+) -> List[FlightEvent]:
+    if isinstance(events, FlightRecorder):
+        return events.events()
+    return list(events)
+
+
+def wait_for_summary(
+    events: Union[FlightRecorder, Iterable[FlightEvent]],
+) -> WaitForSummary:
+    """Derive the blocked-process table from a flight record.
+
+    A ``block_start`` with no matching ``block_end`` is an *open* wait
+    (the thread was still parked when the record was taken); a
+    ``block_end`` with ``status="timeout"`` is a wait that died.  Both
+    name the process pair a deadlock investigation needs.
+    """
+    blocked: List[BlockedEntry] = []
+    open_waits: Dict[Any, FlightEvent] = {}
+    for event in _event_stream(events):
+        if event.kind == BLOCK_START:
+            open_waits[event.process] = event
+        elif event.kind == BLOCK_END:
+            start = open_waits.pop(event.process, None)
+            if event.detail.get("status") == "timeout":
+                since = start.t if start is not None else event.t
+                blocked.append(
+                    BlockedEntry(
+                        process=event.process,
+                        op=event.detail.get("op", "?"),
+                        peer=event.peer,
+                        since=since,
+                        seconds=event.detail.get("seconds"),
+                        status="timeout",
+                    )
+                )
+    for process, start in open_waits.items():
+        blocked.append(
+            BlockedEntry(
+                process=process,
+                op=start.detail.get("op", "?"),
+                peer=start.peer,
+                since=start.t,
+                seconds=None,
+                status="open",
+            )
+        )
+    blocked.sort(key=lambda entry: entry.since)
+    return WaitForSummary(blocked)
+
+
+# ----------------------------------------------------------------------
+# Post-mortem: partial computation reconstruction
+# ----------------------------------------------------------------------
+def reconstruct_computation(
+    events: Union[FlightRecorder, Iterable[FlightEvent]],
+    topology,
+    allow_partial_prefix: bool = False,
+):
+    """Rebuild the committed part of the run as a ``SyncComputation``.
+
+    Rendezvous events carry their global commit order, so the rebuilt
+    computation has exactly the message sequence the threads produced
+    up to the failure — ready for re-timestamping, the Equation (1)
+    checker, or :func:`repro.apps.recovery.find_orphans`.
+
+    If the ring evicted early rendezvous events the true prefix is
+    lost; that raises ``ValueError`` unless ``allow_partial_prefix`` is
+    set (in which case the surviving suffix is renumbered from zero —
+    fine for inspection, wrong for order-sensitive analyses).
+    """
+    from repro.sim.computation import SyncComputation
+
+    commits = [
+        event
+        for event in _event_stream(events)
+        if event.kind == RENDEZVOUS
+    ]
+    commits.sort(key=lambda event: event.detail["commit_order"])
+    if commits and commits[0].detail["commit_order"] != 0:
+        if not allow_partial_prefix:
+            raise ValueError(
+                f"flight record lost the first "
+                f"{commits[0].detail['commit_order']} rendezvous "
+                "event(s) to ring eviction; pass "
+                "allow_partial_prefix=True to rebuild the suffix"
+            )
+    pairs = [(event.peer, event.process) for event in commits]
+    return SyncComputation.from_pairs(topology, pairs)

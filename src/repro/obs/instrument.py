@@ -37,8 +37,11 @@ from repro.obs.metrics import (
 )
 from repro.obs.tracing import NULL_SPAN, Tracer
 
-#: Bytes one vector component occupies on the wire in the paper's
-#: accounting (a fixed-width 64-bit integer per component).
+#: Worst-case bytes one vector component occupies on the wire (a
+#: fixed-width 64-bit integer).  The actual piggyback accounting in
+#: :func:`piggyback_size_bytes` uses the varint encoding; this constant
+#: remains the conservative cap used by capacity planning
+#: (``apps/monitor.py``) and the fast path's bulk worst-case counter.
 COMPONENT_BYTES = 8
 
 
@@ -87,6 +90,23 @@ class ObsMetrics:
             buckets=DURATION_BUCKETS,
             help="Blocking time inside a rendezvous (send ack wait / "
             "receive offer wait)",
+        )
+        self.rendezvous_block_seconds = registry.histogram(
+            "rendezvous_block_seconds",
+            buckets=DURATION_BUCKETS,
+            help="Per-match blocking time of the two sides of a "
+            "committed rendezvous (receiver wait-for-offer and sender "
+            "wait-for-ack), recorded when the match commits",
+        )
+        self.audit_pairs_checked = registry.counter(
+            "audit_pairs_checked_total",
+            "Message pairs cross-checked against ground-truth "
+            "sync-precedes by the live Theorem 4 audit",
+        )
+        self.audit_violations = registry.counter(
+            "audit_violations_total",
+            "Audit cross-checks that contradicted Theorem 4 or a "
+            "Theorem 5/8 size bound (should stay zero)",
         )
         self.vector_component_count = registry.gauge(
             "vector_component_count",
@@ -262,6 +282,34 @@ class Instrumented:
         return active.span(name, **attributes)
 
 
+def varint_size(value: int) -> int:
+    """Bytes of one component under unsigned LEB128 (7 bits/byte)."""
+    if value < 0x80:  # the overwhelmingly common case: one byte
+        return 1
+    size = 1
+    value >>= 7
+    while value:
+        size += 1
+        value >>= 7
+    return size
+
+
 def piggyback_size_bytes(vector) -> int:
-    """Wire size of one piggybacked vector in the paper's accounting."""
-    return len(vector) * COMPONENT_BYTES
+    """Wire size of one piggybacked vector under varint encoding.
+
+    Each component is an unsigned LEB128 varint (1 byte below 128,
+    growing by 7-bit groups), which is the encoding the performance
+    docs assume; small early-run counters cost 1 byte, not 8.  Empty or
+    ``None`` vectors piggyback nothing and cost 0 bytes.  Components
+    that are not non-negative ints (foreign timestamp types) fall back
+    to the :data:`COMPONENT_BYTES` fixed-width cap.
+    """
+    if vector is None:
+        return 0
+    total = 0
+    for component in vector:
+        if isinstance(component, int) and component >= 0:
+            total += varint_size(component)
+        else:
+            total += COMPONENT_BYTES
+    return total

@@ -1,0 +1,488 @@
+"""Unified bench-trajectory report over the ``BENCH_*.json`` snapshots.
+
+Each perf PR leaves a snapshot at the repo root — ``BENCH_obs.json``
+(hook overhead), ``BENCH_batch.json`` (fast-path stamping),
+``BENCH_offline.json`` (Figure 9 kernel), ``BENCH_lattice.json``
+(ideal enumeration) — but until now nothing aggregated them: the bench
+*trajectory* was invisible.  This module merges every snapshot into one
+normalized report, renders it (text / JSON / Markdown), and implements
+a regression gate so CI can compare the current snapshots against a
+committed baseline and flag drift.
+
+Normalization is schema-light on purpose: a snapshot is a JSON object
+whose top-level entries are either scalars or one-level sections of
+scalars, and metric *names* carry the semantics —
+
+* ``*_per_sec`` and ``*speedup*`` are throughput-like (higher is
+  better) and participate in the regression gate;
+* ``*overhead_ratio*`` is cost-like (lower is better) and gated;
+* ``*seconds*`` are informational (machine-dependent absolutes) and
+  rendered but never gated.
+
+So future benchmarks join the trajectory just by following the naming
+convention — no registry edits needed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import ReproError
+
+SCHEMA = "repro-bench-report/1"
+
+#: Glob the loader uses to find snapshots at a repo root.
+BENCH_GLOB = "BENCH_*.json"
+
+
+class BenchReportError(ReproError):
+    """Raised on unreadable snapshots or malformed baselines."""
+
+
+def classify_metric(name: str) -> Tuple[str, bool]:
+    """``(direction, gated)`` for a metric name.
+
+    Direction is ``"higher"`` (better), ``"lower"`` (better), or
+    ``""`` (no preference); ``gated`` says whether the regression gate
+    compares it against the baseline.
+    """
+    if name.endswith("_per_sec"):
+        return "higher", True
+    if "speedup" in name:
+        return "higher", True
+    if "overhead_ratio" in name:
+        return "lower", True
+    if "seconds" in name:
+        return "lower", False
+    return "", False
+
+
+class BenchMetric:
+    """One normalized scalar from one snapshot."""
+
+    __slots__ = ("key", "source", "section", "name", "value",
+                 "direction", "gated")
+
+    def __init__(
+        self,
+        source: str,
+        section: str,
+        name: str,
+        value: float,
+        direction: str,
+        gated: bool,
+    ):
+        self.source = source
+        self.section = section
+        self.name = name
+        self.value = value
+        self.direction = direction
+        self.gated = gated
+        parts = [source] + ([section] if section else []) + [name]
+        self.key = "/".join(parts)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "value": self.value,
+            "direction": self.direction,
+            "gated": self.gated,
+        }
+
+    def __repr__(self) -> str:
+        return f"BenchMetric({self.key}={self.value})"
+
+
+class BenchReport:
+    """The merged, normalized view of every loaded snapshot."""
+
+    def __init__(
+        self,
+        sources: Dict[str, Dict[str, object]],
+        metrics: List[BenchMetric],
+    ):
+        self.sources = sources
+        self.metrics = metrics
+
+    def metric_map(self) -> Dict[str, BenchMetric]:
+        return {metric.key: metric for metric in self.metrics}
+
+    def gated_metrics(self) -> List[BenchMetric]:
+        return [metric for metric in self.metrics if metric.gated]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": SCHEMA,
+            "sources": self.sources,
+            "metrics": {
+                metric.key: metric.to_dict() for metric in self.metrics
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "BenchReport":
+        if not isinstance(data, dict) or "metrics" not in data:
+            raise BenchReportError(
+                "baseline is not a normalized bench report "
+                "(missing 'metrics'; generate one with "
+                "'repro obs report --report-format json')"
+            )
+        metrics: List[BenchMetric] = []
+        for key, record in data["metrics"].items():
+            parts = key.split("/")
+            source = parts[0]
+            name = parts[-1]
+            section = "/".join(parts[1:-1])
+            direction, gated = classify_metric(name)
+            metrics.append(
+                BenchMetric(
+                    source=source,
+                    section=section,
+                    name=name,
+                    value=float(record["value"]),
+                    direction=record.get("direction", direction),
+                    gated=bool(record.get("gated", gated)),
+                )
+            )
+        sources = data.get("sources", {})
+        return cls(sources=dict(sources), metrics=metrics)
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+def _flatten(
+    source: str, data: Dict[str, object]
+) -> Tuple[Dict[str, object], List[BenchMetric]]:
+    meta: Dict[str, object] = {}
+    metrics: List[BenchMetric] = []
+
+    def add(section: str, name: str, value) -> None:
+        direction, gated = classify_metric(name)
+        metrics.append(
+            BenchMetric(
+                source=source,
+                section=section,
+                name=name,
+                value=float(value),
+                direction=direction,
+                gated=gated,
+            )
+        )
+
+    for key, value in sorted(data.items()):
+        if key == "generated_utc":
+            meta["generated_utc"] = value
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            add("", key, value)
+        elif isinstance(value, dict):
+            for sub_key, sub_value in sorted(value.items()):
+                if isinstance(sub_value, bool):
+                    continue
+                if isinstance(sub_value, (int, float)):
+                    add(key, sub_key, sub_value)
+                else:
+                    meta.setdefault("annotations", {})[
+                        f"{key}/{sub_key}"
+                    ] = sub_value
+        else:
+            meta.setdefault("annotations", {})[key] = value
+    return meta, metrics
+
+
+def load_bench_file(path: Union[str, pathlib.Path]) -> BenchReport:
+    """Normalize one ``BENCH_*.json`` snapshot."""
+    path = pathlib.Path(path)
+    source = path.stem
+    if source.startswith("BENCH_"):
+        source = source[len("BENCH_"):]
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchReportError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise BenchReportError(
+            f"{path}: expected a JSON object at the top level"
+        )
+    meta, metrics = _flatten(source, data)
+    meta["file"] = path.name
+    return BenchReport(sources={source: meta}, metrics=metrics)
+
+
+def load_bench_dir(
+    root: Union[str, pathlib.Path] = ".",
+    pattern: str = BENCH_GLOB,
+) -> BenchReport:
+    """Merge every ``BENCH_*.json`` under ``root`` into one report."""
+    root = pathlib.Path(root)
+    sources: Dict[str, Dict[str, object]] = {}
+    metrics: List[BenchMetric] = []
+    for path in sorted(root.glob(pattern)):
+        partial = load_bench_file(path)
+        sources.update(partial.sources)
+        metrics.extend(partial.metrics)
+    return BenchReport(sources=sources, metrics=metrics)
+
+
+def load_baseline(path: Union[str, pathlib.Path]) -> BenchReport:
+    """Load a committed baseline (a normalized report JSON)."""
+    path = pathlib.Path(path)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BenchReportError(
+            f"cannot read baseline {path}: {exc}"
+        ) from exc
+    return BenchReport.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+class GateFinding:
+    """One gated metric compared against the baseline."""
+
+    __slots__ = ("key", "baseline", "current", "change", "direction")
+
+    def __init__(
+        self,
+        key: str,
+        baseline: float,
+        current: float,
+        change: float,
+        direction: str,
+    ):
+        self.key = key
+        self.baseline = baseline
+        self.current = current
+        self.change = change  # signed ratio: current/baseline - 1
+        self.direction = direction
+
+    def describe(self) -> str:
+        return (
+            f"{self.key}: {self.current:g} vs baseline "
+            f"{self.baseline:g} ({self.change:+.1%}, "
+            f"{self.direction} is better)"
+        )
+
+    def __repr__(self) -> str:
+        return f"GateFinding({self.describe()})"
+
+
+class GateResult:
+    """Outcome of comparing a report against a baseline."""
+
+    def __init__(
+        self,
+        tolerance: float,
+        regressions: List[GateFinding],
+        improvements: List[GateFinding],
+        missing: List[str],
+    ):
+        self.tolerance = tolerance
+        self.regressions = regressions
+        self.improvements = improvements
+        self.missing = missing
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def describe(self) -> str:
+        lines = [
+            f"regression gate: tolerance {self.tolerance:.0%}, "
+            f"{len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s), "
+            f"{len(self.missing)} missing metric(s)"
+        ]
+        for finding in self.regressions:
+            lines.append(f"  REGRESSION {finding.describe()}")
+        for finding in self.improvements:
+            lines.append(f"  improved   {finding.describe()}")
+        for key in self.missing:
+            lines.append(f"  missing    {key} (in baseline only)")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        def rows(findings: List[GateFinding]) -> List[Dict[str, object]]:
+            return [
+                {
+                    "key": f.key,
+                    "baseline": f.baseline,
+                    "current": f.current,
+                    "change": f.change,
+                    "direction": f.direction,
+                }
+                for f in findings
+            ]
+
+        return {
+            "tolerance": self.tolerance,
+            "ok": self.ok,
+            "regressions": rows(self.regressions),
+            "improvements": rows(self.improvements),
+            "missing": list(self.missing),
+        }
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    tolerance: float = 0.1,
+) -> GateResult:
+    """Gate ``current`` against ``baseline`` on the gated metrics.
+
+    A gated metric regresses when it moves against its direction by
+    more than ``tolerance`` (relative); it counts as an improvement
+    when it moves the other way by more than ``tolerance``.  Metrics
+    present only in the baseline are reported as missing (they fail no
+    gate — a removed benchmark is a review question, not a perf bug).
+    """
+    if tolerance < 0:
+        raise BenchReportError(
+            f"tolerance must be non-negative, got {tolerance}"
+        )
+    current_map = current.metric_map()
+    regressions: List[GateFinding] = []
+    improvements: List[GateFinding] = []
+    missing: List[str] = []
+    for metric in baseline.metrics:
+        if not metric.gated:
+            continue
+        counterpart = current_map.get(metric.key)
+        if counterpart is None:
+            missing.append(metric.key)
+            continue
+        if metric.value == 0:
+            continue
+        change = counterpart.value / metric.value - 1.0
+        worse = -change if metric.direction == "higher" else change
+        finding = GateFinding(
+            key=metric.key,
+            baseline=metric.value,
+            current=counterpart.value,
+            change=change,
+            direction=metric.direction,
+        )
+        if worse > tolerance:
+            regressions.append(finding)
+        elif worse < -tolerance:
+            improvements.append(finding)
+    regressions.sort(key=lambda f: f.key)
+    improvements.sort(key=lambda f: f.key)
+    return GateResult(
+        tolerance=tolerance,
+        regressions=regressions,
+        improvements=improvements,
+        missing=sorted(missing),
+    )
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _format_value(metric: BenchMetric) -> str:
+    value = metric.value
+    if metric.name.endswith("_per_sec"):
+        return f"{value:,.0f}/s"
+    if "seconds" in metric.name:
+        return f"{value:.6f}s"
+    if "speedup" in metric.name:
+        return f"{value:.2f}x"
+    if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
+        return str(int(round(value)))
+    return f"{value:.4f}"
+
+
+def _rows(report: BenchReport) -> List[List[str]]:
+    rows: List[List[str]] = []
+    for metric in report.metrics:
+        flags = []
+        if metric.direction:
+            flags.append(f"{metric.direction} better")
+        if metric.gated:
+            flags.append("gated")
+        rows.append(
+            [
+                metric.source,
+                (f"{metric.section}/" if metric.section else "")
+                + metric.name,
+                _format_value(metric),
+                ", ".join(flags),
+            ]
+        )
+    return rows
+
+
+_HEADERS = ["source", "metric", "value", "gate"]
+
+
+def render_text(
+    report: BenchReport, gate: Optional[GateResult] = None
+) -> str:
+    """Plain-text table plus the gate verdict (when one ran)."""
+    rows = _rows(report)
+    widths = [
+        max(len(_HEADERS[i]), *(len(row[i]) for row in rows))
+        if rows
+        else len(_HEADERS[i])
+        for i in range(len(_HEADERS))
+    ]
+
+    def line(cells: List[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        ).rstrip()
+
+    lines = [line(_HEADERS), line(["-" * w for w in widths])]
+    lines.extend(line(row) for row in rows)
+    lines.append("")
+    lines.append(
+        f"{len(report.metrics)} metric(s) from "
+        f"{len(report.sources)} snapshot(s): "
+        + ", ".join(sorted(report.sources))
+    )
+    if gate is not None:
+        lines.append("")
+        lines.append(gate.describe())
+    return "\n".join(lines) + "\n"
+
+
+def render_markdown(
+    report: BenchReport, gate: Optional[GateResult] = None
+) -> str:
+    """GitHub-flavored Markdown rendering (for PR comments / docs)."""
+    lines = [
+        "| " + " | ".join(_HEADERS) + " |",
+        "|" + "|".join("---" for _ in _HEADERS) + "|",
+    ]
+    lines.extend(
+        "| " + " | ".join(row) + " |" for row in _rows(report)
+    )
+    if gate is not None:
+        lines.append("")
+        verdict = "**PASS**" if gate.ok else "**FAIL**"
+        lines.append(
+            f"Regression gate {verdict} at tolerance "
+            f"{gate.tolerance:.0%}: {len(gate.regressions)} "
+            f"regression(s), {len(gate.improvements)} improvement(s)."
+        )
+        for finding in gate.regressions:
+            lines.append(f"- REGRESSION {finding.describe()}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(
+    report: BenchReport, gate: Optional[GateResult] = None
+) -> str:
+    """The normalized report (the baseline format) as JSON."""
+    data = report.to_dict()
+    if gate is not None:
+        data["gate"] = gate.to_dict()
+    return json.dumps(data, indent=2, sort_keys=True) + "\n"

@@ -23,6 +23,8 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.clocks.online import OnlineProcessClock
 from repro.core.vector import VectorTimestamp
+from repro.obs import audit as _audit
+from repro.obs import flightrec as _flightrec
 from repro.obs import instrument as _obs
 from repro.exceptions import RuntimeDeadlockError, SimulationError
 from repro.graphs.decomposition import EdgeDecomposition
@@ -164,6 +166,7 @@ class SynchronousTransport:
         """Blocking synchronous send; returns the message timestamp."""
         clock = self._clocks[sender]
         m = _obs.metrics
+        fr = _flightrec.recorder
         with _obs.span(
             "rendezvous.send", sender=str(sender), receiver=str(to)
         ) as sp:
@@ -171,12 +174,30 @@ class SynchronousTransport:
                 offer = _Offer(sender, payload, clock.prepare_send())
                 self._inboxes[to].append(offer)
                 self._arrival.notify_all()
-            wait_started = time.perf_counter() if m is not None else 0.0
+            if fr is not None:
+                fr.record(_flightrec.SEND_OFFER, sender, peer=to)
+                fr.record(
+                    _flightrec.BLOCK_START, sender, peer=to, op="send"
+                )
+            timed = m is not None or fr is not None
+            wait_started = time.perf_counter() if timed else 0.0
             completed = offer.completed.wait(self._timeout)
-            if m is not None:
+            if timed:
                 waited = time.perf_counter() - wait_started
-                m.rendezvous_wait_seconds.observe(waited)
-                sp.set_attribute("blocking_seconds", waited)
+                if m is not None:
+                    m.rendezvous_wait_seconds.observe(waited)
+                    if completed:
+                        m.rendezvous_block_seconds.observe(waited)
+                    sp.set_attribute("blocking_seconds", waited)
+                if fr is not None:
+                    fr.record(
+                        _flightrec.BLOCK_END,
+                        sender,
+                        peer=to,
+                        op="send",
+                        status="matched" if completed else "timeout",
+                        seconds=waited,
+                    )
             if not completed:
                 raise RuntimeDeadlockError(
                     f"send from {sender!r} to {to!r} timed out; "
@@ -196,19 +217,55 @@ class SynchronousTransport:
         """Blocking receive; returns ``(sender, payload, timestamp)``."""
         clock = self._clocks[receiver]
         m = _obs.metrics
+        fr = _flightrec.recorder
         with _obs.span(
             "rendezvous.receive",
             receiver=str(receiver),
             source=None if source is None else str(source),
         ) as sp:
-            wait_started = time.perf_counter() if m is not None else 0.0
+            if fr is not None:
+                fr.record(
+                    _flightrec.BLOCK_START,
+                    receiver,
+                    peer=source,
+                    op="receive",
+                )
+            timed = m is not None or fr is not None
+            wait_started = time.perf_counter() if timed else 0.0
             with self._lock:
-                offer = self._take_offer(receiver, source)
-                if m is not None:
+                try:
+                    offer = self._take_offer(receiver, source)
+                except RuntimeDeadlockError:
+                    if timed:
+                        waited = time.perf_counter() - wait_started
+                        if m is not None:
+                            m.rendezvous_wait_seconds.observe(waited)
+                        if fr is not None:
+                            fr.record(
+                                _flightrec.BLOCK_END,
+                                receiver,
+                                peer=source,
+                                op="receive",
+                                status="timeout",
+                                seconds=waited,
+                            )
+                    raise
+                if timed:
                     waited = time.perf_counter() - wait_started
-                    m.rendezvous_wait_seconds.observe(waited)
-                    sp.set_attribute("blocking_seconds", waited)
-                    sp.set_attribute("sender", str(offer.sender))
+                    if m is not None:
+                        m.rendezvous_wait_seconds.observe(waited)
+                        m.rendezvous_block_seconds.observe(waited)
+                        sp.set_attribute("blocking_seconds", waited)
+                        sp.set_attribute("sender", str(offer.sender))
+                    if fr is not None:
+                        fr.record(
+                            _flightrec.BLOCK_END,
+                            receiver,
+                            peer=offer.sender,
+                            op="receive",
+                            status="matched",
+                            seconds=waited,
+                        )
                 ack_vector, timestamp = clock.on_receive(
                     offer.sender, offer.piggybacked
                 )
@@ -223,9 +280,26 @@ class SynchronousTransport:
                         timestamp=timestamp,
                     )
                 )
+                commit_order = len(self._log) - 1
                 if m is not None:
                     m.rendezvous_total.inc()
-                    sp.set_attribute("commit_order", len(self._log) - 1)
+                    sp.set_attribute("commit_order", commit_order)
+                if fr is not None:
+                    fr.record(
+                        _flightrec.RENDEZVOUS,
+                        receiver,
+                        peer=offer.sender,
+                        commit_order=commit_order,
+                        payload=repr(offer.payload),
+                    )
+                aud = _audit.auditor
+                if aud is not None:
+                    # Commit order is established under the transport
+                    # lock, so the auditor sees messages in exactly the
+                    # order the log records them.
+                    aud.on_runtime_message(
+                        offer.sender, receiver, timestamp
+                    )
                 self._message_counts[offer.sender] += 1
                 self._message_counts[receiver] += 1
                 offer.completed.set()
@@ -247,6 +321,14 @@ class SynchronousTransport:
                 process, slot, counter, f"{label}#{serial + 1}"
             )
             self._internal[process].append(event)
+            fr = _flightrec.recorder
+            if fr is not None:
+                fr.record(
+                    _flightrec.INTERNAL,
+                    process,
+                    label=event.name,
+                    slot=slot,
+                )
             return event
 
     def _take_offer(
@@ -358,6 +440,13 @@ class ScriptRunner:
         errors_lock = threading.Lock()
 
         def worker(process: Process, actions: List[Action]) -> None:
+            fr = _flightrec.recorder
+            if fr is not None:
+                fr.record(
+                    _flightrec.SCRIPT_START,
+                    process,
+                    actions=len(actions),
+                )
             try:
                 for action in actions:
                     if isinstance(action, SendAction):
@@ -367,14 +456,29 @@ class ScriptRunner:
                     elif isinstance(action, ComputeAction):
                         transport.record_internal(process, action.label)
                     elif isinstance(action, CrashAction):
+                        if fr is not None:
+                            fr.record(
+                                _flightrec.CRASH,
+                                process,
+                                reason=action.reason,
+                            )
                         return  # fault injection: abandon the script
                     else:
                         raise SimulationError(
                             f"unknown action {action!r} on {process!r}"
                         )
             except BaseException as exc:  # noqa: BLE001 - surfaced below
+                if fr is not None:
+                    fr.record(
+                        _flightrec.SCRIPT_ERROR,
+                        process,
+                        error=repr(exc),
+                    )
                 with errors_lock:
                     errors.append(exc)
+            else:
+                if fr is not None:
+                    fr.record(_flightrec.SCRIPT_END, process)
 
         threads = [
             threading.Thread(
@@ -382,11 +486,22 @@ class ScriptRunner:
             )
             for process, actions in self._scripts.items()
         ]
+        thread_process = {
+            thread: process
+            for thread, process in zip(threads, self._scripts)
+        }
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join(self._timeout * 2)
             if thread.is_alive():
+                fr = _flightrec.recorder
+                if fr is not None:
+                    fr.record(
+                        _flightrec.DEADLOCK,
+                        thread_process[thread],
+                        note="thread still alive after join timeout",
+                    )
                 raise RuntimeDeadlockError(
                     "a process thread failed to finish; "
                     "check the scripts for unmatched sends/receives"

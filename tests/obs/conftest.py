@@ -4,11 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs import instrument
+from repro.obs import audit, flightrec, instrument
 
 
 @pytest.fixture(autouse=True)
 def _obs_disabled():
     instrument.disable()
+    flightrec.uninstall()
+    audit.uninstall()
     yield
     instrument.disable()
+    flightrec.uninstall()
+    audit.uninstall()

@@ -1,0 +1,184 @@
+"""Live Theorem-4 audit: clean runs stay clean, corruption is caught."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.offline import OfflineRealizerClock
+from repro.clocks.online import OnlineEdgeClock
+from repro.core.vector import VectorTimestamp
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import (
+    complete_topology,
+    ring_topology,
+    tree_topology,
+)
+from repro.obs import audit, flightrec, instrument
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.runtime import ScriptRunner, receive, send
+from repro.sim.workload import random_computation
+
+
+class TestAuditorConfig:
+    def test_sample_rate_bounds(self):
+        with pytest.raises(ValueError):
+            audit.Auditor(sample_rate=-0.1)
+        with pytest.raises(ValueError):
+            audit.Auditor(sample_rate=1.5)
+
+    def test_max_pairs_positive(self):
+        with pytest.raises(ValueError):
+            audit.Auditor(max_pairs=0)
+
+    def test_session_restores_previous(self):
+        assert audit.auditor is None
+        with audit.audit_session(sample_rate=0.5) as aud:
+            assert audit.auditor is aud
+        assert audit.auditor is None
+
+
+class TestBatchAudit:
+    def test_seeded_clean_run_over_500_messages(self):
+        """Acceptance: a seeded audit over >= 500 messages reports
+        ``audit_violations_total == 0`` (and actually checked pairs)."""
+        topology = tree_topology(3, 4)
+        decomposition = decompose(topology)
+        computation = random_computation(
+            topology, 500, random.Random(42)
+        )
+        with instrument.enabled_session(MetricsRegistry()) as obs:
+            with audit.audit_session(
+                sample_rate=0.2, max_pairs=16, seed=42
+            ) as aud:
+                OnlineEdgeClock(decomposition).timestamp_computation(
+                    computation
+                )
+            snap = obs.registry.snapshot()
+        assert aud.pairs_checked >= 100
+        assert aud.violations == []
+        assert snap["audit_violations_total"]["value"] == 0
+        assert (
+            snap["audit_pairs_checked_total"]["value"]
+            == aud.pairs_checked
+        )
+
+    def test_theorem5_bound_is_asserted(self):
+        topology = complete_topology(5)
+        decomposition = decompose(topology)
+        computation = random_computation(topology, 30, random.Random(1))
+        with audit.audit_session(sample_rate=0.0) as aud:
+            OnlineEdgeClock(decomposition).timestamp_computation(
+                computation
+            )
+        assert aud.bounds_checked == 1
+        assert aud.violations == []
+
+    def test_corrupted_timestamp_is_detected(self):
+        topology = ring_topology(5)
+        decomposition = decompose(topology)
+        computation = random_computation(topology, 40, random.Random(3))
+        clock = OnlineEdgeClock(decomposition)
+        timestamps = dict(
+            clock.timestamp_computation(computation).items()
+        )
+        # Corrupt one later message's vector to claim it precedes
+        # everything: a Theorem 4 violation some sampled pair must hit.
+        victim = computation.messages[-1]
+        timestamps[victim] = VectorTimestamp(
+            [0] * decomposition.size
+        )
+        aud = audit.Auditor(sample_rate=1.0, max_pairs=64, seed=0)
+        aud.audit_batch(computation, timestamps, decomposition)
+        kinds = {violation.kind for violation in aud.violations}
+        assert "order_mismatch" in kinds
+        assert "order mismatch" in aud.violations[0].describe()
+
+    def test_violation_lands_in_the_flight_record(self):
+        topology = ring_topology(4)
+        decomposition = decompose(topology)
+        computation = random_computation(topology, 20, random.Random(5))
+        clock = OnlineEdgeClock(decomposition)
+        timestamps = dict(
+            clock.timestamp_computation(computation).items()
+        )
+        timestamps[computation.messages[-1]] = VectorTimestamp(
+            [0] * decomposition.size
+        )
+        with flightrec.recording_session() as rec:
+            aud = audit.Auditor(sample_rate=1.0, seed=0)
+            aud.audit_batch(computation, timestamps, decomposition)
+        assert aud.violations
+        attached = [
+            event
+            for event in rec.events()
+            if event.kind == flightrec.AUDIT_VIOLATION
+        ]
+        assert attached
+        assert attached[0].detail["violation_kind"] == "order_mismatch"
+
+    def test_zero_sample_rate_checks_no_pairs(self):
+        topology = ring_topology(4)
+        decomposition = decompose(topology)
+        computation = random_computation(topology, 30, random.Random(2))
+        with audit.audit_session(sample_rate=0.0) as aud:
+            OnlineEdgeClock(decomposition).timestamp_computation(
+                computation
+            )
+        assert aud.pairs_checked == 0
+
+
+class TestOfflineAudit:
+    def test_clean_offline_run(self):
+        topology = ring_topology(6)
+        computation = random_computation(topology, 80, random.Random(9))
+        with audit.audit_session(sample_rate=0.5, seed=4) as aud:
+            OfflineRealizerClock().timestamp_computation(computation)
+        assert aud.bounds_checked == 1
+        assert aud.violations == []
+        assert aud.pairs_checked > 0
+
+    def test_theorem8_violation_detected(self):
+        topology = ring_topology(4)
+        computation = random_computation(topology, 10, random.Random(0))
+        from repro.order.message_order import message_poset
+
+        poset = message_poset(computation)
+        timestamps = dict(
+            OfflineRealizerClock()
+            .timestamp_computation(computation)
+            .items()
+        )
+        aud = audit.Auditor(sample_rate=0.0)
+        # Lie about the width: claim more chains than floor(N/2).
+        aud.audit_offline(computation, poset, timestamps, width=99)
+        kinds = {violation.kind for violation in aud.violations}
+        assert "theorem8_bound" in kinds
+
+
+class TestRuntimeAudit:
+    def test_threaded_run_audits_clean(self):
+        decomposition = decompose(ring_topology(4))
+        rounds = 5
+        scripts = {
+            "P1": [send("P2"), receive("P4")] * rounds,
+            "P2": [receive("P1"), send("P3")] * rounds,
+            "P3": [receive("P2"), send("P4")] * rounds,
+            "P4": [receive("P3"), send("P1")] * rounds,
+        }
+        with instrument.enabled_session(MetricsRegistry()) as obs:
+            with audit.audit_session(
+                sample_rate=1.0, max_pairs=8, seed=0
+            ) as aud:
+                ScriptRunner(decomposition, scripts).run()
+            snap = obs.registry.snapshot()
+        assert aud.pairs_checked > 0
+        assert aud.violations == []
+        assert snap["audit_violations_total"]["value"] == 0
+
+    def test_history_limit_bounds_the_log(self):
+        aud = audit.Auditor(sample_rate=0.0, history_limit=4)
+        for i in range(10):
+            aud.on_runtime_message("P1", "P2", VectorTimestamp([i]))
+        assert len(aud._runtime_log) == 4

@@ -1,0 +1,234 @@
+"""Flight recorder: ring semantics, runtime wiring, post-mortems."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import path_topology, ring_topology
+from repro.obs import flightrec
+from repro.sim.runtime import (
+    ScriptRunner,
+    compute,
+    crash,
+    receive,
+    send,
+)
+
+
+class TestRecorder:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            flightrec.FlightRecorder(0)
+
+    def test_record_and_snapshot(self):
+        rec = flightrec.FlightRecorder(capacity=8)
+        first = rec.record(flightrec.SEND_OFFER, "P1", peer="P2")
+        second = rec.record(flightrec.INTERNAL, "P1", label="step")
+        assert first.seq == 1
+        assert second.seq == 2
+        assert second.t >= first.t
+        events = rec.events()
+        assert [e.kind for e in events] == [
+            flightrec.SEND_OFFER,
+            flightrec.INTERNAL,
+        ]
+        assert rec.recorded_count == 2
+        assert rec.dropped_count == 0
+
+    def test_per_process_sequence_numbers(self):
+        rec = flightrec.FlightRecorder()
+        rec.record(flightrec.INTERNAL, "P1")
+        rec.record(flightrec.INTERNAL, "P2")
+        rec.record(flightrec.INTERNAL, "P1")
+        seqs = [(e.process, e.seq) for e in rec.events()]
+        assert seqs == [("P1", 1), ("P2", 1), ("P1", 2)]
+
+    def test_ring_evicts_oldest(self):
+        rec = flightrec.FlightRecorder(capacity=3)
+        for i in range(5):
+            rec.record(flightrec.INTERNAL, "P1", index=i)
+        assert len(rec) == 3
+        assert rec.recorded_count == 5
+        assert rec.dropped_count == 2
+        # The survivors are the newest three, and their per-process
+        # seqs stayed gap-free through the eviction.
+        assert [e.detail["index"] for e in rec.events()] == [2, 3, 4]
+        assert [e.seq for e in rec.events()] == [3, 4, 5]
+
+    def test_dump_load_roundtrip(self):
+        rec = flightrec.FlightRecorder()
+        rec.record(flightrec.SEND_OFFER, "P1", peer="P2")
+        rec.record(
+            flightrec.RENDEZVOUS, "P2", peer="P1", commit_order=0
+        )
+        buffer = io.StringIO()
+        assert rec.dump_jsonl(buffer) == 2
+        loaded = flightrec.load_jsonl(io.StringIO(buffer.getvalue()))
+        assert len(loaded) == 2
+        for original, parsed in zip(rec.events(), loaded):
+            assert parsed.to_dict() == original.to_dict()
+
+    def test_install_session_restores_previous(self):
+        assert flightrec.recorder is None
+        with flightrec.recording_session(capacity=16) as outer:
+            assert flightrec.recorder is outer
+            with flightrec.recording_session() as inner:
+                assert flightrec.recorder is inner
+            assert flightrec.recorder is outer
+        assert flightrec.recorder is None
+
+
+class TestRuntimeWiring:
+    def test_happy_run_records_the_lifecycle(self):
+        decomposition = decompose(path_topology(2))
+        with flightrec.recording_session() as rec:
+            ScriptRunner(
+                decomposition,
+                {
+                    "P1": [send("P2", "x"), compute("work")],
+                    "P2": [receive("P1")],
+                },
+            ).run()
+        kinds = {event.kind for event in rec.events()}
+        assert flightrec.SCRIPT_START in kinds
+        assert flightrec.SCRIPT_END in kinds
+        assert flightrec.SEND_OFFER in kinds
+        assert flightrec.RENDEZVOUS in kinds
+        assert flightrec.BLOCK_START in kinds
+        assert flightrec.BLOCK_END in kinds
+        assert flightrec.INTERNAL in kinds
+        ends = [
+            event
+            for event in rec.events()
+            if event.kind == flightrec.BLOCK_END
+        ]
+        assert all(e.detail["status"] == "matched" for e in ends)
+        assert all(e.detail["seconds"] >= 0 for e in ends)
+
+    def test_crash_is_recorded(self):
+        decomposition = decompose(path_topology(2))
+        with flightrec.recording_session() as rec:
+            ScriptRunner(
+                decomposition,
+                {"P1": [crash("injected")], "P2": []},
+            ).run()
+        crashes = [
+            event
+            for event in rec.events()
+            if event.kind == flightrec.CRASH
+        ]
+        assert len(crashes) == 1
+        assert crashes[0].process == "P1"
+        assert crashes[0].detail["reason"] == "injected"
+
+    def test_disabled_recorder_records_nothing(self):
+        decomposition = decompose(path_topology(2))
+        rec = flightrec.FlightRecorder()
+        assert flightrec.recorder is None
+        ScriptRunner(
+            decomposition,
+            {"P1": [send("P2")], "P2": [receive("P1")]},
+        ).run()
+        assert len(rec) == 0
+
+
+class TestDeadlockPostMortem:
+    def test_wait_for_summary_names_the_blocked_pair(self):
+        """Acceptance: a deliberately deadlocked run produces a flight
+        record whose wait-for summary names the blocked process pair."""
+        decomposition = decompose(path_topology(2))
+        scripts = {"P1": [send("P2")], "P2": [send("P1")]}
+        with flightrec.recording_session() as rec:
+            transport = ScriptRunner(
+                decomposition, scripts, timeout=0.3
+            ).run(raise_on_error=False)
+        assert transport.errors  # both sends timed out
+
+        buffer = io.StringIO()
+        rec.dump_jsonl(buffer)
+        events = flightrec.load_jsonl(io.StringIO(buffer.getvalue()))
+
+        summary = flightrec.wait_for_summary(events)
+        blocked_pairs = set(summary.edges())
+        assert ("P1", "P2") in blocked_pairs
+        assert ("P2", "P1") in blocked_pairs
+        assert all(
+            entry.status == "timeout" for entry in summary.blocked
+        )
+        cycle = summary.deadlock_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"P1", "P2"}
+        text = summary.describe()
+        assert "deadlock cycle" in text
+        assert "'P1'" in text and "'P2'" in text
+
+    def test_open_wait_shows_up_without_block_end(self):
+        rec = flightrec.FlightRecorder()
+        rec.record(
+            flightrec.BLOCK_START, "P3", peer="P4", op="receive"
+        )
+        summary = flightrec.wait_for_summary(rec)
+        (entry,) = summary.blocked
+        assert entry.status == "open"
+        assert entry.peer == "P4"
+        assert summary.deadlock_cycle() is None
+
+    def test_no_blocked_processes(self):
+        summary = flightrec.wait_for_summary([])
+        assert summary.blocked == []
+        assert "no blocked" in summary.describe()
+
+
+class TestReconstruction:
+    def test_partial_computation_matches_transport_log(self):
+        decomposition = decompose(ring_topology(4))
+        scripts = {
+            "P1": [send("P2"), receive("P4")],
+            "P2": [receive("P1"), send("P3")],
+            "P3": [receive("P2"), send("P4")],
+            "P4": [receive("P3"), send("P1")],
+        }
+        with flightrec.recording_session() as rec:
+            transport = ScriptRunner(decomposition, scripts).run()
+        rebuilt = flightrec.reconstruct_computation(
+            rec, decomposition.graph
+        )
+        expected = transport.as_computation()
+        assert [
+            (m.sender, m.receiver) for m in rebuilt.messages
+        ] == [(m.sender, m.receiver) for m in expected.messages]
+
+    def test_reconstruction_after_crash_covers_the_committed_prefix(self):
+        decomposition = decompose(path_topology(3))
+        scripts = {
+            "P1": [send("P2"), crash("boom")],
+            "P2": [receive("P1"), send("P3")],
+            "P3": [receive("P2"), receive("P2")],
+        }
+        with flightrec.recording_session() as rec:
+            transport = ScriptRunner(
+                decomposition, scripts, timeout=0.3
+            ).run(raise_on_error=False)
+        rebuilt = flightrec.reconstruct_computation(
+            rec, decomposition.graph
+        )
+        assert len(rebuilt.messages) == len(transport.log) == 2
+
+    def test_evicted_prefix_is_rejected_unless_allowed(self):
+        rec = flightrec.FlightRecorder(capacity=1)
+        rec.record(
+            flightrec.RENDEZVOUS, "P2", peer="P1", commit_order=0
+        )
+        rec.record(
+            flightrec.RENDEZVOUS, "P1", peer="P2", commit_order=1
+        )
+        topology = path_topology(2)
+        with pytest.raises(ValueError, match="ring eviction"):
+            flightrec.reconstruct_computation(rec, topology)
+        rebuilt = flightrec.reconstruct_computation(
+            rec, topology, allow_partial_prefix=True
+        )
+        assert len(rebuilt.messages) == 1

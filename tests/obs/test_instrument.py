@@ -74,6 +74,53 @@ class TestLifecycle:
             assert instrument.get_tracer().finished()[0].name == "op"
 
 
+class TestPiggybackSizing:
+    """Satellite: varint accounting for piggybacked vectors."""
+
+    def test_varint_size_breakpoints(self):
+        assert instrument.varint_size(0) == 1
+        assert instrument.varint_size(127) == 1
+        assert instrument.varint_size(128) == 2
+        assert instrument.varint_size(2**14 - 1) == 2
+        assert instrument.varint_size(2**14) == 3
+        assert instrument.varint_size(2**63) == 10
+
+    def test_empty_vector_costs_zero(self):
+        assert instrument.piggyback_size_bytes(()) == 0
+        assert instrument.piggyback_size_bytes([]) == 0
+        assert instrument.piggyback_size_bytes(None) == 0
+        assert (
+            instrument.piggyback_size_bytes(VectorTimestamp([])) == 0
+        )
+
+    def test_one_component_vector(self):
+        assert instrument.piggyback_size_bytes([0]) == 1
+        assert instrument.piggyback_size_bytes([127]) == 1
+        assert instrument.piggyback_size_bytes([128]) == 2
+        assert (
+            instrument.piggyback_size_bytes(VectorTimestamp([5])) == 1
+        )
+
+    def test_eight_component_vector(self):
+        small = VectorTimestamp([1, 2, 3, 4, 5, 6, 7, 8])
+        assert instrument.piggyback_size_bytes(small) == 8
+        mixed = [0, 127, 128, 300, 2**14, 2**21, 2**28, 2**35]
+        #       1  1    2    2    3      4      5      6
+        assert instrument.piggyback_size_bytes(mixed) == 24
+
+    def test_sixty_four_component_vector(self):
+        zeros = VectorTimestamp([0] * 64)
+        assert instrument.piggyback_size_bytes(zeros) == 64
+        spiked = [0] * 63 + [2**56]
+        assert instrument.piggyback_size_bytes(spiked) == 63 + 9
+
+    def test_foreign_components_fall_back_to_fixed_width(self):
+        assert (
+            instrument.piggyback_size_bytes([1.5, 2])
+            == instrument.COMPONENT_BYTES + 1
+        )
+
+
 class TestOnlineClockIntegration:
     def test_counts_and_sizes(self, rng):
         topology = tree_topology(2, 3)
@@ -100,10 +147,13 @@ class TestOnlineClockIntegration:
             snap["decomposition_size"]["value"]
             <= snap["theorem5_bound"]["value"]
         )
-        # Every message piggybacks d components of 8 bytes, twice
-        # (message + ack).
-        expected = 25 * 2 * decomposition.size * instrument.COMPONENT_BYTES
-        assert snap["piggyback_bytes_total"]["value"] == expected
+        # Every message piggybacks two vectors (message + ack) under
+        # varint accounting: at least 1 byte per component, at most the
+        # fixed-width cap.
+        components = 25 * 2 * decomposition.size
+        total = snap["piggyback_bytes_total"]["value"]
+        assert components <= total
+        assert total <= components * instrument.COMPONENT_BYTES
         assert snap["piggyback_bytes"]["count"] == 50
         assert snap["vector_comparisons_total"]["value"] > 0
         assert snap["vector_joins_total"]["value"] == 50

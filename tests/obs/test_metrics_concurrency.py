@@ -1,0 +1,118 @@
+"""MetricsRegistry under real thread contention: totals stay exact.
+
+Satellite check for the ISSUE-5 tentpole: the registry's counters and
+histograms are hammered both from raw ``threading.Thread`` workers and
+from genuine :class:`ScriptRunner` process threads, and every total
+must come out exact — the per-instance locks in ``repro.obs.metrics``
+are load-bearing, not decorative.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import ring_topology
+from repro.obs import instrument
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.runtime import ScriptRunner, receive, send
+
+THREADS = 8
+INCREMENTS = 2000
+
+
+class TestRawThreadHammer:
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hammered_total", "test")
+
+        def worker():
+            for _ in range(INCREMENTS):
+                counter.inc()
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == THREADS * INCREMENTS
+
+    def test_histogram_observations_are_exact(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "hammered_seconds", buckets=(0.5, 1.5, 2.5)
+        )
+
+        def worker(value):
+            for _ in range(INCREMENTS):
+                histogram.observe(value)
+
+        threads = [
+            threading.Thread(target=worker, args=(i % 3,))
+            for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == THREADS * INCREMENTS
+        expected_sum = sum(
+            (i % 3) * INCREMENTS for i in range(THREADS)
+        )
+        assert histogram.sum == expected_sum
+
+    def test_mixed_counter_and_gauge_updates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("mixed_total", "test")
+        gauge = registry.gauge("mixed_gauge", "test")
+
+        def worker(value):
+            for _ in range(INCREMENTS):
+                counter.inc(2)
+                gauge.set(value)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,))
+            for i in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == THREADS * INCREMENTS * 2
+        assert gauge.value in range(THREADS)
+
+
+class TestScriptRunnerHammer:
+    def test_runtime_worker_threads_report_exact_totals(self):
+        """Every committed rendezvous increments the counters from a
+        genuine worker thread; totals must match the commit log."""
+        decomposition = decompose(ring_topology(4))
+        rounds = 25
+        scripts = {
+            "P1": [send("P2"), receive("P4")] * rounds,
+            "P2": [receive("P1"), send("P3")] * rounds,
+            "P3": [receive("P2"), send("P4")] * rounds,
+            "P4": [receive("P3"), send("P1")] * rounds,
+        }
+        with instrument.enabled_session(MetricsRegistry()) as obs:
+            transport = ScriptRunner(
+                decomposition, scripts, timeout=30.0
+            ).run()
+            snap = obs.registry.snapshot()
+        committed = len(transport.log)
+        assert committed == 4 * rounds
+        assert snap["rendezvous_total"]["value"] == committed
+        assert snap["messages_timestamped_total"]["value"] == committed
+        assert snap["acks_processed_total"]["value"] == committed
+        # Both sides of every rendezvous measured their blocking time.
+        assert (
+            snap["rendezvous_wait_seconds"]["count"] == 2 * committed
+        )
+        assert (
+            snap["rendezvous_block_seconds"]["count"] == 2 * committed
+        )
+        # Piggyback accounting fired once per message and once per ack.
+        assert snap["piggyback_bytes"]["count"] == 2 * committed

@@ -14,10 +14,12 @@ from __future__ import annotations
 import gc
 import tracemalloc
 
+import random
+
 from repro.core.vector import VectorTimestamp
 from repro.graphs.decomposition import decompose
-from repro.graphs.generators import path_topology
-from repro.obs import instrument
+from repro.graphs.generators import path_topology, ring_topology
+from repro.obs import audit, flightrec, instrument
 from repro.obs.tracing import NULL_SPAN
 
 ITERATIONS = 5000
@@ -83,6 +85,73 @@ def test_disabled_vector_comparison_allocates_nothing_extra():
             u < v  # noqa: B015 - exercising the comparison on purpose
 
     assert _net_allocation(hammer) <= ALLOWANCE_BYTES
+
+
+def test_disabled_flightrec_hook_is_none():
+    assert flightrec.recorder is None
+    assert not flightrec.is_recording()
+
+
+def test_disabled_audit_hook_is_none():
+    assert audit.auditor is None
+    assert not audit.is_auditing()
+
+
+def test_disabled_flightrec_check_allocates_nothing():
+    """The flight-recorder call-site pattern: attribute load + None
+    test, exactly like ``instrument.metrics``."""
+
+    def hammer():
+        for _ in range(ITERATIONS):
+            fr = flightrec.recorder
+            if fr is not None:  # pragma: no cover - disabled here
+                fr.record(flightrec.INTERNAL, "P1")
+
+    assert _net_allocation(hammer) <= ALLOWANCE_BYTES
+
+
+def test_disabled_audit_check_allocates_nothing():
+    def hammer():
+        for _ in range(ITERATIONS):
+            aud = audit.auditor
+            if aud is not None:  # pragma: no cover - disabled here
+                aud.on_runtime_message("P1", "P2", None)
+
+    assert _net_allocation(hammer) <= ALLOWANCE_BYTES
+
+
+def test_audit_does_not_change_timestamps():
+    """``timestamp_computation`` output is byte-identical with the
+    audit on vs off — the auditor is strictly read-only."""
+    from repro.clocks.offline import OfflineRealizerClock
+    from repro.clocks.online import OnlineEdgeClock
+    from repro.sim.workload import random_computation
+
+    topology = ring_topology(6)
+    decomposition = decompose(topology)
+    computation = random_computation(topology, 60, random.Random(7))
+
+    plain_online = OnlineEdgeClock(decomposition).timestamp_computation(
+        computation
+    )
+    plain_offline = OfflineRealizerClock().timestamp_computation(
+        computation
+    )
+    with audit.audit_session(sample_rate=1.0, seed=1) as aud:
+        audited_online = OnlineEdgeClock(
+            decomposition
+        ).timestamp_computation(computation)
+        audited_offline = OfflineRealizerClock().timestamp_computation(
+            computation
+        )
+    assert aud.pairs_checked > 0
+    assert aud.violations == []
+    for message in computation.messages:
+        assert plain_online.of(message) == audited_online.of(message)
+        assert plain_offline.of(message) == audited_offline.of(message)
+        assert repr(plain_online.of(message)) == repr(
+            audited_online.of(message)
+        )
 
 
 def test_disabled_online_handshake_allocates_like_the_bare_algorithm():

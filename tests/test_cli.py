@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import json
+import pathlib
 import random
 
 import pytest
 
 from repro.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 from repro.graphs.generators import complete_topology
 from repro.sim.trace_io import (
     assignment_to_dict,
@@ -258,3 +261,214 @@ class TestObs:
     def test_obs_rejects_bad_rounds(self):
         with pytest.raises(SystemExit):
             main(["obs", "--family", "ring:4", "--rounds", "0"])
+
+    def test_obs_flight_recorder_dump(self, tmp_path, capsys):
+        from repro.obs import flightrec
+
+        flight = tmp_path / "flight.jsonl"
+        assert (
+            main(
+                [
+                    "obs",
+                    "--family",
+                    "ring:4",
+                    "--rounds",
+                    "2",
+                    "--flight-out",
+                    str(flight),
+                    "--metrics-out",
+                    str(tmp_path / "m.prom"),
+                ]
+            )
+            == 0
+        )
+        assert "flight event(s) written" in capsys.readouterr().out
+        events = flightrec.load_jsonl(str(flight))
+        kinds = {event.kind for event in events}
+        assert flightrec.RENDEZVOUS in kinds
+        assert flightrec.SCRIPT_END in kinds
+        # The session uninstalled the recorder afterwards.
+        assert flightrec.recorder is None
+
+    def test_obs_audit_reports_clean(self, tmp_path, capsys):
+        from repro.obs import audit
+
+        assert (
+            main(
+                [
+                    "obs",
+                    "--family",
+                    "ring:4",
+                    "--rounds",
+                    "2",
+                    "--audit-rate",
+                    "1.0",
+                    "--metrics-out",
+                    str(tmp_path / "m.prom"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "audit pairs checked" in out
+        assert "audit violations     | 0" in out
+        assert audit.auditor is None
+
+    def test_obs_rejects_bad_audit_rate(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "--family", "ring:4", "--audit-rate", "1.5"])
+
+
+class TestMalformedFamilySpecs:
+    """Satellite: one-line SystemExit, never a traceback."""
+
+    @pytest.mark.parametrize(
+        "spec", ["ring:one", "ring:0", "tree:3", "bogus:4", "complete:"]
+    )
+    def test_obs_exits_nonzero_with_one_line_error(self, spec, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs", "--family", spec])
+        code = excinfo.value.code
+        # argparse-style SystemExit: either a small int or the one-line
+        # message itself; both print a single line, not a traceback.
+        assert code not in (0, None)
+        message = str(code)
+        assert "\n" not in message
+        assert "Traceback" not in message
+
+    def test_decompose_bad_family_value(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["decompose", "--family", "ring:0"])
+        assert "bad topology spec" in str(excinfo.value.code)
+
+
+class TestObsReport:
+    def _bench_dir(self, tmp_path, per_sec):
+        bench = tmp_path / f"BENCH_x_{per_sec}"
+        bench.mkdir()
+        (bench / "BENCH_x.json").write_text(
+            json.dumps({"run": {"messages_per_sec": per_sec}})
+        )
+        return bench
+
+    def test_report_merges_committed_snapshots(self, capsys):
+        """Acceptance: `repro obs report` merges all four committed
+        BENCH_*.json snapshots."""
+        assert main(["obs", "report", "--dir", str(REPO_ROOT)]) == 0
+        out = capsys.readouterr().out
+        for source in ("obs", "batch", "offline", "lattice"):
+            assert source in out
+        assert "4 snapshot(s)" in out
+
+    def test_gate_fails_on_doctored_baseline(self, tmp_path, capsys):
+        """Acceptance: a doctored baseline with a >20% regression makes
+        the gate exit non-zero."""
+        current = self._bench_dir(tmp_path, 70.0)
+        baseline_dir = self._bench_dir(tmp_path, 100.0)
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "report",
+                    "--dir",
+                    str(baseline_dir),
+                    "--report-format",
+                    "json",
+                    "--out",
+                    str(baseline),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "obs",
+                    "report",
+                    "--dir",
+                    str(current),
+                    "--baseline",
+                    str(baseline),
+                    "--tolerance",
+                    "0.2",
+                ]
+            )
+            == 1
+        )
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_warn_only_exits_zero(self, tmp_path, capsys):
+        current = self._bench_dir(tmp_path, 10.0)
+        baseline_dir = self._bench_dir(tmp_path, 100.0)
+        baseline = tmp_path / "baseline.json"
+        main(
+            [
+                "obs",
+                "report",
+                "--dir",
+                str(baseline_dir),
+                "--report-format",
+                "json",
+                "--out",
+                str(baseline),
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "obs",
+                    "report",
+                    "--dir",
+                    str(current),
+                    "--baseline",
+                    str(baseline),
+                    "--warn-only",
+                ]
+            )
+            == 0
+        )
+
+    def test_committed_baseline_gate_passes(self, capsys):
+        assert (
+            main(
+                [
+                    "obs",
+                    "report",
+                    "--dir",
+                    str(REPO_ROOT),
+                    "--baseline",
+                    str(
+                        REPO_ROOT
+                        / "benchmarks/baselines/bench_baseline.json"
+                    ),
+                    "--warn-only",
+                ]
+            )
+            == 0
+        )
+        assert "regression gate" in capsys.readouterr().out
+
+    def test_empty_dir_is_a_one_line_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs", "report", "--dir", str(tmp_path)])
+        assert "no BENCH_" in str(excinfo.value.code)
+
+    def test_markdown_format(self, tmp_path, capsys):
+        current = self._bench_dir(tmp_path, 50.0)
+        assert (
+            main(
+                [
+                    "obs",
+                    "report",
+                    "--dir",
+                    str(current),
+                    "--report-format",
+                    "markdown",
+                ]
+            )
+            == 0
+        )
+        assert "| source | metric |" in capsys.readouterr().out
