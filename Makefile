@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test obs-check obs-report lint bench bench-batch bench-offline bench-lattice bench-report examples all clean
+.PHONY: install test obs-check obs-report obs-timeline lint bench bench-batch bench-offline bench-lattice bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -34,6 +34,19 @@ obs-report:
 	PYTHONPATH=src $(PYTHON) -m repro obs report \
 		--baseline benchmarks/baselines/bench_baseline.json \
 		--warn-only
+
+# Profiling pipeline smoke: record a flight, export the Perfetto
+# timeline, and print the critical-path report.  Artifacts land in
+# FLIGHT_DIR (default: the repo root).
+FLIGHT_DIR ?= .
+obs-timeline:
+	PYTHONPATH=src $(PYTHON) -m repro obs --family ring:6 --rounds 4 \
+		--flight-out $(FLIGHT_DIR)/flight.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro obs timeline \
+		--flight-in $(FLIGHT_DIR)/flight.jsonl \
+		--out $(FLIGHT_DIR)/timeline.json
+	PYTHONPATH=src $(PYTHON) -m repro obs critpath \
+		--flight-in $(FLIGHT_DIR)/flight.jsonl --top-k 5
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -97,3 +97,111 @@ def test_obs_enabled_collects_while_benchmarking(report_header):
         f"{snapshot['messages_timestamped_total']['value']} messages, "
         f"{len(spans)} span(s)"
     )
+
+
+def _synthetic_flight_record(messages: int, processes: int = 6):
+    """A flight record shaped exactly like the transport's, without
+    paying for threads: six events per rendezvous."""
+    from repro.obs import flightrec
+
+    recorder = flightrec.FlightRecorder(capacity=messages * 6 + 8)
+    names = [f"P{i + 1}" for i in range(processes)]
+    for k in range(messages):
+        sender = names[k % processes]
+        receiver = names[(k + 1) % processes]
+        recorder.record(flightrec.SEND_OFFER, sender, peer=receiver)
+        recorder.record(
+            flightrec.BLOCK_START, sender, peer=receiver, op="send"
+        )
+        recorder.record(
+            flightrec.BLOCK_START, receiver, peer=sender, op="receive"
+        )
+        recorder.record(
+            flightrec.BLOCK_END,
+            receiver,
+            peer=sender,
+            op="receive",
+            status="matched",
+            seconds=0.0001,
+        )
+        recorder.record(
+            flightrec.RENDEZVOUS,
+            receiver,
+            peer=sender,
+            commit_order=k,
+            payload=None,
+        )
+        recorder.record(
+            flightrec.BLOCK_END,
+            sender,
+            peer=receiver,
+            op="send",
+            status="matched",
+            seconds=0.0001,
+        )
+    return recorder.events()
+
+
+def test_timeline_export_throughput(report_header):
+    """Trace-export throughput: flight events serialized per second
+    into the Perfetto trace-event JSON."""
+    from repro.obs.timeline import build_timeline, timeline_json
+
+    events = _synthetic_flight_record(2000)
+    seconds = _manual_best(lambda: timeline_json(events))
+    rate = len(events) / seconds
+    document = build_timeline(events)
+    record_perf(
+        "timeline_export",
+        {
+            "flight_events": len(events),
+            "trace_events": len(document["traceEvents"]),
+            "seconds": seconds,
+            "events_per_sec": rate,
+        },
+    )
+    report_header(
+        f"Timeline export: {len(events)} flight events -> "
+        f"{len(document['traceEvents'])} trace events"
+    )
+    emit(f"export throughput: {rate:,.0f} flight events/s")
+
+
+def test_quantile_sketch_overhead(report_header):
+    """P² sketch cost per observation vs ``Histogram.observe`` — the
+    sketch buys p50/p95/p99 for a small constant factor."""
+    from repro.obs.metrics import DURATION_BUCKETS, Histogram, QuantileSketch
+
+    rng = random.Random(29)
+    samples = [rng.random() for _ in range(20_000)]
+
+    def run_histogram():
+        histogram = Histogram("h", buckets=DURATION_BUCKETS)
+        for value in samples:
+            histogram.observe(value)
+
+    def run_sketch():
+        sketch = QuantileSketch("s")
+        for value in samples:
+            sketch.observe(value)
+
+    histogram_s = _manual_best(run_histogram)
+    sketch_s = _manual_best(run_sketch)
+    ratio = sketch_s / histogram_s
+    record_perf(
+        "quantile_sketch",
+        {
+            "observations": len(samples),
+            "histogram_ns_per_observe": histogram_s / len(samples) * 1e9,
+            "sketch_ns_per_observe": sketch_s / len(samples) * 1e9,
+            "sketch_vs_histogram_ratio": ratio,
+        },
+    )
+    report_header(
+        f"Quantile sketch overhead over {len(samples)} observations"
+    )
+    emit(
+        f"histogram: {histogram_s / len(samples) * 1e9:,.0f} ns/observe; "
+        f"P2 sketch: {sketch_s / len(samples) * 1e9:,.0f} ns/observe "
+        f"({ratio:.2f}x)"
+    )

@@ -32,6 +32,8 @@ OBS_MODULES = [
     "repro.obs.export",
     "repro.obs.instrument",
     "repro.obs.flightrec",
+    "repro.obs.timeline",
+    "repro.obs.critpath",
     "repro.obs.audit",
     "repro.obs.report",
 ]

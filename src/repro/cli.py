@@ -276,6 +276,10 @@ def cmd_rsc(args) -> int:
 def cmd_obs(args) -> int:
     if args.mode == "report":
         return cmd_obs_report(args)
+    if args.mode == "timeline":
+        return cmd_obs_timeline(args)
+    if args.mode == "critpath":
+        return cmd_obs_critpath(args)
 
     from contextlib import ExitStack
 
@@ -372,6 +376,19 @@ def cmd_obs(args) -> int:
                 "mean rendezvous wait",
                 f"{wait_hist.mean() * 1e3:.3f} ms",
             ],
+            [
+                "block p50/p95/p99",
+                "/".join(
+                    f"{obs.rendezvous_block_quantiles.quantile(q) * 1e3:.3f}"
+                    for q in (0.5, 0.95, 0.99)
+                )
+                + " ms",
+            ],
+            [
+                "stamp latency p99",
+                f"{obs.stamp_latency_quantiles.quantile(0.99) * 1e6:.1f}"
+                " us",
+            ],
             ["spans collected", len(spans)],
             ["clock overhead", monitor.overhead().describe()],
         ]
@@ -428,6 +445,110 @@ def cmd_obs(args) -> int:
             print(render_prometheus(registry), end="")
         if auditor is not None and auditor.violations:
             return 1
+    return 0
+
+
+def _load_flight_events(args):
+    """Load ``--flight-in`` and warn (stderr) when it is truncated."""
+    from repro.obs import flightrec as obs_flightrec
+
+    if not args.flight_in:
+        raise SystemExit(
+            f"obs {args.mode}: --flight-in FLIGHT.jsonl is required "
+            "(record one with 'repro obs run --flight-out ...')"
+        )
+    events = obs_flightrec.load_jsonl(args.flight_in)
+    if not events:
+        raise SystemExit(
+            f"obs {args.mode}: {args.flight_in!r} holds no events"
+        )
+    summary = obs_flightrec.truncation_summary(events)
+    if summary.truncated:
+        print(
+            f"warning: {summary.describe()}; the analysis below "
+            "covers the surviving suffix only (raise "
+            "--flight-capacity when recording)",
+            file=sys.stderr,
+        )
+    return events
+
+
+def cmd_obs_timeline(args) -> int:
+    from repro.obs import flightrec as obs_flightrec
+    from repro.obs import timeline as obs_timeline
+
+    events = _load_flight_events(args)
+    computation = None
+    try:
+        if args.topology_file:
+            topology = topology_from_dict(
+                _load_json(args.topology_file)
+            )
+        else:
+            from repro.obs.critpath import _topology_from_events
+
+            topology = _topology_from_events(events)
+        computation = obs_flightrec.reconstruct_computation(
+            events, topology, allow_partial_prefix=True
+        )
+    except Exception as exc:  # noqa: BLE001 - names are optional
+        print(
+            "warning: could not reconstruct the computation "
+            f"({exc}); exporting without message names",
+            file=sys.stderr,
+        )
+    if args.out:
+        count = obs_timeline.write_timeline(
+            events, args.out, computation
+        )
+        print(
+            f"{count} trace event(s) written to {args.out}; open it "
+            "at https://ui.perfetto.dev or chrome://tracing"
+        )
+    else:
+        print(obs_timeline.timeline_json(events, computation))
+    return 0
+
+
+def cmd_obs_critpath(args) -> int:
+    from repro.obs import critpath as obs_critpath
+
+    events = _load_flight_events(args)
+    topology = None
+    if args.topology_file:
+        topology = topology_from_dict(_load_json(args.topology_file))
+    decomposition = None
+    try:
+        if topology is None:
+            from repro.obs.critpath import _topology_from_events
+
+            topology = _topology_from_events(events)
+        decomposition = decompose(topology)
+    except Exception:  # noqa: BLE001 - group labels are optional
+        decomposition = None
+    try:
+        result = obs_critpath.analyze_flight_record(
+            events, topology, decomposition
+        )
+    except ValueError as exc:
+        raise SystemExit(f"obs critpath: {exc}") from exc
+    if args.top_k < 1:
+        raise SystemExit("--top-k must be at least 1")
+    renderer = {
+        "text": obs_critpath.render_text,
+        "markdown": obs_critpath.render_markdown,
+    }.get(args.report_format)
+    if renderer is None:
+        raise SystemExit(
+            "obs critpath: --report-format must be text or markdown"
+        )
+    rendered = renderer(result, top_k=args.top_k)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"critical-path report written to {args.out}")
+    else:
+        print(rendered, end="")
     return 0
 
 
@@ -601,9 +722,11 @@ def build_parser() -> argparse.ArgumentParser:
         "mode",
         nargs="?",
         default="run",
-        choices=["run", "report"],
+        choices=["run", "report", "timeline", "critpath"],
         help="'run' (default): the instrumented rendezvous demo; "
-        "'report': the bench-trajectory report",
+        "'report': the bench-trajectory report; 'timeline': convert "
+        "a flight record to Perfetto trace JSON; 'critpath': "
+        "critical-path/slack profile of a flight record",
     )
     obs_cmd.add_argument("--topology-file", help="topology JSON")
     obs_cmd.add_argument(
@@ -661,6 +784,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(default 0: audit off)",
     )
     obs_cmd.add_argument(
+        "--flight-in",
+        help="[timeline/critpath] flight-record JSONL to analyze "
+        "(from --flight-out)",
+    )
+    obs_cmd.add_argument(
+        "--top-k",
+        type=int,
+        default=5,
+        help="[critpath] bottleneck rendezvous to name (default 5)",
+    )
+    obs_cmd.add_argument(
         "--dir",
         default=".",
         help="[report] directory holding the BENCH_*.json snapshots "
@@ -687,11 +821,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--report-format",
         default="text",
         choices=["text", "markdown", "json"],
-        help="[report] output format (default text)",
+        help="[report/critpath] output format (default text; "
+        "critpath supports text and markdown)",
     )
     obs_cmd.add_argument(
         "--out",
-        help="[report] write the rendered report here instead of stdout",
+        help="[report/timeline/critpath] write the rendered output "
+        "here instead of stdout",
     )
     obs_cmd.set_defaults(handler=cmd_obs)
     return parser

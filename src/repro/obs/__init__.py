@@ -14,6 +14,10 @@ measurements:
 * :mod:`repro.obs.flightrec` — the causal flight recorder: a bounded
   ring of runtime events with post-mortem wait-for and reconstruction
   views;
+* :mod:`repro.obs.timeline` — Perfetto/Chrome trace-event export of a
+  flight record (tracks, slices, rendezvous flow arrows);
+* :mod:`repro.obs.critpath` — critical path, per-event slack and
+  latency attribution over the stamped message poset;
 * :mod:`repro.obs.audit` — the sampling live audit of Theorem 4 and
   the Theorem 5/8 size bounds;
 * :mod:`repro.obs.report` — the bench-trajectory report and regression
@@ -43,11 +47,16 @@ from repro.obs.export import (
     write_metrics,
     write_trace_jsonl,
 )
+from repro.obs.critpath import (
+    analyze_flight_record,
+    longest_weighted_chain,
+)
 from repro.obs.flightrec import (
     FlightEvent,
     FlightRecorder,
     recording_session,
     reconstruct_computation,
+    truncation_summary,
     wait_for_summary,
 )
 from repro.obs.instrument import (
@@ -71,7 +80,9 @@ from repro.obs.metrics import (
     Histogram,
     MetricError,
     MetricsRegistry,
+    QuantileSketch,
 )
+from repro.obs.timeline import build_timeline, write_timeline
 from repro.obs.report import (
     BenchReport,
     BenchReportError,
@@ -97,9 +108,12 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "ObsMetrics",
+    "QuantileSketch",
     "Span",
     "Tracer",
+    "analyze_flight_record",
     "audit_session",
+    "build_timeline",
     "compare_reports",
     "disable",
     "enable",
@@ -108,6 +122,7 @@ __all__ = [
     "get_tracer",
     "is_enabled",
     "load_bench_dir",
+    "longest_weighted_chain",
     "metrics_to_json",
     "piggyback_size_bytes",
     "read_trace_jsonl",
@@ -116,8 +131,10 @@ __all__ = [
     "render_prometheus",
     "span",
     "spans_to_jsonl",
+    "truncation_summary",
     "varint_size",
     "wait_for_summary",
     "write_metrics",
+    "write_timeline",
     "write_trace_jsonl",
 ]

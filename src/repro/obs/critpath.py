@@ -1,0 +1,495 @@
+"""Critical-path and slack analysis over the stamped message poset.
+
+End-to-end latency of a synchronous run is bounded by its *critical
+path*: the longest weighted chain of the message poset ``(M, ↦)``,
+where each message's weight is the wall-clock time it contributed
+beyond its latest predecessor.  Everything off that chain has *slack* —
+it could have run slower without delaying the run — so the chain is
+exactly where optimization effort (or a synchronizer redesign) pays.
+
+The chain computation runs on the bitset kernel of
+:class:`repro.core.poset.Poset` (cover rows as integer bitmasks), the
+same machinery the width/ideal-lattice kernels use, so it stays
+O(messages · words) instead of materializing pair lists.
+
+Weights come from the flight recorder's rendezvous commit times:
+
+    ``w(m) = commit_t(m) − max(commit_t(p) for p ↦-below m)``
+
+with the record's earliest event standing in for "start of run" at the
+minimal messages.  Because commit order is consistent with ``↦`` (the
+transport commits under one lock), weights are non-negative and the
+critical-path length telescopes to exactly ``max commit_t − t0`` — the
+run's end-to-end latency — which ``tests/obs/test_critpath.py``
+re-derives independently.
+
+The per-run attribution splits that latency two ways:
+
+* per process — blocked (inside a rendezvous wait) vs running time;
+* per edge group — each critical-path message charges its weight to
+  its channel's group ``e(m)``, the paper's vector component, so the
+  table names which component of the decomposition carries the run.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.obs import flightrec
+from repro.obs.flightrec import FlightEvent, FlightRecorder
+
+# NOTE: repro.core / repro.order / repro.sim are imported inside the
+# functions that need them.  The instrumented core modules import
+# repro.obs at load time, so a module-level import here would close an
+# import cycle (core.vector -> obs -> critpath -> order -> core).
+
+
+# ----------------------------------------------------------------------
+# Generic longest weighted chain on the bitset kernel
+# ----------------------------------------------------------------------
+class ChainResult:
+    """The longest weighted chain of a poset plus per-element slack."""
+
+    __slots__ = ("total", "path", "down", "up", "through", "slack")
+
+    def __init__(
+        self,
+        total: float,
+        path: List[Any],
+        down: Dict[Any, float],
+        up: Dict[Any, float],
+        through: Dict[Any, float],
+        slack: Dict[Any, float],
+    ):
+        self.total = total
+        self.path = path
+        self.down = down  # heaviest chain ending at the element
+        self.up = up  # heaviest chain strictly above the element
+        self.through = through  # heaviest chain passing through
+        self.slack = slack  # total - through (0 on the path)
+
+
+def longest_weighted_chain(
+    poset, weights: Dict[Any, float]
+) -> ChainResult:
+    """The heaviest chain of ``poset`` under per-element ``weights``.
+
+    Weights must be non-negative.  Ties break deterministically toward
+    the earliest-inserted element, so the returned path is stable for
+    a fixed poset.  Runs one DP sweep over the cover rows (bitmask
+    adjacency) in topological order and its reverse.
+    """
+    from repro.core.poset import _popcount, iter_bits
+
+    elements = poset.elements
+    n = len(elements)
+    if n == 0:
+        return ChainResult(0.0, [], {}, {}, {}, {})
+    w = [float(weights[element]) for element in elements]
+    if any(value < 0 for value in w):
+        raise ValueError("chain weights must be non-negative")
+    below = poset.below_bit_rows()
+    covers = poset.cover_bit_rows()  # bit j of row i: i covered by j
+    # Insertion order is topological for message posets; sorting by
+    # predecessor count keeps the sweep correct for arbitrary posets.
+    order = sorted(range(n), key=lambda i: (_popcount(below[i]), i))
+    # Transposed covers: cover *predecessors* of each element.
+    pred_rows = [0] * n
+    for i in range(n):
+        for j in iter_bits(covers[i]):
+            pred_rows[j] |= 1 << i
+    down = [0.0] * n
+    best_pred = [-1] * n
+    for i in order:
+        best = 0.0
+        pred = -1
+        for j in iter_bits(pred_rows[i]):
+            if down[j] > best or (down[j] == best and pred == -1):
+                best = down[j]
+                pred = j
+        down[i] = best + w[i]
+        best_pred[i] = pred
+    up = [0.0] * n
+    for i in reversed(order):
+        best = 0.0
+        for j in iter_bits(covers[i]):
+            candidate = up[j] + w[j]
+            if candidate > best:
+                best = candidate
+        up[i] = best
+    total = 0.0
+    tail = 0
+    for i in range(n):
+        if down[i] > total:
+            total = down[i]
+            tail = i
+    path_indices: List[int] = []
+    node = tail if n else -1
+    while node != -1:
+        path_indices.append(node)
+        node = best_pred[node]
+    path_indices.reverse()
+    through = [down[i] + up[i] for i in range(n)]
+    return ChainResult(
+        total=total,
+        path=[elements[i] for i in path_indices],
+        down={elements[i]: down[i] for i in range(n)},
+        up={elements[i]: up[i] for i in range(n)},
+        through={elements[i]: through[i] for i in range(n)},
+        slack={elements[i]: total - through[i] for i in range(n)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Flight-record analysis
+# ----------------------------------------------------------------------
+class CriticalPathResult:
+    """Critical path + latency attribution for one recorded run."""
+
+    def __init__(
+        self,
+        computation,
+        poset,
+        chain: ChainResult,
+        commit_times: Dict[Any, float],
+        weights: Dict[Any, float],
+        t0: float,
+        blocked_seconds: Dict[Any, Dict[str, float]],
+        process_blocked: Dict[Any, float],
+        process_span: Dict[Any, float],
+        group_attribution: List[Tuple[str, float, int]],
+        lost_events: int,
+    ):
+        self.computation = computation
+        self.poset = poset
+        self.chain = chain
+        self.commit_times = commit_times
+        self.weights = weights
+        self.t0 = t0
+        #: per message: ``{"send": s, "receive": s}`` blocked seconds
+        self.blocked_seconds = blocked_seconds
+        self.process_blocked = process_blocked
+        self.process_span = process_span
+        #: ``(group_label, attributed_seconds, path_messages)`` rows
+        self.group_attribution = group_attribution
+        self.lost_events = lost_events
+
+    @property
+    def total(self) -> float:
+        """Critical-path length = end-to-end latency in seconds."""
+        return self.chain.total
+
+    def top_bottlenecks(self, k: int = 5):
+        """The ``k`` critical-path messages with the largest weights."""
+        ranked = sorted(
+            self.chain.path,
+            key=lambda m: (-self.weights[m], m.index),
+        )
+        return ranked[:k]
+
+
+def _topology_from_events(events: Sequence[FlightEvent]):
+    """Infer the communication topology a record actually used."""
+    from repro.graphs.graph import UndirectedGraph
+
+    graph = UndirectedGraph()
+    for event in events:
+        graph.add_vertex(event.process)
+        if event.peer is not None:
+            graph.add_vertex(event.peer)
+    for event in events:
+        if event.kind == flightrec.RENDEZVOUS:
+            graph.add_edge(event.peer, event.process)
+    return graph
+
+
+def analyze_flight_record(
+    record: Union[FlightRecorder, Iterable[FlightEvent]],
+    topology=None,
+    decomposition=None,
+) -> CriticalPathResult:
+    """Critical path, slack and latency attribution of a flight record.
+
+    ``topology`` defaults to the graph the record itself exercised;
+    pass the real one to keep unused channels visible.  With a
+    ``decomposition`` the per-edge-group attribution uses the paper's
+    ``e(m)`` component labels; otherwise messages group by channel.
+
+    Truncated records (ring eviction) analyze the surviving suffix and
+    report the loss via :attr:`CriticalPathResult.lost_events` — the
+    caller decides whether a partial critical path is useful.
+    """
+    from repro.core.poset import iter_bits
+    from repro.order.message_order import message_poset
+
+    events = (
+        record.events()
+        if isinstance(record, FlightRecorder)
+        else list(record)
+    )
+    if not events:
+        raise ValueError("empty flight record: nothing to analyze")
+    if topology is None:
+        topology = _topology_from_events(events)
+    lost = flightrec.truncation_summary(events).lost_events
+    computation = flightrec.reconstruct_computation(
+        events, topology, allow_partial_prefix=True
+    )
+    commits = sorted(
+        (e for e in events if e.kind == flightrec.RENDEZVOUS),
+        key=lambda e: e.detail["commit_order"],
+    )
+    if not commits:
+        raise ValueError(
+            "flight record contains no committed rendezvous"
+        )
+    poset = message_poset(computation)
+    messages = computation.messages  # aligned with sorted commits
+    commit_times = {
+        message: commit.t
+        for message, commit in zip(messages, commits)
+    }
+    t0 = min(event.t for event in events)
+    below = poset.below_bit_rows()
+    weights: Dict[Any, float] = {}
+    for i, message in enumerate(messages):
+        latest = t0
+        for j in iter_bits(below[i]):
+            latest = max(latest, commit_times[messages[j]])
+        weights[message] = max(0.0, commit_times[message] - latest)
+    chain = longest_weighted_chain(poset, weights)
+
+    blocked = _blocked_seconds_per_message(events, messages, commits)
+    process_blocked: Dict[Any, float] = {}
+    first_seen: Dict[Any, float] = {}
+    last_seen: Dict[Any, float] = {}
+    for event in events:
+        process = event.process
+        first_seen.setdefault(process, event.t)
+        last_seen[process] = event.t
+        if (
+            event.kind == flightrec.BLOCK_END
+            and event.detail.get("seconds") is not None
+        ):
+            process_blocked[process] = process_blocked.get(
+                process, 0.0
+            ) + float(event.detail["seconds"])
+    process_span = {
+        process: last_seen[process] - first_seen[process]
+        for process in first_seen
+    }
+
+    group_totals: Dict[str, Tuple[float, int]] = {}
+    for message in chain.path:
+        if decomposition is not None:
+            index = decomposition.group_index_of(
+                message.sender, message.receiver
+            )
+            label = f"group {index}"
+        else:
+            a, b = sorted(
+                (str(message.sender), str(message.receiver))
+            )
+            label = f"{a}--{b}"
+        seconds, count = group_totals.get(label, (0.0, 0))
+        group_totals[label] = (
+            seconds + weights[message],
+            count + 1,
+        )
+    group_attribution = sorted(
+        (
+            (label, seconds, count)
+            for label, (seconds, count) in group_totals.items()
+        ),
+        key=lambda row: (-row[1], row[0]),
+    )
+    return CriticalPathResult(
+        computation=computation,
+        poset=poset,
+        chain=chain,
+        commit_times=commit_times,
+        weights=weights,
+        t0=t0,
+        blocked_seconds=blocked,
+        process_blocked=process_blocked,
+        process_span=process_span,
+        group_attribution=group_attribution,
+        lost_events=lost,
+    )
+
+
+def _blocked_seconds_per_message(
+    events: Sequence[FlightEvent],
+    messages: Sequence[Any],
+    commits: Sequence[FlightEvent],
+) -> Dict[Any, Dict[str, float]]:
+    """Match matched-block intervals to the commits they belong to.
+
+    The receiver's ``block_end`` precedes its rendezvous commit in ring
+    order; the sender's follows it, FIFO per channel — both mirrors of
+    how the transport interleaves its records.
+    """
+    message_of = {
+        id(commit): message
+        for commit, message in zip(commits, messages)
+    }
+    blocked: Dict[Any, Dict[str, float]] = {
+        message: {} for message in messages
+    }
+    last_receive_end: Dict[Any, FlightEvent] = {}
+    pending_sender: Dict[Tuple[Any, Any], List[Any]] = {}
+    for event in events:
+        if event.kind == flightrec.BLOCK_END:
+            if event.detail.get("status") != "matched":
+                continue
+            op = event.detail.get("op")
+            if op == "receive":
+                last_receive_end[event.process] = event
+            elif op == "send":
+                queue = pending_sender.get(
+                    (event.process, event.peer)
+                )
+                if queue:
+                    message = queue.pop(0)
+                    blocked[message]["send"] = float(
+                        event.detail.get("seconds") or 0.0
+                    )
+        elif event.kind == flightrec.RENDEZVOUS:
+            message = message_of.get(id(event))
+            if message is None:
+                continue
+            end = last_receive_end.pop(event.process, None)
+            if end is not None:
+                blocked[message]["receive"] = float(
+                    end.detail.get("seconds") or 0.0
+                )
+            pending_sender.setdefault(
+                (event.peer, event.process), []
+            ).append(message)
+    return blocked
+
+
+# ----------------------------------------------------------------------
+# Renderers
+# ----------------------------------------------------------------------
+def _fmt_s(seconds: float) -> str:
+    return f"{seconds * 1e3:.3f}ms"
+
+
+def render_text(
+    result: CriticalPathResult, top_k: int = 5
+) -> str:
+    """Plain-text report naming the top-k bottleneck rendezvous."""
+    return _render(result, top_k, markdown=False)
+
+
+def render_markdown(
+    result: CriticalPathResult, top_k: int = 5
+) -> str:
+    """The same report with markdown tables."""
+    return _render(result, top_k, markdown=True)
+
+
+def _render(
+    result: CriticalPathResult, top_k: int, markdown: bool
+) -> str:
+    lines: List[str] = []
+    heading = "## " if markdown else ""
+    path_names = " -> ".join(m.name for m in result.chain.path)
+    lines.append(f"{heading}Critical path")
+    lines.append("")
+    lines.append(
+        f"end-to-end latency: {_fmt_s(result.total)} over "
+        f"{len(result.computation)} messages; critical chain "
+        f"({len(result.chain.path)} messages): {path_names}"
+    )
+    if result.lost_events:
+        lines.append(
+            f"WARNING: flight record truncated (~{result.lost_events} "
+            "events lost to ring eviction); this analyzes the "
+            "surviving suffix only"
+        )
+    lines.append("")
+    lines.append(f"{heading}Top bottleneck rendezvous")
+    lines.append("")
+    header = [
+        "message", "channel", "self-time", "blocked(recv)",
+        "blocked(send)", "slack",
+    ]
+    rows: List[List[str]] = []
+    for message in result.top_bottlenecks(top_k):
+        waits = result.blocked_seconds.get(message, {})
+        rows.append(
+            [
+                message.name,
+                f"{message.sender}->{message.receiver}",
+                _fmt_s(result.weights[message]),
+                _fmt_s(waits.get("receive", 0.0)),
+                _fmt_s(waits.get("send", 0.0)),
+                _fmt_s(result.chain.slack[message]),
+            ]
+        )
+    lines.extend(_table(header, rows, markdown))
+    lines.append("")
+    lines.append(f"{heading}Latency by edge group (critical path)")
+    lines.append("")
+    header = ["edge group", "attributed", "share", "messages"]
+    rows = []
+    for label, seconds, count in result.group_attribution:
+        share = seconds / result.total if result.total else 0.0
+        rows.append(
+            [label, _fmt_s(seconds), f"{share:6.1%}", str(count)]
+        )
+    lines.extend(_table(header, rows, markdown))
+    lines.append("")
+    lines.append(f"{heading}Blocked vs running per process")
+    lines.append("")
+    header = ["process", "span", "blocked", "blocked-share"]
+    rows = []
+    for process in sorted(result.process_span, key=str):
+        span = result.process_span[process]
+        waited = result.process_blocked.get(process, 0.0)
+        share = waited / span if span else 0.0
+        rows.append(
+            [str(process), _fmt_s(span), _fmt_s(waited),
+             f"{share:6.1%}"]
+        )
+    lines.extend(_table(header, rows, markdown))
+    return "\n".join(lines) + "\n"
+
+
+def _table(
+    header: List[str], rows: List[List[str]], markdown: bool
+) -> List[str]:
+    if markdown:
+        out = ["| " + " | ".join(header) + " |"]
+        out.append("|" + "|".join("---" for _ in header) + "|")
+        for row in rows:
+            out.append("| " + " | ".join(row) + " |")
+        return out
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in rows))
+        if rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    out = [
+        "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()
+    ]
+    out.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        out.append(
+            "  ".join(
+                c.ljust(w) for c, w in zip(row, widths)
+            ).rstrip()
+        )
+    return out

@@ -21,6 +21,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileSketch,
 )
 from repro.obs.tracing import Span
 
@@ -95,6 +96,14 @@ def render_prometheus(registry: MetricsRegistry) -> str:
                 lines.append(
                     f'{metric.name}_bucket{{le="{_format_value(bound)}"}} '
                     f"{count}"
+                )
+            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{metric.name}_count {metric.count}")
+        elif isinstance(metric, QuantileSketch):
+            for target, estimate in sorted(metric.quantiles().items()):
+                lines.append(
+                    f'{metric.name}{{quantile="{_format_value(target)}"}} '
+                    f"{_format_value(estimate)}"
                 )
             lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
             lines.append(f"{metric.name}_count {metric.count}")

@@ -49,6 +49,8 @@ from typing import (
     Union,
 )
 
+from repro.obs import instrument as _instrument
+
 PathOrFile = Union[str, IO[str]]
 
 # ----------------------------------------------------------------------
@@ -180,7 +182,16 @@ class FlightRecorder:
             seq = self._seqs.get(process, 0) + 1
             self._seqs[process] = seq
             event = FlightEvent(kind, process, peer, seq, t, detail)
+            evicting = len(self._events) == self._capacity
             self._events.append(event)
+        if evicting:
+            # Outside the ring lock (the recorder takes no other lock
+            # while holding its own): surface the eviction as an obs
+            # counter so truncated post-mortems are visible in metrics
+            # long before anyone reads the ring.
+            m = _instrument.metrics
+            if m is not None:
+                m.flight_events_dropped.inc()
         return event
 
     def events(self) -> List[FlightEvent]:
@@ -245,6 +256,90 @@ def load_jsonl(source: PathOrFile) -> List[FlightEvent]:
         if line:
             events.append(FlightEvent.from_dict(json.loads(line)))
     return events
+
+
+# ----------------------------------------------------------------------
+# Truncation detection
+# ----------------------------------------------------------------------
+class TruncationSummary:
+    """What a loaded flight record lost to ring eviction.
+
+    Per-process sequence numbers are 1-based and gap-free at record
+    time, and the ring evicts strictly oldest-first, so a pristine dump
+    is a per-process *contiguous suffix*: a first surviving seq above 1
+    means exactly ``first_seq - 1`` events of that process were
+    evicted.  Mid-stream gaps cannot come from the ring itself — they
+    mean the stream was filtered or merged after the fact — but they
+    are detected too, because they void the same analyses.
+    """
+
+    __slots__ = ("first_seq", "lost_events", "gaps")
+
+    def __init__(
+        self,
+        first_seq: Dict[Any, int],
+        lost_events: int,
+        gaps: Dict[Any, List[Tuple[int, int]]],
+    ):
+        #: First surviving per-process sequence number.
+        self.first_seq = first_seq
+        #: Events provably lost from the front of the record.
+        self.lost_events = lost_events
+        #: Mid-stream ``(after_seq, next_seq)`` holes per process.
+        self.gaps = gaps
+
+    @property
+    def truncated(self) -> bool:
+        return self.lost_events > 0 or bool(self.gaps)
+
+    def describe(self) -> str:
+        if not self.truncated:
+            return "flight record is complete (no ring eviction)"
+        parts: List[str] = []
+        if self.lost_events:
+            lost = ", ".join(
+                f"{process!r} from seq {seq}"
+                for process, seq in sorted(
+                    self.first_seq.items(), key=lambda kv: str(kv[0])
+                )
+                if seq > 1
+            )
+            parts.append(
+                f"ring eviction dropped {self.lost_events} leading "
+                f"event(s) ({lost})"
+            )
+        for process, holes in sorted(
+            self.gaps.items(), key=lambda kv: str(kv[0])
+        ):
+            spans = ", ".join(
+                f"{a + 1}..{b - 1}" for a, b in holes
+            )
+            parts.append(
+                f"{process!r} stream has mid-record gaps at seq {spans}"
+            )
+        return "; ".join(parts)
+
+
+def truncation_summary(
+    events: Union[FlightRecorder, Iterable[FlightEvent]],
+) -> TruncationSummary:
+    """Detect ring-eviction losses in a (possibly loaded) record."""
+    first_seq: Dict[Any, int] = {}
+    last_seq: Dict[Any, int] = {}
+    gaps: Dict[Any, List[Tuple[int, int]]] = {}
+    for event in _event_stream(events):
+        process = event.process
+        if process not in first_seq:
+            first_seq[process] = event.seq
+        else:
+            previous = last_seq[process]
+            if event.seq > previous + 1:
+                gaps.setdefault(process, []).append(
+                    (previous, event.seq)
+                )
+        last_seq[process] = event.seq
+    lost = sum(seq - 1 for seq in first_seq.values())
+    return TruncationSummary(first_seq, lost, gaps)
 
 
 # ----------------------------------------------------------------------
@@ -319,7 +414,11 @@ class BlockedEntry:
         self.peer = peer  # None means "any sender" (open receive)
         self.since = since
         self.seconds = seconds
-        self.status = status  # "open" | "timeout"
+        #: ``"open"`` — still waiting when the record was taken;
+        #: ``"timeout"`` — the wait died; ``"unknown"`` — the record
+        #: lost events after this wait started, so its outcome (and
+        #: the matching ``block_end``) may have been evicted.
+        self.status = status
 
     def describe(self) -> str:
         arrow = "->" if self.op == "send" else "<-"
@@ -345,11 +444,16 @@ class WaitForSummary:
         self.blocked = blocked
 
     def edges(self) -> List[Tuple[Any, Any]]:
-        """``(blocked_process, waited_on_peer)`` pairs (peer known)."""
+        """``(blocked_process, waited_on_peer)`` pairs (peer known).
+
+        ``"unknown"`` entries are excluded: a wait whose outcome fell
+        off the ring is not evidence the process is *still* blocked,
+        and treating it as a live edge fabricates deadlocks.
+        """
         return [
             (entry.process, entry.peer)
             for entry in self.blocked
-            if entry.peer is not None
+            if entry.peer is not None and entry.status != "unknown"
         ]
 
     def deadlock_cycle(self) -> Optional[List[Any]]:
@@ -361,7 +465,7 @@ class WaitForSummary:
         """
         waits_on: Dict[Any, Any] = {}
         for entry in self.blocked:  # later entries overwrite earlier
-            if entry.peer is not None:
+            if entry.peer is not None and entry.status != "unknown":
                 waits_on[entry.process] = entry.peer
         for start in waits_on:
             seen: List[Any] = []
@@ -404,14 +508,33 @@ def wait_for_summary(
     (the thread was still parked when the record was taken); a
     ``block_end`` with ``status="timeout"`` is a wait that died.  Both
     name the process pair a deadlock investigation needs.
+
+    An apparent open wait is only trustworthy when the record provably
+    kept every later event of that process: if the per-process seq
+    stream has a hole after the ``block_start``, the matching
+    ``block_end`` may have been dropped, so the entry is downgraded to
+    ``status="unknown"`` and excluded from the wait-for edges — a
+    truncated record must not fabricate a live deadlock.
     """
+    stream = _event_stream(events)
     blocked: List[BlockedEntry] = []
     open_waits: Dict[Any, FlightEvent] = {}
-    for event in _event_stream(events):
+    # Highest per-process seq seen while the process's wait was open,
+    # to detect holes between the block_start and the record's end.
+    last_seq: Dict[Any, int] = {}
+    gap_after: Dict[Any, bool] = {}
+    for event in stream:
+        process = event.process
+        previous = last_seq.get(process)
+        if previous is not None and event.seq > previous + 1:
+            if process in open_waits:
+                gap_after[process] = True
+        last_seq[process] = event.seq
         if event.kind == BLOCK_START:
-            open_waits[event.process] = event
+            open_waits[process] = event
+            gap_after[process] = False
         elif event.kind == BLOCK_END:
-            start = open_waits.pop(event.process, None)
+            start = open_waits.pop(process, None)
             if event.detail.get("status") == "timeout":
                 since = start.t if start is not None else event.t
                 blocked.append(
@@ -432,7 +555,9 @@ def wait_for_summary(
                 peer=start.peer,
                 since=start.t,
                 seconds=None,
-                status="open",
+                status=(
+                    "unknown" if gap_after.get(process) else "open"
+                ),
             )
         )
     blocked.sort(key=lambda entry: entry.since)

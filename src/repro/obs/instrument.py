@@ -156,6 +156,27 @@ class ObsMetrics:
             "monitor_queries_total",
             "Precedence/concurrency queries answered by the monitor",
         )
+        self.flight_events_dropped = registry.counter(
+            "flight_events_dropped_total",
+            "Flight-recorder events evicted by the bounded ring "
+            "(non-zero means post-mortems see a truncated suffix)",
+        )
+        self.rendezvous_block_quantiles = registry.summary(
+            "rendezvous_block_quantile_seconds",
+            help="Streaming p50/p95/p99 of per-side rendezvous "
+            "blocking time (P² sketch over the same observations "
+            "as rendezvous_block_seconds)",
+        )
+        self.piggyback_quantiles = registry.summary(
+            "piggyback_quantile_bytes",
+            help="Streaming p50/p95/p99 of per-message piggyback "
+            "payload bytes (transport-side P² sketch)",
+        )
+        self.stamp_latency_quantiles = registry.summary(
+            "stamp_latency_seconds",
+            help="Streaming p50/p95/p99 of per-rendezvous stamping "
+            "latency (clock on_receive + on_acknowledgement work)",
+        )
 
 
 #: Active metric bundle, or ``None`` when observability is disabled.

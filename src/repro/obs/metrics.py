@@ -19,7 +19,11 @@ exposition format without translation:
 * :class:`Gauge` — point-in-time values (vector component count,
   decomposition size, theorem bounds);
 * :class:`Histogram` — fixed-bucket distributions (rendezvous blocking
-  time, per-message piggyback bytes).
+  time, per-message piggyback bytes);
+* :class:`QuantileSketch` — a bounded-memory streaming estimator of
+  p50/p95/p99 (the P² algorithm: five markers per tracked quantile, so
+  state is O(1) no matter how many observations stream through), which
+  maps onto the Prometheus *summary* type.
 """
 
 from __future__ import annotations
@@ -256,7 +260,247 @@ class Histogram:
         return f"Histogram({self.name}, n={self.count})"
 
 
-Metric = Union[Counter, Gauge, Histogram]
+#: Default quantiles tracked by :class:`QuantileSketch` — the latency
+#: percentiles every report surfaces.
+DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+
+class _P2Marker:
+    """P² (Jain & Chlamtac 1985) state for *one* target quantile.
+
+    Five markers track the running minimum, two intermediate points,
+    the quantile estimate itself, and the running maximum.  Marker
+    heights are nudged toward their desired positions with a piecewise
+    parabolic (P²) interpolation, falling back to linear when the
+    parabola would leave the bracketing heights.  Total state: five
+    heights, five positions, five desired positions — O(1) regardless
+    of the observation count.
+    """
+
+    __slots__ = ("p", "_heights", "_positions", "_desired", "_initial")
+
+    def __init__(self, p: float):
+        self.p = p
+        self._heights: List[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [
+            1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0
+        ]
+        self._initial: List[float] = []
+
+    def observe(self, value: float) -> None:
+        if len(self._heights) < 5:
+            self._initial.append(value)
+            self._initial.sort()
+            if len(self._initial) == 5:
+                self._heights = list(self._initial)
+            return
+        q = self._heights
+        n = self._positions
+        if value < q[0]:
+            q[0] = value
+            cell = 0
+        elif value >= q[4]:
+            q[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= q[cell + 1]:
+                cell += 1
+        for i in range(cell + 1, 5):
+            n[i] += 1.0
+        increments = (0.0, self.p / 2.0, self.p, (1.0 + self.p) / 2.0, 1.0)
+        for i in range(5):
+            self._desired[i] += increments[i]
+        for i in (1, 2, 3):
+            delta = self._desired[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1.0) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1.0
+            ):
+                sign = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if not q[i - 1] < candidate < q[i + 1]:
+                    candidate = self._linear(i, sign)
+                q[i] = candidate
+                n[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        q = self._heights
+        n = self._positions
+        return q[i] + sign / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + sign)
+            * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - sign)
+            * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        q = self._heights
+        n = self._positions
+        j = i + int(sign)
+        return q[i] + sign * (q[j] - q[i]) / (n[j] - n[i])
+
+    def estimate(self) -> float:
+        """The current quantile estimate (0.0 with no observations)."""
+        if self._heights:
+            return self._heights[2]
+        stored = self._initial
+        if not stored:
+            return 0.0
+        # Fewer than five observations: exact interpolation over the
+        # stored (sorted) values.
+        rank = self.p * (len(stored) - 1)
+        low = int(rank)
+        high = min(low + 1, len(stored) - 1)
+        fraction = rank - low
+        return stored[low] + (stored[high] - stored[low]) * fraction
+
+
+class QuantileSketch:
+    """A bounded-memory streaming quantile estimator (P²-style).
+
+    Tracks a fixed tuple of target quantiles — p50/p95/p99 by default —
+    with five markers each, so memory stays O(1) while ``observe``
+    streams any number of values through.  This is the summary-type
+    companion to :class:`Histogram`: the histogram gives exact bucket
+    counts at fixed resolution, the sketch gives direct percentile
+    estimates with no bucket-boundary quantization.
+
+    Estimates are typically within a few percent of the exact
+    percentile on unimodal distributions (pinned at 5% on 10^5
+    observations by ``tests/obs/test_quantiles.py``).
+    """
+
+    kind = "summary"
+
+    __slots__ = (
+        "name", "help", "_markers", "_sum", "_count", "_min", "_max",
+        "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        help: str = "",
+    ):
+        targets = tuple(float(q) for q in quantiles)
+        if not targets:
+            raise MetricError(
+                f"summary {name!r} needs at least one target quantile"
+            )
+        if any(not 0.0 < q < 1.0 for q in targets):
+            raise MetricError(
+                f"summary {name!r} quantiles must lie in (0, 1): "
+                f"{targets}"
+            )
+        if any(q2 <= q1 for q1, q2 in zip(targets, targets[1:])):
+            raise MetricError(
+                f"summary {name!r} quantiles must be strictly "
+                f"increasing: {targets}"
+            )
+        self.name = name
+        self.help = help
+        self._markers = tuple(_P2Marker(q) for q in targets)
+        self._sum = 0.0
+        self._count = 0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._lock = threading.Lock()
+
+    @property
+    def quantile_targets(self) -> Tuple[float, ...]:
+        return tuple(marker.p for marker in self._markers)
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            for marker in self._markers:
+                marker.observe(value)
+
+    def observe_many(self, value: Number, count: int) -> None:
+        """Record ``count`` identical observations (one locked update)."""
+        if count < 0:
+            raise MetricError(
+                f"summary {self.name!r} observation count must be "
+                f"non-negative, got {count}"
+            )
+        value = float(value)
+        with self._lock:
+            for _ in range(count):
+                self._count += 1
+                self._sum += value
+                if value < self._min:
+                    self._min = value
+                if value > self._max:
+                    self._max = value
+                for marker in self._markers:
+                    marker.observe(value)
+
+    def quantile(self, q: float) -> float:
+        """The estimate for target ``q`` (must be a tracked target)."""
+        with self._lock:
+            for marker in self._markers:
+                if marker.p == q:
+                    return marker.estimate()
+        raise MetricError(
+            f"summary {self.name!r} does not track quantile {q}; "
+            f"targets are {self.quantile_targets}"
+        )
+
+    def quantiles(self) -> Dict[float, float]:
+        """All tracked ``{target: estimate}`` pairs."""
+        with self._lock:
+            return {m.p: m.estimate() for m in self._markers}
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def min(self) -> float:
+        """Smallest observation (0.0 when empty)."""
+        with self._lock:
+            return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        """Largest observation (0.0 when empty)."""
+        with self._lock:
+            return self._max if self._count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            quantiles = {
+                repr(m.p): m.estimate() for m in self._markers
+            }
+            return {
+                "type": self.kind,
+                "count": self._count,
+                "sum": self._sum,
+                "quantiles": quantiles,
+            }
+
+    def __repr__(self) -> str:
+        return f"QuantileSketch({self.name}, n={self.count})"
+
+
+Metric = Union[Counter, Gauge, Histogram, QuantileSketch]
 
 
 class MetricsRegistry:
@@ -302,6 +546,18 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(
             name, Histogram, lambda: Histogram(name, buckets, help)
+        )
+
+    def summary(
+        self,
+        name: str,
+        quantiles: Sequence[float] = DEFAULT_QUANTILES,
+        help: str = "",
+    ) -> QuantileSketch:
+        return self._get_or_create(
+            name,
+            QuantileSketch,
+            lambda: QuantileSketch(name, quantiles, help),
         )
 
     # ------------------------------------------------------------------

@@ -1,0 +1,409 @@
+"""Perfetto/Chrome trace-event export of a flight record.
+
+A flight record is already a causal timeline — every blocking interval,
+rendezvous commit and internal event carries a monotonic time and a
+process — but JSONL is for machines.  This module converts a record
+into the Chrome *trace-event* JSON format, which loads directly in
+`ui.perfetto.dev <https://ui.perfetto.dev>`_ or ``chrome://tracing``:
+
+* one track (thread) per process, named and sorted deterministically;
+* a complete slice (``ph="X"``) per send/receive operation, with the
+  rendezvous-*blocked* interval nested inside it as a child slice;
+* instants (``ph="i"``) for internal events, rendezvous commits,
+  crashes, script lifecycle markers and audit violations;
+* a *flow arrow* (``ph="s"`` → ``ph="f"``) per matched send↔receive
+  pair — the paper's edge-clock causality drawn as an arrow from the
+  sender's slice to the receiver's — keyed by the rendezvous commit
+  order, so ids are stable across exports.
+
+The export is **deterministic**: the same flight record produces
+byte-identical JSON (sorted tracks, stable flow ids, canonical key
+order), which ``tests/obs/test_timeline.py`` pins down.
+
+Timestamps are emitted in microseconds relative to the earliest event
+in the record (the trace-event ``ts`` unit), rounded to nanosecond
+resolution so float formatting cannot wobble across platforms.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import (
+    IO,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from repro.obs import flightrec
+from repro.obs.flightrec import FlightEvent, FlightRecorder
+
+PathOrFile = Union[str, IO[str]]
+
+#: ``pid`` used for every track — the whole run is one "process" in
+#: trace-viewer terms; repro processes map to threads (tracks).
+TRACE_PID = 1
+
+_PH_RANK = {"M": 0, "X": 1, "s": 2, "f": 3, "i": 4}
+
+
+def _events(
+    record: Union[FlightRecorder, Iterable[FlightEvent]],
+) -> List[FlightEvent]:
+    if isinstance(record, FlightRecorder):
+        return record.events()
+    return list(record)
+
+
+def _ts(t: float, t0: float) -> float:
+    """Microseconds since ``t0``, at fixed nanosecond resolution."""
+    return round((t - t0) * 1e6, 3)
+
+
+class _OpenOp:
+    """A send/receive operation being assembled from its events."""
+
+    __slots__ = ("op", "start_t", "block_t", "peer")
+
+    def __init__(self, op: str, start_t: float, peer: Any):
+        self.op = op
+        self.start_t = start_t  # slice start (offer time for sends)
+        self.block_t = start_t  # blocked-child start
+        self.peer = peer
+
+
+def build_timeline(
+    record: Union[FlightRecorder, Iterable[FlightEvent]],
+    computation=None,
+    title: str = "repro synchronous run",
+) -> Dict[str, Any]:
+    """Convert a flight record into a Chrome trace-event document.
+
+    ``computation`` is an optional stamped
+    :class:`~repro.sim.computation.SyncComputation` aligned with the
+    record's commit order (e.g. from
+    :func:`repro.obs.flightrec.reconstruct_computation`); when given,
+    rendezvous instants and flow arrows carry the paper-style message
+    names (``m1``, ``m2``, ...) in their ``args``.
+
+    Returns a JSON-serializable dict with ``traceEvents`` plus
+    metadata; serialize with :func:`timeline_json` for the canonical
+    byte-stable form.
+    """
+    events = _events(record)
+    trace: List[Dict[str, Any]] = []
+    processes = sorted(
+        {str(e.process) for e in events}
+        | {str(e.peer) for e in events if e.peer is not None}
+    )
+    tids = {name: i + 1 for i, name in enumerate(processes)}
+    for name in processes:
+        trace.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": TRACE_PID,
+                "tid": tids[name],
+                "args": {"name": name},
+            }
+        )
+        trace.append(
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": TRACE_PID,
+                "tid": tids[name],
+                "args": {"sort_index": tids[name]},
+            }
+        )
+    if not events:
+        return {
+            "traceEvents": trace,
+            "displayTimeUnit": "ms",
+            "otherData": {"title": title, "events": 0},
+        }
+
+    t0 = min(e.t for e in events)
+
+    def message_name(commit_order: int) -> Optional[str]:
+        if computation is None:
+            return None
+        messages = computation.messages
+        if 0 <= commit_order < len(messages):
+            return messages[commit_order].name
+        return None
+
+    def base(event: FlightEvent, t: Optional[float] = None):
+        return {
+            "pid": TRACE_PID,
+            "tid": tids[str(event.process)],
+            "ts": _ts(event.t if t is None else t, t0),
+        }
+
+    # Per-(sender, receiver) FIFO of pending offers → flow matching.
+    pending_offers: Dict[Tuple[str, str], List[FlightEvent]] = {}
+    # Per-process operation being assembled from block_start/.._end.
+    open_ops: Dict[str, _OpenOp] = {}
+    # Per-process start ts of the last *closed* receive slice, so the
+    # flow-finish anchor lands inside that slice (the rendezvous
+    # instant itself is recorded just after the slice ends).
+    last_receive_start: Dict[str, float] = {}
+    instant_names = {
+        flightrec.INTERNAL: "internal",
+        flightrec.CRASH: "crash",
+        flightrec.SCRIPT_START: "script_start",
+        flightrec.SCRIPT_END: "script_end",
+        flightrec.SCRIPT_ERROR: "script_error",
+        flightrec.DEADLOCK: "deadlock",
+        flightrec.AUDIT_VIOLATION: "audit_violation",
+    }
+
+    def close_op(event: FlightEvent, op: _OpenOp) -> None:
+        """Emit the op slice + nested blocked slice for one block_end."""
+        status = event.detail.get("status", "?")
+        peer = event.peer if event.peer is not None else op.peer
+        peer_label = "any" if peer is None else str(peer)
+        if op.op == "send":
+            name = f"send -> {peer_label}"
+        else:
+            name = f"receive <- {peer_label}"
+        start_ts = _ts(op.start_t, t0)
+        end_ts = _ts(event.t, t0)
+        slice_event = dict(base(event, op.start_t))
+        slice_event.update(
+            {
+                "ph": "X",
+                "cat": op.op,
+                "name": name,
+                "dur": round(end_ts - start_ts, 3),
+                "args": {
+                    "status": status,
+                    "peer": peer_label,
+                    "blocked_seconds": event.detail.get("seconds"),
+                },
+            }
+        )
+        trace.append(slice_event)
+        if op.op == "receive":
+            last_receive_start[str(event.process)] = start_ts
+        block_ts = _ts(op.block_t, t0)
+        if block_ts > start_ts:
+            child = dict(base(event, op.block_t))
+            child.update(
+                {
+                    "ph": "X",
+                    "cat": "blocked",
+                    "name": "blocked",
+                    "dur": round(end_ts - block_ts, 3),
+                    "args": {"status": status},
+                }
+            )
+            trace.append(child)
+
+    for event in events:
+        kind = event.kind
+        process = str(event.process)
+        if kind == flightrec.SEND_OFFER:
+            key = (process, str(event.peer))
+            pending_offers.setdefault(key, []).append(event)
+            open_ops[process] = _OpenOp("send", event.t, event.peer)
+        elif kind == flightrec.BLOCK_START:
+            op = event.detail.get("op", "?")
+            existing = open_ops.get(process)
+            if op == "send" and existing is not None:
+                # Offer already opened the op; this starts the blocked
+                # child interval.
+                existing.block_t = event.t
+            else:
+                open_ops[process] = _OpenOp(op, event.t, event.peer)
+        elif kind == flightrec.BLOCK_END:
+            op = open_ops.pop(process, None)
+            if op is None:
+                # The start was evicted: synthesize the interval from
+                # the recorded duration so the slice still shows up.
+                seconds = event.detail.get("seconds") or 0.0
+                op = _OpenOp(
+                    event.detail.get("op", "?"),
+                    event.t - seconds,
+                    event.peer,
+                )
+                op.start_t = max(op.start_t, t0)
+                op.block_t = op.start_t
+            close_op(event, op)
+        elif kind == flightrec.RENDEZVOUS:
+            commit_order = event.detail.get("commit_order", -1)
+            sender = str(event.peer)
+            key = (sender, process)
+            offers = pending_offers.get(key)
+            name = message_name(commit_order)
+            label = name if name is not None else f"m{commit_order + 1}"
+            instant = dict(base(event))
+            instant.update(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "cat": "rendezvous",
+                    "name": f"rendezvous {label}",
+                    "args": {
+                        "commit_order": commit_order,
+                        "sender": sender,
+                        "receiver": process,
+                        "payload": event.detail.get("payload"),
+                    },
+                }
+            )
+            if name is not None:
+                instant["args"]["message"] = name
+            trace.append(instant)
+            if offers:
+                offer = offers.pop(0)
+                flow_args: Dict[str, Any] = {
+                    "commit_order": commit_order
+                }
+                if name is not None:
+                    flow_args["message"] = name
+                trace.append(
+                    {
+                        "ph": "s",
+                        "cat": "rendezvous",
+                        "name": f"rendezvous {label}",
+                        "id": commit_order,
+                        "pid": TRACE_PID,
+                        "tid": tids[sender],
+                        "ts": _ts(offer.t, t0),
+                        "args": flow_args,
+                    }
+                )
+                finish_ts = last_receive_start.get(
+                    process, _ts(event.t, t0)
+                )
+                trace.append(
+                    {
+                        "ph": "f",
+                        "bp": "e",
+                        "cat": "rendezvous",
+                        "name": f"rendezvous {label}",
+                        "id": commit_order,
+                        "pid": TRACE_PID,
+                        "tid": tids[process],
+                        "ts": finish_ts,
+                        "args": flow_args,
+                    }
+                )
+        elif kind in instant_names:
+            instant = dict(base(event))
+            args = {
+                key: value
+                for key, value in sorted(event.detail.items())
+                if isinstance(value, (str, int, float, bool))
+            }
+            label = event.detail.get("label")
+            instant.update(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "cat": instant_names[kind],
+                    "name": (
+                        str(label)
+                        if kind == flightrec.INTERNAL
+                        and label is not None
+                        else instant_names[kind]
+                    ),
+                    "args": args,
+                }
+            )
+            trace.append(instant)
+
+    # Any operation still open when the record ends: show it as a
+    # slice running to the last recorded instant, flagged "open".
+    t_end = max(e.t for e in events)
+    for process in sorted(open_ops):
+        op = open_ops[process]
+        start_ts = _ts(op.start_t, t0)
+        end_ts = _ts(t_end, t0)
+        peer_label = "any" if op.peer is None else str(op.peer)
+        arrow = "->" if op.op == "send" else "<-"
+        trace.append(
+            {
+                "ph": "X",
+                "cat": op.op,
+                "name": f"{op.op} {arrow} {peer_label}",
+                "pid": TRACE_PID,
+                "tid": tids[process],
+                "ts": start_ts,
+                "dur": round(end_ts - start_ts, 3),
+                "args": {"status": "open", "peer": peer_label},
+            }
+        )
+
+    trace.sort(
+        key=lambda e: (
+            _PH_RANK.get(e["ph"], 9),
+            e.get("ts", 0.0),
+            e["tid"],
+            e.get("name", ""),
+            e.get("id", -1),
+        )
+    )
+    return {
+        "traceEvents": trace,
+        "displayTimeUnit": "ms",
+        "otherData": {"title": title, "events": len(events)},
+    }
+
+
+def timeline_json(
+    record: Union[FlightRecorder, Iterable[FlightEvent]],
+    computation=None,
+    title: str = "repro synchronous run",
+) -> str:
+    """The canonical byte-stable serialization of the timeline."""
+    document = build_timeline(record, computation, title)
+    return json.dumps(
+        document, sort_keys=True, separators=(",", ":")
+    )
+
+
+def write_timeline(
+    record: Union[FlightRecorder, Iterable[FlightEvent]],
+    target: PathOrFile,
+    computation=None,
+    title: str = "repro synchronous run",
+) -> int:
+    """Write the trace JSON to ``target``; returns trace-event count."""
+    document = build_timeline(record, computation, title)
+    text = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    else:
+        target.write(text)
+    return len(document["traceEvents"])
+
+
+def flow_pairs(
+    document: Dict[str, Any],
+) -> List[Tuple[Dict[str, Any], Dict[str, Any]]]:
+    """``(flow_start, flow_finish)`` pairs of a built timeline.
+
+    A well-formed export pairs every ``ph="s"`` with exactly one
+    ``ph="f"`` sharing its ``id`` — the property test in
+    ``tests/obs/test_timeline.py`` checks each pair connects a send
+    slice to its matched receive slice.
+    """
+    starts: Dict[Any, Dict[str, Any]] = {}
+    finishes: Dict[Any, Dict[str, Any]] = {}
+    for event in document["traceEvents"]:
+        if event.get("ph") == "s":
+            starts[event["id"]] = event
+        elif event.get("ph") == "f":
+            finishes[event["id"]] = event
+    return [
+        (starts[flow_id], finishes[flow_id])
+        for flow_id in sorted(starts)
+        if flow_id in finishes
+    ]

@@ -188,6 +188,7 @@ class SynchronousTransport:
                     m.rendezvous_wait_seconds.observe(waited)
                     if completed:
                         m.rendezvous_block_seconds.observe(waited)
+                        m.rendezvous_block_quantiles.observe(waited)
                     sp.set_attribute("blocking_seconds", waited)
                 if fr is not None:
                     fr.record(
@@ -204,7 +205,21 @@ class SynchronousTransport:
                     "no matching receive"
                 )
             assert offer.ack_vector is not None
-            timestamp = clock.on_acknowledgement(to, offer.ack_vector)
+            if m is not None:
+                stamp_started = time.perf_counter()
+                timestamp = clock.on_acknowledgement(
+                    to, offer.ack_vector
+                )
+                m.stamp_latency_quantiles.observe(
+                    time.perf_counter() - stamp_started
+                )
+                m.piggyback_quantiles.observe(
+                    _obs.piggyback_size_bytes(offer.ack_vector)
+                )
+            else:
+                timestamp = clock.on_acknowledgement(
+                    to, offer.ack_vector
+                )
             if timestamp != offer.timestamp:  # pragma: no cover
                 raise SimulationError(
                     "sender and receiver disagree on a message timestamp"
@@ -255,6 +270,7 @@ class SynchronousTransport:
                     if m is not None:
                         m.rendezvous_wait_seconds.observe(waited)
                         m.rendezvous_block_seconds.observe(waited)
+                        m.rendezvous_block_quantiles.observe(waited)
                         sp.set_attribute("blocking_seconds", waited)
                         sp.set_attribute("sender", str(offer.sender))
                     if fr is not None:
@@ -266,9 +282,21 @@ class SynchronousTransport:
                             status="matched",
                             seconds=waited,
                         )
-                ack_vector, timestamp = clock.on_receive(
-                    offer.sender, offer.piggybacked
-                )
+                if m is not None:
+                    stamp_started = time.perf_counter()
+                    ack_vector, timestamp = clock.on_receive(
+                        offer.sender, offer.piggybacked
+                    )
+                    m.stamp_latency_quantiles.observe(
+                        time.perf_counter() - stamp_started
+                    )
+                    m.piggyback_quantiles.observe(
+                        _obs.piggyback_size_bytes(offer.piggybacked)
+                    )
+                else:
+                    ack_vector, timestamp = clock.on_receive(
+                        offer.sender, offer.piggybacked
+                    )
                 offer.ack_vector = ack_vector
                 offer.timestamp = timestamp
                 self._log.append(

@@ -1,0 +1,207 @@
+"""Critical-path analysis: DP vs brute force, latency identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.poset import Poset
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import ring_topology
+from repro.obs import flightrec
+from repro.obs.critpath import (
+    analyze_flight_record,
+    longest_weighted_chain,
+    render_markdown,
+    render_text,
+)
+from repro.obs.flightrec import recording_session
+from repro.sim.paper_figures import figure6_computation
+from repro.sim.runtime import ScriptRunner, receive, send
+
+
+def _ring_scripts(rounds=1):
+    scripts = {f"P{i}": [] for i in range(1, 5)}
+    for _ in range(rounds):
+        scripts["P1"] += [send("P2"), receive("P4")]
+        scripts["P2"] += [receive("P1"), send("P3")]
+        scripts["P3"] += [receive("P2"), send("P4")]
+        scripts["P4"] += [receive("P3"), send("P1")]
+    return scripts
+
+
+def _record_ring_run(rounds=1, capacity=4096):
+    decomposition = decompose(ring_topology(4))
+    with recording_session(capacity=capacity) as recorder:
+        ScriptRunner(decomposition, _ring_scripts(rounds)).run()
+        return recorder.events()
+
+
+def _independent_latency(events):
+    """End-to-end latency recomputed directly from the raw events."""
+    commits = [
+        e.t for e in events if e.kind == flightrec.RENDEZVOUS
+    ]
+    return max(commits) - min(e.t for e in events)
+
+
+class TestLongestWeightedChain:
+    def test_chain_poset_sums_all_weights(self):
+        poset = Poset.chain(["a", "b", "c"])
+        weights = {"a": 1.0, "b": 2.0, "c": 4.0}
+        result = longest_weighted_chain(poset, weights)
+        assert result.total == 7.0
+        assert result.path == ["a", "b", "c"]
+        assert all(result.slack[x] == 0.0 for x in "abc")
+
+    def test_antichain_picks_heaviest_element(self):
+        poset = Poset.antichain(["a", "b", "c"])
+        weights = {"a": 1.0, "b": 5.0, "c": 3.0}
+        result = longest_weighted_chain(poset, weights)
+        assert result.total == 5.0
+        assert result.path == ["b"]
+        assert result.slack["a"] == 4.0
+        assert result.slack["c"] == 2.0
+
+    def test_empty_poset(self):
+        result = longest_weighted_chain(Poset([]), {})
+        assert result.total == 0.0
+        assert result.path == []
+
+    def test_negative_weights_rejected(self):
+        poset = Poset.chain(["a", "b"])
+        with pytest.raises(ValueError):
+            longest_weighted_chain(poset, {"a": 1.0, "b": -0.5})
+
+    def test_matches_brute_force_on_diamond_lattice(self):
+        """Cross-check the bitset DP against explicit chain
+        enumeration on a small non-trivial poset."""
+        elements = ["a", "b", "c", "d", "e", "f"]
+        relation = [
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "d"),
+            ("c", "d"),
+            ("c", "e"),
+            ("d", "f"),
+            ("e", "f"),
+        ]
+        poset = Poset(elements, relation)
+        weights = {
+            "a": 2.0, "b": 1.0, "c": 3.0,
+            "d": 1.5, "e": 0.5, "f": 2.5,
+        }
+
+        def best_from(x):
+            above = [
+                y
+                for y in elements
+                if poset.less(x, y)
+                and not any(
+                    poset.less(x, z) and poset.less(z, y)
+                    for z in elements
+                )
+            ]
+            if not above:
+                return weights[x]
+            return weights[x] + max(best_from(y) for y in above)
+
+        brute = max(best_from(x) for x in elements)
+        result = longest_weighted_chain(poset, weights)
+        assert result.total == brute
+        # The returned path must itself be a chain of that weight.
+        assert poset.is_chain(result.path)
+        assert sum(weights[x] for x in result.path) == brute
+        for x in elements:
+            assert result.slack[x] >= 0.0
+            assert result.through[x] <= result.total + 1e-12
+
+
+class TestAnalyzeFlightRecord:
+    def test_total_equals_independent_end_to_end_latency(self):
+        """Acceptance: the critical-path length equals the run's
+        end-to-end latency recomputed straight from the raw record."""
+        events = _record_ring_run(rounds=2)
+        result = analyze_flight_record(events)
+        assert result.total == pytest.approx(
+            _independent_latency(events), abs=1e-9
+        )
+
+    def test_path_messages_have_zero_slack(self):
+        events = _record_ring_run(rounds=2)
+        result = analyze_flight_record(events)
+        assert result.chain.path
+        for message in result.chain.path:
+            assert result.chain.slack[message] == pytest.approx(
+                0.0, abs=1e-12
+            )
+        for message in result.computation.messages:
+            assert result.chain.slack[message] >= -1e-12
+            assert result.weights[message] >= 0.0
+
+    def test_figure6_with_decomposition_groups(self):
+        computation, decomposition = figure6_computation()
+        scripts = {p: [] for p in computation.processes}
+        for message in computation.messages:
+            scripts[message.sender].append(send(message.receiver))
+            scripts[message.receiver].append(receive(message.sender))
+        with recording_session() as recorder:
+            ScriptRunner(decomposition, scripts).run()
+            events = recorder.events()
+        result = analyze_flight_record(
+            events,
+            topology=computation.topology,
+            decomposition=decomposition,
+        )
+        assert result.total == pytest.approx(
+            _independent_latency(events), abs=1e-9
+        )
+        assert len(result.computation) == 5
+        labels = {label for label, _, _ in result.group_attribution}
+        assert labels <= {"group 0", "group 1", "group 2"}
+        attributed = sum(s for _, s, _ in result.group_attribution)
+        assert attributed == pytest.approx(result.total, abs=1e-9)
+
+    def test_empty_and_commitless_records_are_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_flight_record([])
+        with recording_session() as recorder:
+            recorder.record(
+                flightrec.INTERNAL, "P1", label="only-internal"
+            )
+            events = recorder.events()
+        with pytest.raises(ValueError):
+            analyze_flight_record(events)
+
+    def test_truncated_record_reports_loss(self):
+        events = _record_ring_run(rounds=4, capacity=24)
+        summary = flightrec.truncation_summary(events)
+        assert summary.truncated
+        result = analyze_flight_record(events)
+        assert result.lost_events == summary.lost_events > 0
+        assert "WARNING" in render_text(result)
+
+
+class TestRenderers:
+    def _result(self):
+        return analyze_flight_record(_record_ring_run(rounds=2))
+
+    def test_text_report_names_top_bottlenecks(self):
+        result = self._result()
+        report = render_text(result, top_k=3)
+        assert "Critical path" in report
+        assert "Top bottleneck rendezvous" in report
+        assert "Blocked vs running per process" in report
+        for message in result.top_bottlenecks(3):
+            assert message.name in report
+
+    def test_markdown_report_has_tables(self):
+        report = render_markdown(self._result(), top_k=2)
+        assert "## Critical path" in report
+        assert "| message | channel |" in report
+        assert "|---|" in report
+
+    def test_top_bottlenecks_sorted_by_weight(self):
+        result = self._result()
+        top = result.top_bottlenecks(len(result.chain.path))
+        weights = [result.weights[m] for m in top]
+        assert weights == sorted(weights, reverse=True)

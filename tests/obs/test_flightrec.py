@@ -232,3 +232,151 @@ class TestReconstruction:
             rec, topology, allow_partial_prefix=True
         )
         assert len(rebuilt.messages) == 1
+
+
+class TestTruncationSummary:
+    def test_pristine_record_is_not_truncated(self):
+        rec = flightrec.FlightRecorder(capacity=16)
+        rec.record(flightrec.INTERNAL, "P1", label="a")
+        rec.record(flightrec.INTERNAL, "P2", label="b")
+        summary = flightrec.truncation_summary(rec)
+        assert not summary.truncated
+        assert summary.lost_events == 0
+        assert "complete" in summary.describe()
+
+    def test_ring_eviction_is_counted(self):
+        rec = flightrec.FlightRecorder(capacity=2)
+        for i in range(5):
+            rec.record(flightrec.INTERNAL, "P1", label=str(i))
+        assert rec.dropped_count == 3
+        summary = flightrec.truncation_summary(rec)
+        assert summary.truncated
+        assert summary.lost_events == 3
+        assert "3" in summary.describe()
+
+    def test_mid_stream_gaps_are_reported(self):
+        events = [
+            flightrec.FlightEvent(
+                flightrec.INTERNAL, "P1", None, 1, 0.0, {}
+            ),
+            flightrec.FlightEvent(
+                flightrec.INTERNAL, "P1", None, 4, 1.0, {}
+            ),
+        ]
+        summary = flightrec.truncation_summary(events)
+        assert summary.truncated
+        assert summary.gaps == {"P1": [(1, 4)]}
+
+    def test_eviction_increments_the_obs_counter(self):
+        """Satellite: ring overflow surfaces as a metrics counter."""
+        from repro.obs import instrument
+        from repro.obs.metrics import MetricsRegistry
+
+        with instrument.enabled_session(MetricsRegistry()) as obs:
+            rec = flightrec.FlightRecorder(capacity=2)
+            for i in range(6):
+                rec.record(flightrec.INTERNAL, "P1", label=str(i))
+            assert obs.flight_events_dropped.value == 4
+        # Disabled again: recording must not touch the counter.
+        rec.record(flightrec.INTERNAL, "P1", label="late")
+        assert obs.flight_events_dropped.value == 4
+
+
+class TestUnknownWaitStatus:
+    """Satellite: truncated records must not fabricate deadlocks."""
+
+    def _gapped_open_wait(self, process, peer, start_seq):
+        """A block_start followed by a later event with a seq hole —
+        the signature of a record that lost the matching block_end."""
+        return [
+            flightrec.FlightEvent(
+                flightrec.BLOCK_START,
+                process,
+                peer,
+                start_seq,
+                float(start_seq),
+                {"op": "receive"},
+            ),
+            flightrec.FlightEvent(
+                flightrec.INTERNAL,
+                process,
+                None,
+                start_seq + 2,
+                float(start_seq) + 1.0,
+                {"label": "tick"},
+            ),
+        ]
+
+    def test_gap_after_open_wait_downgrades_to_unknown(self):
+        events = self._gapped_open_wait("P1", "P2", 3)
+        summary = flightrec.wait_for_summary(events)
+        assert len(summary.blocked) == 1
+        entry = summary.blocked[0]
+        assert entry.status == "unknown"
+        assert "unknown" in entry.describe()
+        assert summary.edges() == []
+
+    def test_mutual_unknown_waits_are_not_a_deadlock(self):
+        """Pre-fix, two gapped open waits produced the cycle
+        P1 -> P2 -> P1 even though both rendezvous had completed."""
+        events = sorted(
+            self._gapped_open_wait("P1", "P2", 5)
+            + self._gapped_open_wait("P2", "P1", 5),
+            key=lambda e: e.t,
+        )
+        summary = flightrec.wait_for_summary(events)
+        assert {e.status for e in summary.blocked} == {"unknown"}
+        assert summary.edges() == []
+        assert summary.deadlock_cycle() is None
+
+    def test_genuinely_open_wait_is_still_reported(self):
+        events = [
+            flightrec.FlightEvent(
+                flightrec.BLOCK_START,
+                "P1",
+                "P2",
+                1,
+                0.0,
+                {"op": "receive"},
+            ),
+            flightrec.FlightEvent(
+                flightrec.INTERNAL, "P1", None, 2, 1.0, {}
+            ),
+        ]
+        summary = flightrec.wait_for_summary(events)
+        assert summary.blocked[0].status == "open"
+        assert summary.edges() == [("P1", "P2")]
+
+    def test_capacity_2_recorder_regression(self):
+        """The realizable eviction shape: with capacity 2, completed
+        waits leave only their block_end records behind — the summary
+        must see no blocked processes and no deadlock, and the loss
+        must be visible via the truncation summary."""
+        rec = flightrec.FlightRecorder(capacity=2)
+        rec.record(
+            flightrec.BLOCK_START, "P1", peer="P2", op="receive"
+        )
+        rec.record(
+            flightrec.BLOCK_START, "P2", peer="P1", op="receive"
+        )
+        rec.record(
+            flightrec.BLOCK_END,
+            "P1",
+            peer="P2",
+            op="receive",
+            status="matched",
+            seconds=0.001,
+        )
+        rec.record(
+            flightrec.BLOCK_END,
+            "P2",
+            peer="P1",
+            op="receive",
+            status="matched",
+            seconds=0.001,
+        )
+        assert rec.dropped_count == 2
+        summary = flightrec.wait_for_summary(rec)
+        assert summary.blocked == []
+        assert summary.deadlock_cycle() is None
+        assert flightrec.truncation_summary(rec).lost_events == 2

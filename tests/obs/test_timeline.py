@@ -1,0 +1,218 @@
+"""Perfetto timeline export: determinism, flow arrows, Figure 6."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import ring_topology
+from repro.obs import flightrec
+from repro.obs.flightrec import (
+    load_jsonl,
+    reconstruct_computation,
+    recording_session,
+)
+from repro.obs.timeline import (
+    build_timeline,
+    flow_pairs,
+    timeline_json,
+    write_timeline,
+)
+from repro.sim.paper_figures import figure6_computation
+from repro.sim.runtime import ScriptRunner, receive, send
+
+
+def _record_ring_run():
+    """A 4-process ring run, one full token pass, flight-recorded."""
+    decomposition = decompose(ring_topology(4))
+    scripts = {
+        "P1": [send("P2"), receive("P4")],
+        "P2": [receive("P1"), send("P3")],
+        "P3": [receive("P2"), send("P4")],
+        "P4": [receive("P3"), send("P1")],
+    }
+    with recording_session() as recorder:
+        transport = ScriptRunner(decomposition, scripts).run()
+        events = recorder.events()
+    return events, transport
+
+
+def _record_figure6_run():
+    """Replay the Figure 6 execution under the flight recorder."""
+    computation, decomposition = figure6_computation()
+    scripts = {process: [] for process in computation.processes}
+    for message in computation.messages:
+        scripts[message.sender].append(send(message.receiver))
+        scripts[message.receiver].append(receive(message.sender))
+    with recording_session() as recorder:
+        transport = ScriptRunner(decomposition, scripts).run()
+        events = recorder.events()
+    return events, transport, computation
+
+
+def _slices(document):
+    return [e for e in document["traceEvents"] if e["ph"] == "X"]
+
+
+def _thread_names(document):
+    return {
+        e["tid"]: e["args"]["name"]
+        for e in document["traceEvents"]
+        if e["ph"] == "M" and e["name"] == "thread_name"
+    }
+
+
+def _encloses(slice_event, ts, tid):
+    return (
+        slice_event["tid"] == tid
+        and slice_event["ts"] <= ts <= slice_event["ts"] + slice_event["dur"]
+    )
+
+
+class TestDeterminism:
+    def test_same_record_gives_byte_identical_json(self):
+        events, _ = _record_ring_run()
+        assert timeline_json(events) == timeline_json(events)
+
+    def test_jsonl_roundtrip_gives_byte_identical_json(self):
+        """Dumping the ring to JSONL and loading it back must not
+        perturb a single byte of the exported trace."""
+        events, _ = _record_ring_run()
+        buffer = io.StringIO()
+        recorder = flightrec.FlightRecorder(capacity=len(events))
+        recorder._events.extend(events)
+        recorder.dump_jsonl(buffer)
+        buffer.seek(0)
+        loaded = load_jsonl(buffer)
+        assert timeline_json(loaded) == timeline_json(events)
+
+    def test_tracks_are_sorted_by_process_name(self):
+        events, _ = _record_ring_run()
+        document = build_timeline(events)
+        names = [
+            e["args"]["name"]
+            for e in document["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        ]
+        assert names == sorted(names)
+        assert names == ["P1", "P2", "P3", "P4"]
+
+    def test_flow_ids_are_commit_orders(self):
+        events, transport = _record_ring_run()
+        document = build_timeline(events)
+        ids = sorted(start["id"] for start, _ in flow_pairs(document))
+        assert ids == list(range(len(transport.log)))
+
+    def test_empty_record_is_a_valid_document(self):
+        document = build_timeline([])
+        assert document["traceEvents"] == []
+        assert document["otherData"]["events"] == 0
+        json.loads(timeline_json([]))
+
+
+class TestFlowArrowProperty:
+    def test_every_flow_connects_send_slice_to_receive_slice(self):
+        """Property: each flow arrow starts inside a send slice on the
+        sender's track and finishes inside a receive slice on the
+        receiver's track of the matched rendezvous."""
+        events, _ = _record_ring_run()
+        document = build_timeline(events)
+        slices = _slices(document)
+        names = _thread_names(document)
+        rendezvous = {
+            e["args"]["commit_order"]: e
+            for e in document["traceEvents"]
+            if e["ph"] == "i" and e["cat"] == "rendezvous"
+        }
+        pairs = flow_pairs(document)
+        assert pairs, "expected at least one flow arrow"
+        for start, finish in pairs:
+            instant = rendezvous[start["id"]]
+            assert names[start["tid"]] == instant["args"]["sender"]
+            assert names[finish["tid"]] == instant["args"]["receiver"]
+            assert any(
+                s["cat"] == "send"
+                and _encloses(s, start["ts"], start["tid"])
+                for s in slices
+            ), f"flow start {start['id']} outside any send slice"
+            assert finish["bp"] == "e"
+            assert any(
+                s["cat"] == "receive"
+                and _encloses(s, finish["ts"], finish["tid"])
+                for s in slices
+            ), f"flow finish {finish['id']} outside any receive slice"
+
+    def test_blocked_child_slices_nest_inside_parents(self):
+        events, _ = _record_ring_run()
+        document = build_timeline(events)
+        slices = _slices(document)
+        parents = [s for s in slices if s["cat"] in ("send", "receive")]
+        for child in (s for s in slices if s["cat"] == "blocked"):
+            assert any(
+                p["tid"] == child["tid"]
+                and p["ts"] <= child["ts"]
+                and child["ts"] + child["dur"] <= p["ts"] + p["dur"] + 1e-9
+                for p in parents
+            )
+
+
+class TestFigure6:
+    """Acceptance: the Figure 6 execution exports one flow arrow per
+    matched rendezvous."""
+
+    def test_one_flow_arrow_per_rendezvous(self):
+        events, transport, _ = _record_figure6_run()
+        document = build_timeline(events)
+        assert len(transport.log) == 5
+        pairs = flow_pairs(document)
+        assert len(pairs) == len(transport.log)
+        commit_orders = {start["id"] for start, _ in pairs}
+        assert commit_orders == set(range(5))
+
+    def test_message_names_from_reconstruction(self):
+        events, _, computation = _record_figure6_run()
+        reconstructed = reconstruct_computation(
+            events, computation.topology
+        )
+        document = build_timeline(events, computation=reconstructed)
+        named = [
+            e["args"]["message"]
+            for e in document["traceEvents"]
+            if e["ph"] == "i"
+            and e["cat"] == "rendezvous"
+            and "message" in e["args"]
+        ]
+        assert sorted(named) == ["m1", "m2", "m3", "m4", "m5"]
+
+
+class TestWriteTimeline:
+    def test_write_to_path_and_file(self, tmp_path):
+        events, _ = _record_ring_run()
+        target = tmp_path / "run.json"
+        count = write_timeline(events, str(target))
+        document = json.loads(target.read_text())
+        assert count == len(document["traceEvents"])
+        assert document["displayTimeUnit"] == "ms"
+        buffer = io.StringIO()
+        assert write_timeline(events, buffer) == count
+        assert buffer.getvalue() == target.read_text()
+
+    def test_chrome_trace_shape(self):
+        """Every emitted trace event carries the keys the viewers
+        require for its phase."""
+        events, _ = _record_ring_run()
+        document = build_timeline(events)
+        for event in document["traceEvents"]:
+            assert event["pid"] == 1
+            assert "tid" in event
+            ph = event["ph"]
+            if ph == "X":
+                assert "ts" in event and "dur" in event
+                assert event["dur"] >= 0
+            elif ph == "i":
+                assert event["s"] == "t"
+            elif ph in ("s", "f"):
+                assert "id" in event and "ts" in event

@@ -472,3 +472,150 @@ class TestObsReport:
             == 0
         )
         assert "| source | metric |" in capsys.readouterr().out
+
+
+class TestObsTimelineCritpath:
+    def _record(self, tmp_path, capacity=None, rounds="2"):
+        flight = tmp_path / "flight.jsonl"
+        argv = [
+            "obs",
+            "--family",
+            "ring:4",
+            "--rounds",
+            rounds,
+            "--flight-out",
+            str(flight),
+        ]
+        if capacity is not None:
+            argv += ["--flight-capacity", str(capacity)]
+        assert main(argv) == 0
+        return flight
+
+    def test_timeline_end_to_end(self, tmp_path, capsys):
+        """Acceptance: record -> timeline emits valid Chrome trace
+        JSON with one flow arrow per rendezvous."""
+        flight = self._record(tmp_path)
+        out = tmp_path / "run.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "timeline",
+                    "--flight-in",
+                    str(flight),
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "ui.perfetto.dev" in stdout
+        document = json.loads(out.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        flows = [
+            e for e in document["traceEvents"] if e["ph"] == "s"
+        ]
+        rendezvous = [
+            e
+            for e in document["traceEvents"]
+            if e["ph"] == "i" and e.get("cat") == "rendezvous"
+        ]
+        # ring:4 x 2 rounds = 8 rendezvous, each with a flow arrow.
+        assert len(rendezvous) == 8
+        assert len(flows) == 8
+
+    def test_timeline_to_stdout(self, tmp_path, capsys):
+        flight = self._record(tmp_path, rounds="1")
+        capsys.readouterr()  # drop the recording run's own output
+        assert (
+            main(["obs", "timeline", "--flight-in", str(flight)])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["traceEvents"]
+
+    def test_critpath_end_to_end(self, tmp_path, capsys):
+        flight = self._record(tmp_path)
+        assert (
+            main(
+                [
+                    "obs",
+                    "critpath",
+                    "--flight-in",
+                    str(flight),
+                    "--top-k",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Critical path" in out
+        assert "Top bottleneck rendezvous" in out
+        assert "Blocked vs running per process" in out
+
+    def test_critpath_markdown_to_file(self, tmp_path):
+        flight = self._record(tmp_path)
+        report = tmp_path / "critpath.md"
+        assert (
+            main(
+                [
+                    "obs",
+                    "critpath",
+                    "--flight-in",
+                    str(flight),
+                    "--report-format",
+                    "markdown",
+                    "--out",
+                    str(report),
+                ]
+            )
+            == 0
+        )
+        assert "## Critical path" in report.read_text()
+
+    def test_critpath_rejects_json_format(self, tmp_path):
+        flight = self._record(tmp_path)
+        with pytest.raises(SystemExit, match="text or markdown"):
+            main(
+                [
+                    "obs",
+                    "critpath",
+                    "--flight-in",
+                    str(flight),
+                    "--report-format",
+                    "json",
+                ]
+            )
+
+    def test_flight_in_is_required(self):
+        with pytest.raises(SystemExit, match="--flight-in"):
+            main(["obs", "timeline"])
+        with pytest.raises(SystemExit, match="--flight-in"):
+            main(["obs", "critpath"])
+
+    def test_empty_flight_record_is_rejected(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(SystemExit, match="no events"):
+            main(["obs", "timeline", "--flight-in", str(empty)])
+
+    def test_truncated_record_warns_on_stderr(self, tmp_path, capsys):
+        """Satellite: analyzing an overflowed ring warns instead of
+        silently profiling a prefix."""
+        flight = self._record(tmp_path, capacity=16, rounds="4")
+        assert (
+            main(["obs", "critpath", "--flight-in", str(flight)])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "warning:" in err
+        assert "surviving suffix" in err
+        assert "--flight-capacity" in err
+
+    def test_run_mode_prints_quantiles(self, capsys):
+        assert main(["obs", "--family", "ring:4"]) == 0
+        out = capsys.readouterr().out
+        assert "block p50/p95/p99" in out
+        assert "stamp latency p99" in out
