@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test obs-check obs-report obs-timeline lint bench bench-batch bench-offline bench-lattice bench-report examples all clean
+.PHONY: install test obs-check obs-report obs-timeline lint bench bench-batch bench-offline bench-lattice bench-runtime bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -66,6 +66,13 @@ bench-offline:
 # run that leaves the committed snapshot untouched (the CI smoke step).
 bench-lattice:
 	$(PYTHON) -m pytest benchmarks/test_bench_lattice.py -q
+
+# Multiprocess socket runtime under load (one OS process per node);
+# refreshes BENCH_runtime.json.  Set BENCH_RUNTIME_SMOKE=1 for a tiny
+# run that leaves the committed snapshot untouched (the CI smoke
+# step); set BENCH_RUNTIME_OUT=path to write the snapshot elsewhere.
+bench-runtime:
+	$(PYTHON) -m pytest benchmarks/test_bench_runtime.py -q
 
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

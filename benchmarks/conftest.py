@@ -35,6 +35,10 @@ _OFFLINE_SNAPSHOT: Dict[str, object] = {}
 #: flushed to ``BENCH_lattice.json`` at session end.
 _LATTICE_SNAPSHOT: Dict[str, object] = {}
 
+#: Distributed-runtime snapshot entries (see ``record_runtime_perf``),
+#: flushed to ``BENCH_runtime.json`` at session end.
+_RUNTIME_SNAPSHOT: Dict[str, object] = {}
+
 PERF_SNAPSHOT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 )
@@ -49,6 +53,10 @@ OFFLINE_SNAPSHOT_PATH = (
 
 LATTICE_SNAPSHOT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_lattice.json"
+)
+
+RUNTIME_SNAPSHOT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
 )
 
 
@@ -89,6 +97,16 @@ def record_lattice_perf(key: str, value) -> None:
     materializing, and the old-vs-new speedups.
     """
     _LATTICE_SNAPSHOT[key] = value
+
+
+def record_runtime_perf(key: str, value) -> None:
+    """Add one entry to the ``BENCH_runtime.json`` perf snapshot.
+
+    Tracks the multiprocess socket runtime: sustained msg/s through the
+    rendezvous pipeline, block-latency percentiles (P² sketches), and
+    piggyback bytes/s measured on the wire.
+    """
+    _RUNTIME_SNAPSHOT[key] = value
 
 
 def _utc_now_iso() -> str:
@@ -182,6 +200,37 @@ def _write_lattice_snapshot():
             entry["speedup"] = reference / kernel
     payload["generated_utc"] = _utc_now_iso()
     LATTICE_SNAPSHOT_PATH.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_runtime_snapshot():
+    """Flush recorded runtime entries to ``BENCH_runtime.json``.
+
+    Smoke runs (``BENCH_RUNTIME_SMOKE=1``, the CI smoke step) leave the
+    committed snapshot untouched; set ``BENCH_RUNTIME_OUT`` to write
+    the (smoke or full) snapshot somewhere else — the CI job points it
+    at the artifact directory it uploads.
+    """
+    import os
+
+    _RUNTIME_SNAPSHOT.clear()
+    yield
+    if not _RUNTIME_SNAPSHOT:
+        return
+    payload = dict(_RUNTIME_SNAPSHOT)
+    payload["generated_utc"] = _utc_now_iso()
+    override = os.environ.get("BENCH_RUNTIME_OUT")
+    if override:
+        path = pathlib.Path(override)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    elif os.environ.get("BENCH_RUNTIME_SMOKE") == "1":
+        return
+    else:
+        path = RUNTIME_SNAPSHOT_PATH
+    path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )

@@ -600,6 +600,117 @@ def cmd_obs_report(args) -> int:
     return 0
 
 
+def cmd_run_distributed(args) -> int:
+    """Run a script (or the load driver) on the multiprocess runtime."""
+    from contextlib import ExitStack
+
+    from repro.obs import flightrec as obs_flightrec
+    from repro.sim.distributed import (
+        DistributedScriptRunner,
+        run_load,
+    )
+    from repro.sim.runtime import receive, send
+
+    if args.timeout <= 0:
+        raise SystemExit("--timeout must be positive")
+
+    with ExitStack() as stack:
+        flight = None
+        if args.flight_out:
+            if args.flight_capacity < 1:
+                raise SystemExit("--flight-capacity must be at least 1")
+            flight = stack.enter_context(
+                obs_flightrec.recording_session(
+                    capacity=args.flight_capacity
+                )
+            )
+
+        if args.load:
+            if args.servers < 1 or args.clients < 1 or args.messages < 1:
+                raise SystemExit(
+                    "--servers, --clients, and --messages must all be "
+                    "at least 1"
+                )
+            transport = run_load(
+                server_count=args.servers,
+                client_count=args.clients,
+                messages_per_client=args.messages,
+                rate=args.rate,
+                timeout=args.timeout,
+                transport=args.transport,
+            )
+        else:
+            if args.topology_file:
+                topology = topology_from_dict(
+                    _load_json(args.topology_file)
+                )
+            else:
+                topology = _builtin_topology(args.family)
+            if args.rounds < 1:
+                raise SystemExit("--rounds must be at least 1")
+            decomposition = decompose(topology)
+            # Same deadlock-free schedule as `repro obs run`: one
+            # rendezvous per channel per round in a global edge order,
+            # alternating direction per round.
+            scripts = {process: [] for process in topology.vertices}
+            for round_index in range(args.rounds):
+                for edge in topology.edges:
+                    u, v = edge.endpoints
+                    if round_index % 2:
+                        u, v = v, u
+                    scripts[u].append(send(v, f"round-{round_index}"))
+                    scripts[v].append(receive(u))
+            transport = DistributedScriptRunner(
+                decomposition,
+                scripts,
+                timeout=args.timeout,
+                transport=args.transport,
+            ).run()
+
+        stats = transport.stats
+        quantiles = stats.block_quantiles_ms()
+        rows = [
+            ["node processes", stats.nodes],
+            ["messages committed", stats.messages],
+            ["timeouts", stats.timeouts],
+            ["wall seconds", f"{stats.wall_seconds:.3f}"],
+            ["traffic seconds", f"{stats.traffic_seconds:.3f}"],
+            ["msg/s (traffic window)", f"{stats.messages_per_sec:.1f}"],
+            [
+                "block p50/p95/p99",
+                "/".join(
+                    f"{quantiles[key]:.3f}"
+                    for key in ("p50", "p95", "p99")
+                )
+                + " ms",
+            ],
+            ["piggyback bytes", stats.piggyback_bytes],
+            [
+                "piggyback bytes/s",
+                f"{stats.piggyback_bytes_per_sec:.1f}",
+            ],
+            ["piggyback wire bytes", stats.piggyback_wire_bytes],
+        ]
+        print(render_table(["metric", "value"], rows))
+
+        if flight is not None:
+            count = flight.dump_jsonl(args.flight_out)
+            print(
+                f"{count} flight event(s) written to {args.flight_out}"
+                + (
+                    f" ({flight.dropped_count} evicted)"
+                    if flight.dropped_count
+                    else ""
+                )
+            )
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as handle:
+                json.dump(stats.to_dict(), handle, indent=2)
+                handle.write("\n")
+            print(f"runtime stats written to {args.json_out}")
+    return 0
+
+
 def cmd_demo(args) -> int:
     del args
     from repro.sim.paper_figures import figure6_computation
@@ -711,6 +822,83 @@ def build_parser() -> argparse.ArgumentParser:
         "demo", help="reproduce the paper's Figure 6 execution"
     )
     demo_cmd.set_defaults(handler=cmd_demo)
+
+    dist_cmd = commands.add_parser(
+        "run-distributed",
+        help="run the multiprocess socket runtime: one OS process per "
+        "node, rendezvous over Unix/TCP sockets, timestamps "
+        "piggybacked as LEB128 bytes on the wire",
+    )
+    dist_cmd.add_argument("--topology-file", help="topology JSON")
+    dist_cmd.add_argument(
+        "--family",
+        default="ring:4",
+        help="built-in family (default ring:4), e.g. complete:5, "
+        "tree:3x4, client-server:2x10",
+    )
+    dist_cmd.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="rendezvous rounds over every channel (default 3)",
+    )
+    dist_cmd.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-rendezvous timeout in seconds (default 30)",
+    )
+    dist_cmd.add_argument(
+        "--transport",
+        default="auto",
+        choices=["auto", "unix", "tcp"],
+        help="socket family (default auto: Unix where available)",
+    )
+    dist_cmd.add_argument(
+        "--load",
+        action="store_true",
+        help="load-driver mode: client-server traffic instead of the "
+        "per-channel round schedule",
+    )
+    dist_cmd.add_argument(
+        "--servers",
+        type=int,
+        default=2,
+        help="[load] server (hub) processes (default 2)",
+    )
+    dist_cmd.add_argument(
+        "--clients",
+        type=int,
+        default=10,
+        help="[load] client processes (default 10)",
+    )
+    dist_cmd.add_argument(
+        "--messages",
+        type=int,
+        default=5,
+        help="[load] messages per client (default 5)",
+    )
+    dist_cmd.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="[load] target aggregate msg/s (default 0: unpaced)",
+    )
+    dist_cmd.add_argument(
+        "--flight-out",
+        help="record a flight-recorder ring during the run and write "
+        "it here as JSONL",
+    )
+    dist_cmd.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=4096,
+        help="flight-recorder ring capacity (default 4096)",
+    )
+    dist_cmd.add_argument(
+        "--json-out", help="write the runtime stats JSON here"
+    )
+    dist_cmd.set_defaults(handler=cmd_run_distributed)
 
     obs_cmd = commands.add_parser(
         "obs",

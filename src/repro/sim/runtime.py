@@ -158,12 +158,41 @@ class SynchronousTransport:
         #: Exceptions collected by the runner when ``raise_on_error`` is
         #: off (timeouts of a crashed process's peers, script errors).
         self.errors: List[BaseException] = []
+        #: Poison reason; set once the runner abandons stuck threads so
+        #: any further use of the transport fails fast instead of
+        #: rendezvousing with zombies.
+        self._poisoned: Optional[str] = None
 
     # ------------------------------------------------------------------
+    def poison(self, reason: str) -> None:
+        """Mark the transport unusable; further operations raise.
+
+        The runner calls this when a worker thread failed to finish:
+        the abandoned daemon thread may still be parked inside a
+        rendezvous, and letting new sends/receives match against its
+        leftovers would corrupt clocks.  Blocked receivers are woken so
+        they fail fast; a sender parked on its completion event keeps
+        sleeping until its own timeout (it cannot be woken without
+        forging an acknowledgement).
+        """
+        with self._lock:
+            self._poisoned = reason
+            self._arrival.notify_all()
+
+    @property
+    def poisoned(self) -> Optional[str]:
+        """The poison reason, or ``None`` while the transport is usable."""
+        return self._poisoned
+
+    def _check_poisoned(self) -> None:
+        if self._poisoned is not None:
+            raise SimulationError(self._poisoned)
+
     def send(
         self, sender: Process, to: Process, payload: Any = None
     ) -> VectorTimestamp:
         """Blocking synchronous send; returns the message timestamp."""
+        self._check_poisoned()
         clock = self._clocks[sender]
         m = _obs.metrics
         fr = _flightrec.recorder
@@ -182,6 +211,21 @@ class SynchronousTransport:
             timed = m is not None or fr is not None
             wait_started = time.perf_counter() if timed else 0.0
             completed = offer.completed.wait(self._timeout)
+            if not completed:
+                # Reclaim the stale offer before giving up.  Without
+                # this a later receive could match the parked offer,
+                # commit a ghost message, and complete into the void
+                # while this clock never runs on_acknowledgement —
+                # silently diverging the two sides' vectors.  The
+                # receiver pops offers and sets ``completed`` inside
+                # one critical section, so under the lock the offer is
+                # either still parked (remove it) or was matched in
+                # the race window (treat the send as completed).
+                with self._lock:
+                    if offer.completed.is_set():
+                        completed = True
+                    else:
+                        self._inboxes[to].remove(offer)
             if timed:
                 waited = time.perf_counter() - wait_started
                 if m is not None:
@@ -230,6 +274,7 @@ class SynchronousTransport:
         self, receiver: Process, source: Optional[Process] = None
     ) -> Tuple[Process, Any, VectorTimestamp]:
         """Blocking receive; returns ``(sender, payload, timestamp)``."""
+        self._check_poisoned()
         clock = self._clocks[receiver]
         m = _obs.metrics
         fr = _flightrec.recorder
@@ -339,6 +384,7 @@ class SynchronousTransport:
         The event lands in the slot after the process's current external
         events; the per-slot counter is exactly the paper's ``c(e)``.
         """
+        self._check_poisoned()
         with self._lock:
             slot = self._message_counts[process]
             counter = 1 + sum(
@@ -362,7 +408,12 @@ class SynchronousTransport:
     def _take_offer(
         self, receiver: Process, source: Optional[Process]
     ) -> _Offer:
-        remaining = self._timeout
+        # A monotonic deadline, not a per-wait budget: every wakeup of
+        # ``_arrival`` (including offers destined for other receivers
+        # or from filtered-out senders) loops back here, and passing
+        # the full timeout again would let steady unrelated traffic
+        # push a receiver's timeout out indefinitely.
+        deadline = time.monotonic() + self._timeout
 
         def matching() -> Optional[int]:
             for position, offer in enumerate(self._inboxes[receiver]):
@@ -372,10 +423,14 @@ class SynchronousTransport:
 
         position = matching()
         while position is None:
-            if not self._arrival.wait(timeout=remaining):
+            if self._poisoned is not None:
+                raise SimulationError(self._poisoned)
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
                 raise RuntimeDeadlockError(
                     f"receive on {receiver!r} (from {source!r}) timed out"
                 )
+            self._arrival.wait(timeout=remaining)
             position = matching()
         return self._inboxes[receiver].pop(position)
 
@@ -441,6 +496,7 @@ class ScriptRunner:
         decomposition: EdgeDecomposition,
         scripts: Dict[Process, Sequence[Action]],
         timeout: float = 10.0,
+        join_timeout: Optional[float] = None,
     ):
         unknown = [
             p for p in scripts if p not in decomposition.graph.vertices
@@ -452,6 +508,12 @@ class ScriptRunner:
         self._decomposition = decomposition
         self._scripts = {p: list(actions) for p, actions in scripts.items()}
         self._timeout = timeout
+        #: How long to wait for each worker thread after its script ran
+        #: (a thread can outlive every rendezvous timeout only if it is
+        #: wedged in non-transport code).  Defaults to ``2 * timeout``.
+        self._join_timeout = (
+            timeout * 2 if join_timeout is None else join_timeout
+        )
 
     def run(self, raise_on_error: bool = True) -> SynchronousTransport:
         """Execute all scripts; returns the transport with its log.
@@ -520,8 +582,9 @@ class ScriptRunner:
         }
         for thread in threads:
             thread.start()
+        stuck: List[Process] = []
         for thread in threads:
-            thread.join(self._timeout * 2)
+            thread.join(self._join_timeout)
             if thread.is_alive():
                 fr = _flightrec.recorder
                 if fr is not None:
@@ -530,10 +593,26 @@ class ScriptRunner:
                         thread_process[thread],
                         note="thread still alive after join timeout",
                     )
-                raise RuntimeDeadlockError(
-                    "a process thread failed to finish; "
-                    "check the scripts for unmatched sends/receives"
-                )
+                stuck.append(thread_process[thread])
+        if stuck:
+            # The abandoned daemon threads may still be parked inside a
+            # rendezvous; poison the transport so nothing matches their
+            # leftovers, and surface the condition as a collected error
+            # (previously a raise_on_error=False run returned normally
+            # with only a flight-record note).
+            stuck_error = RuntimeDeadlockError(
+                f"process thread(s) {sorted(map(str, stuck))} failed to "
+                "finish; check the scripts for unmatched sends/receives"
+            )
+            transport.poison(
+                "transport poisoned: " + str(stuck_error)
+            )
+            with errors_lock:
+                errors.append(stuck_error)
+            transport.errors = list(errors)
+            if raise_on_error:
+                raise stuck_error
+            return transport
         transport.errors = list(errors)
         if errors and raise_on_error:
             raise errors[0]

@@ -352,13 +352,13 @@ class TestObsReport:
         return bench
 
     def test_report_merges_committed_snapshots(self, capsys):
-        """Acceptance: `repro obs report` merges all four committed
-        BENCH_*.json snapshots."""
+        """Acceptance: `repro obs report` merges every committed
+        BENCH_*.json snapshot."""
         assert main(["obs", "report", "--dir", str(REPO_ROOT)]) == 0
         out = capsys.readouterr().out
-        for source in ("obs", "batch", "offline", "lattice"):
+        for source in ("obs", "batch", "offline", "lattice", "runtime"):
             assert source in out
-        assert "4 snapshot(s)" in out
+        assert "5 snapshot(s)" in out
 
     def test_gate_fails_on_doctored_baseline(self, tmp_path, capsys):
         """Acceptance: a doctored baseline with a >20% regression makes
@@ -619,3 +619,70 @@ class TestObsTimelineCritpath:
         out = capsys.readouterr().out
         assert "block p50/p95/p99" in out
         assert "stamp latency p99" in out
+
+
+class TestRunDistributed:
+    def test_script_mode_prints_stats(self, capsys):
+        assert (
+            main(
+                [
+                    "run-distributed",
+                    "--family",
+                    "ring:4",
+                    "--rounds",
+                    "1",
+                    "--timeout",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "node processes" in out
+        assert "messages committed" in out
+        assert "block p50/p95/p99" in out
+        assert "piggyback bytes/s" in out
+
+    def test_load_mode_writes_flight_and_json(self, tmp_path, capsys):
+        flight = tmp_path / "flight.jsonl"
+        stats = tmp_path / "stats.json"
+        assert (
+            main(
+                [
+                    "run-distributed",
+                    "--load",
+                    "--servers",
+                    "1",
+                    "--clients",
+                    "3",
+                    "--messages",
+                    "2",
+                    "--timeout",
+                    "20",
+                    "--flight-out",
+                    str(flight),
+                    "--json-out",
+                    str(stats),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "flight event(s) written" in out
+        payload = json.loads(stats.read_text())
+        assert payload["messages"] == 6
+        assert payload["nodes"] == 4
+        assert payload["piggyback_bytes"] > 0
+        assert "block_p99_ms" in payload
+        # The flight record feeds the existing analyzers.
+        assert (
+            main(["obs", "critpath", "--flight-in", str(flight)]) == 0
+        )
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(SystemExit):
+            main(["run-distributed", "--rounds", "0"])
+        with pytest.raises(SystemExit):
+            main(["run-distributed", "--load", "--clients", "0"])
+        with pytest.raises(SystemExit):
+            main(["run-distributed", "--timeout", "0"])
