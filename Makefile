@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test obs-check obs-report obs-timeline lint bench bench-batch bench-offline bench-lattice bench-runtime bench-report examples all clean
+.PHONY: install test obs-check obs-report obs-timeline lint bench bench-batch bench-offline bench-lattice bench-runtime bench-parallel bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -52,6 +52,9 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 # Slow-vs-fast online stamping snapshot; refreshes BENCH_batch.json.
+# Set BENCH_BATCH_SMOKE=1 for a quick reduced run that leaves the
+# committed snapshot untouched (the CI smoke step); set
+# BENCH_BATCH_OUT=path to write the snapshot elsewhere.
 bench-batch:
 	$(PYTHON) -m pytest benchmarks/test_bench_batch.py -q
 
@@ -73,6 +76,13 @@ bench-lattice:
 # step); set BENCH_RUNTIME_OUT=path to write the snapshot elsewhere.
 bench-runtime:
 	$(PYTHON) -m pytest benchmarks/test_bench_runtime.py -q
+
+# Serial vs. sharded stamping engine (repro.core.parallel); refreshes
+# BENCH_parallel.json.  Set BENCH_PARALLEL_SMOKE=1 for a quick reduced
+# run that leaves the committed snapshot untouched (the CI smoke
+# step); set BENCH_PARALLEL_OUT=path to write the snapshot elsewhere.
+bench-parallel:
+	$(PYTHON) -m pytest benchmarks/test_bench_parallel.py -q
 
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -13,11 +13,15 @@ The pair is written to ``BENCH_batch.json`` (see
 ``docs/performance.md`` for the methodology).  The acceptance bar for
 this PR: the batch path is at least 2x the handshake path's
 messages/sec while producing byte-identical timestamps and identical
-``_obs`` counter values.
+``_obs`` counter values.  With ``BENCH_BATCH_SMOKE=1`` (the CI smoke
+step) everything runs one round at reduced size and the committed
+snapshot is left untouched; ``BENCH_BATCH_OUT`` redirects the snapshot
+to another path (the CI artifact directory).
 """
 
 from __future__ import annotations
 
+import os
 import random
 import time
 
@@ -31,9 +35,11 @@ from repro.obs import instrument
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.workload import random_computation
 
+SMOKE = os.environ.get("BENCH_BATCH_SMOKE") == "1"
+
 TOPOLOGY = client_server_topology(3, 27)  # N = 30, d = 3
-MESSAGES = 1_000
-REPEATS = 5
+MESSAGES = 300 if SMOKE else 1_000
+REPEATS = 1 if SMOKE else 5
 REQUIRED_SPEEDUP = 2.0
 
 

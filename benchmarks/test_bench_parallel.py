@@ -1,0 +1,210 @@
+"""Experiment batch — serial vs. sharded stamping engine.
+
+Exercises :mod:`repro.core.parallel` on a federated workload the
+planners can actually cut: ``multi_cluster_computation`` builds 16
+independent 8x22 client/server cells (messages concatenated in cluster
+order), so the offline row-block planner finds 16 contiguous blocks and
+the online segment planner 16 process components.
+
+Two timed regions:
+
+* **offline closure + partition** — serial: ``Poset(messages, pairs)``
+  then ``minimum_chain_partition``; sharded:
+  ``parallel_poset_and_chains`` with ``workers=4``.  This is the
+  tentpole's gated number: the block-local closure works on block-sized
+  big-ints instead of whole-computation rows and the per-block
+  Hopcroft–Karp avoids the global matcher's superlinear BFS phases, so
+  the sharded region must be at least ``REQUIRED_SPEEDUP``x faster at
+  20k messages.
+* **online batch stamping** — serial ``stamp_batch`` vs.
+  ``stamp_batch_parallel``.  Recorded for the trajectory (on a
+  single-core host the sharded stamper runs the same interpreter loop,
+  so expect ~1x); no assertion.
+
+Before any timing, both regions are pinned byte-identical to serial
+(rows, chains, timestamps).  Results land in ``BENCH_parallel.json``
+(``make bench-parallel``); with ``BENCH_PARALLEL_SMOKE=1`` (the CI
+smoke step) everything runs one round at reduced sizes and the
+committed snapshot is untouched; ``BENCH_PARALLEL_OUT`` redirects the
+snapshot (the CI artifact directory).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import emit, record_parallel_perf
+from repro.core.chains import minimum_chain_partition
+from repro.core.fastpath import stamp_batch
+from repro.core.parallel import (
+    available_workers,
+    parallel_poset_and_chains,
+    resolve_workers,
+    stamp_batch_parallel,
+)
+from repro.core.poset import Poset
+from repro.graphs.decomposition import decompose
+from repro.obs import instrument
+from repro.order.message_order import covering_pairs
+from repro.sim.workload import multi_cluster_computation
+
+SMOKE = os.environ.get("BENCH_PARALLEL_SMOKE") == "1"
+
+#: 16 clusters x per-cluster messages; each cluster is a full-mesh 8x22
+#: client/server cell, so the poset is block diagonal with 16 blocks.
+CLUSTERS = 16
+OFFLINE_SIZES = (2_000,) if SMOKE else (5_000, 20_000)
+ONLINE_SIZE = 2_000 if SMOKE else 20_000
+REPEATS = 1 if SMOKE else 3
+WORKERS = 4
+#: Gated at the 20k offline region only (full run): the sharded
+#: closure+partition must beat serial by at least this factor.
+REQUIRED_SPEEDUP = 2.5
+
+
+def _workload(total_messages: int):
+    # Rounded up to a whole per-cluster count, so nominal sizes that
+    # are not multiples of CLUSTERS (e.g. 5k) stay within one cluster's
+    # worth of the label.
+    per_cluster = -(-total_messages // CLUSTERS)
+    return multi_cluster_computation(
+        CLUSTERS, per_cluster, random.Random(7)
+    )
+
+
+def _best(fn) -> float:
+    best = float("inf")
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def _serial_offline(computation):
+    poset = Poset(computation.messages, covering_pairs(computation))
+    return poset, minimum_chain_partition(poset)
+
+
+def _sharded_offline(computation):
+    result = parallel_poset_and_chains(computation, workers=WORKERS)
+    assert result is not None, "planner found no blocks to shard"
+    return result
+
+
+@pytest.mark.parametrize("messages", OFFLINE_SIZES)
+def test_offline_sharding_matches_serial(report_header, messages):
+    """Byte-identical rows, chains, and width before any timing."""
+    computation = _workload(messages)
+    poset, chains = _serial_offline(computation)
+    sharded_poset, sharded_chains, shards = _sharded_offline(computation)
+
+    assert sharded_poset.above_bit_rows() == poset.above_bit_rows()
+    assert sharded_poset.below_bit_rows() == poset.below_bit_rows()
+    assert sharded_chains == chains
+    report_header(
+        f"Sharded offline region: equivalence at {messages} messages"
+    )
+    emit(
+        f"{messages} messages in {shards} shards "
+        f"(width {len(chains)}): rows and chains identical"
+    )
+
+
+@pytest.mark.parametrize("messages", OFFLINE_SIZES)
+def test_offline_sharding_speedup_snapshot(report_header, messages):
+    """The gated number: serial vs. sharded closure + chain partition."""
+    computation = _workload(messages)
+    instrument.disable()
+
+    serial_seconds = _best(lambda: _serial_offline(computation))
+    parallel_seconds = _best(lambda: _sharded_offline(computation))
+    speedup = serial_seconds / parallel_seconds
+    _, chains, shards = _sharded_offline(computation)
+
+    record_parallel_perf(
+        f"offline_closure_{messages // 1000}k",
+        {
+            "workload": f"multi-cluster:{CLUSTERS}x8x22",
+            "messages": len(computation.messages),
+            "width": len(chains),
+            "shards": shards,
+            "workers_requested": WORKERS,
+            "workers_resolved": min(
+                resolve_workers(WORKERS), available_workers()
+            ),
+            "available_workers": available_workers(),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+        },
+    )
+    report_header(
+        f"Sharded offline region: {messages} messages, "
+        f"{WORKERS} workers"
+    )
+    emit(
+        f"serial closure+partition:  {serial_seconds:.3f}s"
+    )
+    emit(
+        f"sharded closure+partition: {parallel_seconds:.3f}s "
+        f"({shards} shards)"
+    )
+    emit(f"speedup: {speedup:.2f}x")
+    if not SMOKE and messages >= 20_000:
+        emit(f"(gated: required >= {REQUIRED_SPEEDUP}x)")
+        assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_online_sharding_snapshot(report_header):
+    """Trajectory row: serial vs. sharded batch stamping (no gate)."""
+    computation = _workload(ONLINE_SIZE)
+    decomposition = decompose(computation.topology)
+    instrument.disable()
+
+    serial = stamp_batch(computation, decomposition)
+    sharded = stamp_batch_parallel(
+        computation, decomposition, workers=WORKERS
+    )
+    assert list(sharded) == list(serial)
+    assert all(
+        sharded[m].components == serial[m].components
+        for m in computation.messages
+    )
+
+    serial_seconds = _best(
+        lambda: stamp_batch(computation, decomposition)
+    )
+    parallel_seconds = _best(
+        lambda: stamp_batch_parallel(
+            computation, decomposition, workers=WORKERS
+        )
+    )
+    record_parallel_perf(
+        f"batch_stamping_{ONLINE_SIZE // 1000}k",
+        {
+            "workload": f"multi-cluster:{CLUSTERS}x8x22",
+            "messages": len(computation.messages),
+            "shards": CLUSTERS,
+            "workers_requested": WORKERS,
+            "workers_resolved": min(
+                resolve_workers(WORKERS), available_workers()
+            ),
+            "available_workers": available_workers(),
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+        },
+    )
+    report_header(
+        f"Sharded batch stamping: {ONLINE_SIZE} messages, "
+        f"{WORKERS} workers"
+    )
+    emit(f"serial stamp_batch:   {serial_seconds:.3f}s")
+    emit(f"sharded stamp_batch:  {parallel_seconds:.3f}s")
+    emit(
+        f"speedup: {serial_seconds / parallel_seconds:.2f}x "
+        "(informational; identical output asserted above)"
+    )

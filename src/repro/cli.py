@@ -114,11 +114,11 @@ def _resolve_topology(args) -> "object":
     raise SystemExit("provide --topology-file or --family")
 
 
-def _make_clock(name: str, topology):
+def _make_clock(name: str, topology, workers: int = 1):
     if name == "online":
-        return OnlineEdgeClock(decompose(topology))
+        return OnlineEdgeClock(decompose(topology), workers=workers)
     if name == "offline":
-        return OfflineRealizerClock()
+        return OfflineRealizerClock(workers=workers)
     if name == "fm":
         return FMMessageClock.for_topology(topology)
     if name == "lamport":
@@ -147,7 +147,13 @@ def cmd_decompose(args) -> int:
 
 def cmd_stamp(args) -> int:
     computation = computation_from_dict(_load_json(args.trace))
-    clock = _make_clock(args.clock, computation.topology)
+    workers = getattr(args, "workers", 1)
+    if workers < 0:
+        raise SystemExit(
+            f"--workers must be >= 0, got {workers} "
+            "(0 = auto, 1 = serial, N = cap at N workers)"
+        )
+    clock = _make_clock(args.clock, computation.topology, workers=workers)
     assignment = clock.timestamp_computation(computation)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -763,6 +769,15 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["online", "offline", "fm", "lamport"],
     )
     stamp_cmd.add_argument("--output", help="write assignment JSON here")
+    stamp_cmd.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="shard stamping across worker processes (repro.core."
+        "parallel); 1 = serial (default), 0 = auto-size from the CPU "
+        "affinity mask, N = cap at N workers; output is byte-identical "
+        "to serial",
+    )
     stamp_cmd.set_defaults(handler=cmd_stamp)
 
     check_cmd = commands.add_parser(

@@ -115,8 +115,10 @@ class OnlineEdgeClock(MessageTimestamper[VectorTimestamp]):
     def __init__(
         self,
         topology_decomposition: EdgeDecomposition,
+        workers: int = 1,
     ):
         self._decomposition = topology_decomposition
+        self._workers = workers
         m = _obs.metrics
         if m is not None:
             m.vector_component_count.set(topology_decomposition.size)
@@ -142,7 +144,9 @@ class OnlineEdgeClock(MessageTimestamper[VectorTimestamp]):
         )
 
     def timestamp_computation(
-        self, computation: SyncComputation
+        self,
+        computation: SyncComputation,
+        workers: "int | None" = None,
     ) -> TimestampAssignment:
         """Timestamp every message via the batch fast path.
 
@@ -151,17 +155,33 @@ class OnlineEdgeClock(MessageTimestamper[VectorTimestamp]):
         handshake without the per-hop tuple and dict churn.  The result
         — timestamps *and* ``_obs`` counter values — is identical to
         :meth:`timestamp_computation_handshake`.
+
+        ``workers`` (default: the constructor's setting) routes through
+        the sharding engine of :mod:`repro.core.parallel` when > 1 — the
+        computation is split into process-disjoint segments that stamp
+        independently with byte-identical output; ``0`` sizes the pool
+        from the CPU affinity mask, and ``1`` keeps the serial path.
         """
         if computation.topology is not self._decomposition.graph:
             _check_same_topology(
                 computation.topology, self._decomposition.graph
             )
+        if workers is None:
+            workers = self._workers
         with _obs.span(
             "online.timestamp_computation",
             messages=len(computation.messages),
             vector_size=self._decomposition.size,
+            workers=workers,
         ):
-            timestamps = stamp_batch(computation, self._decomposition)
+            if workers is not None and workers != 1:
+                from repro.core.parallel import stamp_batch_parallel
+
+                timestamps = stamp_batch_parallel(
+                    computation, self._decomposition, workers=workers
+                )
+            else:
+                timestamps = stamp_batch(computation, self._decomposition)
         aud = _audit.auditor
         if aud is not None:
             # Read-only cross-check; the audit never mutates the

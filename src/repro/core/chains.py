@@ -181,6 +181,17 @@ class BipartiteMatcher:
         self._ensure_solved()
         return self._matching_size
 
+    def left_match_indices(self) -> List[int]:
+        """Matched right *index* per left index (``-1`` = unmatched).
+
+        Index-level access for callers that work in positional space —
+        the sharded chain partition merges per-block matchings by
+        offsetting these indices into global positions without ever
+        hashing element values.
+        """
+        self._ensure_solved()
+        return list(self._match_left)
+
     # ------------------------------------------------------------------
     def _bfs_layers(self) -> Optional[List[int]]:
         """Layer left vertices by shortest alternating path from a free one.

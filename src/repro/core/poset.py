@@ -125,52 +125,8 @@ class Poset:
     # Construction helpers
     # ------------------------------------------------------------------
     def _close_transitively(self, direct: List[int]) -> None:
-        """Fill the bitmask rows with the transitive closure of ``direct``.
-
-        Processes positions in reverse topological order so each row is
-        the word-parallel OR of its direct successors' rows; the below
-        rows come from a forward sweep over the (cheap to transpose)
-        direct relation.  A cycle is detected by the topological sort
-        running short.
-        """
-        order = _topological_order_positions(direct)
-        if order is None:
-            raise NotAPartialOrderError("relation contains a cycle")
-
-        n = len(direct)
-        above = [0] * n
-        for i in reversed(order):
-            row = direct[i]
-            acc = row
-            m = row
-            while m:
-                low = m & -m
-                acc |= above[low.bit_length() - 1]
-                m ^= low
-            above[i] = acc
-
-        direct_pred = [0] * n
-        for i in range(n):
-            bit = 1 << i
-            m = direct[i]
-            while m:
-                low = m & -m
-                direct_pred[low.bit_length() - 1] |= bit
-                m ^= low
-
-        below = [0] * n
-        for i in order:
-            row = direct_pred[i]
-            acc = row
-            m = row
-            while m:
-                low = m & -m
-                acc |= below[low.bit_length() - 1]
-                m ^= low
-            below[i] = acc
-
-        self._above_bits = above
-        self._below_bits = below
+        """Fill the bitmask rows with the transitive closure of ``direct``."""
+        self._above_bits, self._below_bits = close_transitive_rows(direct)
 
     @classmethod
     def _from_closed_bits(
@@ -559,6 +515,60 @@ class Poset:
             f"Poset({len(self._elements)} elements, "
             f"{ordered} ordered pairs)"
         )
+
+
+def close_transitive_rows(
+    direct: Sequence[int],
+) -> Tuple[List[int], List[int]]:
+    """Transitive closure of ``direct`` as ``(above, below)`` bitmask rows.
+
+    Processes positions in reverse topological order so each row is the
+    word-parallel OR of its direct successors' rows; the below rows come
+    from a forward sweep over the (cheap to transpose) direct relation.
+    A cycle is detected by the topological sort running short and raises
+    :class:`NotAPartialOrderError`.
+
+    Module-level so :class:`Poset` construction and the sharded engine
+    (:mod:`repro.core.parallel`, which closes forward-closed row blocks
+    in block-local index space) run the exact same sweep.
+    """
+    order = _topological_order_positions(direct)
+    if order is None:
+        raise NotAPartialOrderError("relation contains a cycle")
+
+    n = len(direct)
+    above = [0] * n
+    for i in reversed(order):
+        row = direct[i]
+        acc = row
+        m = row
+        while m:
+            low = m & -m
+            acc |= above[low.bit_length() - 1]
+            m ^= low
+        above[i] = acc
+
+    direct_pred = [0] * n
+    for i in range(n):
+        bit = 1 << i
+        m = direct[i]
+        while m:
+            low = m & -m
+            direct_pred[low.bit_length() - 1] |= bit
+            m ^= low
+
+    below = [0] * n
+    for i in order:
+        row = direct_pred[i]
+        acc = row
+        m = row
+        while m:
+            low = m & -m
+            acc |= below[low.bit_length() - 1]
+            m ^= low
+        below[i] = acc
+
+    return above, below
 
 
 def _topological_order_positions(

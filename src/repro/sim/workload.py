@@ -269,3 +269,45 @@ def sequential_chain_computation(
         pairs.append((current, nxt))
         current = nxt
     return SyncComputation.from_pairs(topology, pairs)
+
+def multi_cluster_computation(
+    cluster_count: int,
+    messages_per_cluster: int,
+    rng: random.Random,
+    server_count: int = 8,
+    client_count: int = 22,
+) -> SyncComputation:
+    """Independent client/server clusters with no inter-cluster channel.
+
+    Each cluster is a ``server_count`` x ``client_count`` full-mesh
+    client/server cell (processes named ``K<c>_S<i>`` / ``K<c>_C<i>``)
+    carrying ``messages_per_cluster`` uniformly random messages; the
+    clusters' message sequences are concatenated in cluster order.  The
+    result models a federated deployment — the paper's causality cannot
+    cross clusters that share no process, so the message poset is block
+    diagonal.  This is the reference workload of the sharded stamping
+    engine (:mod:`repro.core.parallel`): its segment and row-block
+    planners find exactly ``cluster_count`` shards here.
+    """
+    if cluster_count <= 0:
+        raise InvalidComputationError(
+            f"cluster_count must be positive, got {cluster_count}"
+        )
+    graph = UndirectedGraph()
+    pairs: List[Tuple[Process, Process]] = []
+    for cluster in range(cluster_count):
+        servers = [f"K{cluster}_S{i}" for i in range(server_count)]
+        clients = [f"K{cluster}_C{i}" for i in range(client_count)]
+        for process in servers + clients:
+            graph.add_vertex(process)
+        channels = [
+            (client, server) for client in clients for server in servers
+        ]
+        for u, v in channels:
+            graph.add_edge(u, v)
+        for _ in range(messages_per_cluster):
+            u, v = channels[rng.randrange(len(channels))]
+            if rng.random() < 0.5:
+                u, v = v, u
+            pairs.append((u, v))
+    return SyncComputation.from_pairs(graph, pairs)

@@ -77,6 +77,7 @@ class TestLoading:
             "offline",
             "lattice",
             "runtime",
+            "parallel",
         }
         assert len(merged.gated_metrics()) >= 10
         gated_keys = {m.key for m in merged.gated_metrics()}

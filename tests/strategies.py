@@ -23,7 +23,7 @@ from repro.graphs.generators import (
     tree_topology,
 )
 from repro.sim.computation import SyncComputation
-from repro.sim.workload import random_computation
+from repro.sim.workload import multi_cluster_computation, random_computation
 
 
 @st.composite
@@ -77,6 +77,32 @@ def nonempty_computations(draw, **kwargs):
         edge = topology.edges[0]
         return SyncComputation.from_pairs(topology, [edge.endpoints])
     return computation
+
+
+@st.composite
+def clustered_computations(
+    draw,
+    max_clusters: int = 4,
+    max_messages_per_cluster: int = 25,
+):
+    """A multi-cluster computation with causally independent blocks.
+
+    Exercises the sharding engine's planners with a guaranteed-shardable
+    shape (several disjoint client/server cells) at property-test sizes;
+    the cell dimensions stay small so closures remain cheap.
+    """
+    clusters = draw(st.integers(min_value=1, max_value=max_clusters))
+    per_cluster = draw(
+        st.integers(min_value=1, max_value=max_messages_per_cluster)
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return multi_cluster_computation(
+        clusters,
+        per_cluster,
+        random.Random(seed),
+        server_count=2,
+        client_count=3,
+    )
 
 
 @st.composite

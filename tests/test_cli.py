@@ -356,9 +356,16 @@ class TestObsReport:
         BENCH_*.json snapshot."""
         assert main(["obs", "report", "--dir", str(REPO_ROOT)]) == 0
         out = capsys.readouterr().out
-        for source in ("obs", "batch", "offline", "lattice", "runtime"):
+        for source in (
+            "obs",
+            "batch",
+            "offline",
+            "lattice",
+            "runtime",
+            "parallel",
+        ):
             assert source in out
-        assert "5 snapshot(s)" in out
+        assert "6 snapshot(s)" in out
 
     def test_gate_fails_on_doctored_baseline(self, tmp_path, capsys):
         """Acceptance: a doctored baseline with a >20% regression makes
