@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test obs-check obs-report obs-timeline lint bench bench-batch bench-offline bench-lattice bench-runtime bench-parallel bench-report examples all clean
+.PHONY: install test obs-check obs-report obs-timeline lint bench bench-batch bench-offline bench-lattice bench-runtime bench-parallel bench-wire bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -83,6 +83,14 @@ bench-runtime:
 # step); set BENCH_PARALLEL_OUT=path to write the snapshot elsewhere.
 bench-parallel:
 	$(PYTHON) -m pytest benchmarks/test_bench_parallel.py -q
+
+# Piggyback wire-format shootout (full vs. delta vs. bounded:K) plus
+# the 120-node socket-runtime byte-reduction run; refreshes
+# BENCH_wire.json.  Set BENCH_WIRE_SMOKE=1 for a tiny run that leaves
+# the committed snapshot untouched (the CI smoke step); set
+# BENCH_WIRE_OUT=path to write the snapshot elsewhere.
+bench-wire:
+	$(PYTHON) -m pytest benchmarks/test_bench_wire.py -q
 
 bench-report:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

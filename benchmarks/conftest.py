@@ -43,6 +43,10 @@ _RUNTIME_SNAPSHOT: Dict[str, object] = {}
 #: flushed to ``BENCH_parallel.json`` at session end.
 _PARALLEL_SNAPSHOT: Dict[str, object] = {}
 
+#: Wire-format shootout entries (see ``record_wire_perf``), flushed to
+#: ``BENCH_wire.json`` at session end.
+_WIRE_SNAPSHOT: Dict[str, object] = {}
+
 PERF_SNAPSHOT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 )
@@ -65,6 +69,10 @@ RUNTIME_SNAPSHOT_PATH = (
 
 PARALLEL_SNAPSHOT_PATH = (
     pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+)
+
+WIRE_SNAPSHOT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_wire.json"
 )
 
 
@@ -126,6 +134,16 @@ def record_parallel_perf(key: str, value) -> None:
     the worker budget the host actually granted.
     """
     _PARALLEL_SNAPSHOT[key] = value
+
+
+def record_wire_perf(key: str, value) -> None:
+    """Add one entry to the ``BENCH_wire.json`` perf snapshot.
+
+    Tracks the piggyback wire-format shootout (full varint vectors vs.
+    the differential codec vs. bounded-K): bytes per message on the
+    wire, stamp+encode throughput, and comparison throughput.
+    """
+    _WIRE_SNAPSHOT[key] = value
 
 
 def _utc_now_iso() -> str:
@@ -303,6 +321,37 @@ def _write_parallel_snapshot():
         return
     else:
         path = PARALLEL_SNAPSHOT_PATH
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_wire_snapshot():
+    """Flush recorded wire entries to ``BENCH_wire.json``.
+
+    Smoke runs (``BENCH_WIRE_SMOKE=1``, the CI smoke step) leave the
+    committed snapshot untouched; ``BENCH_WIRE_OUT`` redirects the
+    (smoke or full) snapshot elsewhere — the CI job points it at the
+    artifact directory it uploads.
+    """
+    import os
+
+    _WIRE_SNAPSHOT.clear()
+    yield
+    if not _WIRE_SNAPSHOT:
+        return
+    payload = dict(_WIRE_SNAPSHOT)
+    payload["generated_utc"] = _utc_now_iso()
+    override = os.environ.get("BENCH_WIRE_OUT")
+    if override:
+        path = pathlib.Path(override)
+        path.parent.mkdir(parents=True, exist_ok=True)
+    elif os.environ.get("BENCH_WIRE_SMOKE") == "1":
+        return
+    else:
+        path = WIRE_SNAPSHOT_PATH
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",

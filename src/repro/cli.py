@@ -145,6 +145,80 @@ def cmd_decompose(args) -> int:
     return 0
 
 
+def _stamp_wire(args, computation, workers: int) -> int:
+    """``stamp --wire-format delta|bounded:K``: the codec fast path."""
+    from repro.clocks.base import TimestampAssignment
+    from repro.core.fastpath import stamp_batch_wire
+    from repro.sim.wire import (
+        WIRE_FORMAT_BOUNDED,
+        WireError,
+        parse_wire_format,
+    )
+
+    if args.clock != "online":
+        raise SystemExit(
+            "--wire-format applies to the online edge clock only "
+            f"(got --clock {args.clock})"
+        )
+    if workers != 1:
+        raise SystemExit(
+            "--wire-format keeps per-channel codec state and runs "
+            "serially; it cannot be combined with --workers"
+        )
+    try:
+        kind, bound_k = parse_wire_format(args.wire_format)
+    except WireError as exc:
+        raise SystemExit(f"--wire-format: {exc}") from exc
+
+    decomposition = decompose(computation.topology)
+    timestamps, wire_stats = stamp_batch_wire(
+        computation,
+        decomposition,
+        wire_format=args.wire_format,
+        verify=True,
+    )
+    assignment = TimestampAssignment(computation, timestamps)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(assignment_to_dict(assignment), handle, indent=2)
+        print(f"assignment written to {args.output}")
+    else:
+        rows = [
+            [
+                message.name,
+                f"{message.sender}->{message.receiver}",
+                repr(assignment.of(message)),
+            ]
+            for message in computation.messages
+        ]
+        print(render_table(["msg", "channel", "timestamp"], rows))
+    print(
+        f"clock=online vector_size={decomposition.size} "
+        f"messages={len(computation)}"
+    )
+    print(
+        f"wire_format={args.wire_format} "
+        f"frames={wire_stats.frames} "
+        f"payload_bytes={wire_stats.payload_bytes} "
+        f"bytes_per_message={wire_stats.bytes_per_message:.3f} "
+        f"resyncs={wire_stats.resyncs}"
+    )
+    if kind == WIRE_FORMAT_BOUNDED:
+        from repro.obs.audit import Auditor
+
+        audit = Auditor().measure_false_concurrency(
+            computation, timestamps
+        )
+        print(
+            f"bounded:{bound_k} audit: "
+            f"pairs={int(audit['pairs_checked'])} "
+            f"false_concurrency_rate="
+            f"{audit['false_concurrency_rate']:.4f} "
+            f"false_order={int(audit['false_order'])}"
+        )
+    return 0
+
+
 def cmd_stamp(args) -> int:
     computation = computation_from_dict(_load_json(args.trace))
     workers = getattr(args, "workers", 1)
@@ -153,6 +227,9 @@ def cmd_stamp(args) -> int:
             f"--workers must be >= 0, got {workers} "
             "(0 = auto, 1 = serial, N = cap at N workers)"
         )
+    wire_format = getattr(args, "wire_format", "full")
+    if wire_format != "full":
+        return _stamp_wire(args, computation, workers)
     clock = _make_clock(args.clock, computation.topology, workers=workers)
     assignment = clock.timestamp_computation(computation)
     if args.output:
@@ -595,6 +672,15 @@ def cmd_obs_report(args) -> int:
     else:
         print(rendered, end="")
     if gate is not None and not gate.ok:
+        if not gate.hard_ok:
+            # Hard-gated rows (the baseline's hard_gate patterns, e.g.
+            # runtime piggyback bytes) fail even in CI smoke mode.
+            print(
+                "error: hard-gated bench metric(s) regressed "
+                "(--warn-only does not apply)",
+                file=sys.stderr,
+            )
+            return 1
         if args.warn_only:
             print(
                 "warning: bench regression gate failed "
@@ -616,9 +702,14 @@ def cmd_run_distributed(args) -> int:
         run_load,
     )
     from repro.sim.runtime import receive, send
+    from repro.sim.wire import WireError, parse_wire_format
 
     if args.timeout <= 0:
         raise SystemExit("--timeout must be positive")
+    try:
+        parse_wire_format(args.wire_format)
+    except WireError as exc:
+        raise SystemExit(f"--wire-format: {exc}") from exc
 
     with ExitStack() as stack:
         flight = None
@@ -644,6 +735,7 @@ def cmd_run_distributed(args) -> int:
                 rate=args.rate,
                 timeout=args.timeout,
                 transport=args.transport,
+                wire_format=args.wire_format,
             )
         else:
             if args.topology_file:
@@ -671,6 +763,7 @@ def cmd_run_distributed(args) -> int:
                 scripts,
                 timeout=args.timeout,
                 transport=args.transport,
+                wire_format=args.wire_format,
             ).run()
 
         stats = transport.stats
@@ -690,12 +783,18 @@ def cmd_run_distributed(args) -> int:
                 )
                 + " ms",
             ],
+            ["wire format", stats.wire_format],
             ["piggyback bytes", stats.piggyback_bytes],
             [
                 "piggyback bytes/s",
                 f"{stats.piggyback_bytes_per_sec:.1f}",
             ],
+            [
+                "piggyback bytes/msg",
+                f"{stats.piggyback_bytes_per_message:.3f}",
+            ],
             ["piggyback wire bytes", stats.piggyback_wire_bytes],
+            ["delta resyncs", stats.delta_resync_total],
         ]
         print(render_table(["metric", "value"], rows))
 
@@ -777,6 +876,16 @@ def build_parser() -> argparse.ArgumentParser:
         "parallel); 1 = serial (default), 0 = auto-size from the CPU "
         "affinity mask, N = cap at N workers; output is byte-identical "
         "to serial",
+    )
+    stamp_cmd.add_argument(
+        "--wire-format",
+        default="full",
+        metavar="full|delta|bounded:K",
+        help="piggyback codec for the online clock (default full): "
+        "'delta' sends per-channel differential frames with periodic "
+        "resyncs (byte-identical timestamps), 'bounded:K' keeps the K "
+        "hottest components exact and reports the measured "
+        "false-concurrency rate; serial only (no --workers)",
     )
     stamp_cmd.set_defaults(handler=cmd_stamp)
 
@@ -912,6 +1021,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dist_cmd.add_argument(
         "--json-out", help="write the runtime stats JSON here"
+    )
+    dist_cmd.add_argument(
+        "--wire-format",
+        default="full",
+        metavar="full|delta|bounded:K",
+        help="piggyback frame format, negotiated in the control "
+        "header (default full): 'delta' sends differential frames "
+        "per channel with periodic resyncs, 'bounded:K' saturates "
+        "all but the K hottest components",
     )
     dist_cmd.set_defaults(handler=cmd_run_distributed)
 

@@ -1,6 +1,14 @@
 """Timestamping algorithms: the paper's clocks and the baselines."""
 
 from repro.clocks.base import MessageTimestamper, TimestampAssignment
+from repro.clocks.delta import (
+    BoundedEntryCodec,
+    DeltaChannelCodec,
+    FullVectorCodec,
+    PiggybackCodec,
+    bound_components,
+    make_codec,
+)
 from repro.clocks.dependency import DependencyTracer, DirectDependencyRecord
 from repro.clocks.events import (
     EventTimestamp,
@@ -24,9 +32,15 @@ from repro.clocks.singhal_kshemkalyani import (
 )
 
 __all__ = [
+    "BoundedEntryCodec",
+    "DeltaChannelCodec",
+    "FullVectorCodec",
+    "PiggybackCodec",
     "PlausibleCombClock",
     "SKDifferentialClock",
     "TransmissionStats",
+    "bound_components",
+    "make_codec",
     "ordering_accuracy",
     "DependencyTracer",
     "DirectDependencyRecord",

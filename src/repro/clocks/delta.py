@@ -1,0 +1,419 @@
+"""Differential piggyback codecs for the online edge clock.
+
+The Figure 5 algorithm pays ``O(k)`` vector components on every message
+even though consecutive sends on a channel rarely change more than a
+few of them.  This module generalizes the Singhal–Kshemkalyani
+differential idea (:mod:`repro.clocks.singhal_kshemkalyani`, which is
+indexed by *process*) to the paper's **edge-group components**: each
+directed channel keeps a last-sent snapshot on the encoder side and a
+last-received snapshot on the decoder side, and a frame carries only
+the ``(component_index, value)`` pairs that changed since the previous
+frame on that channel.
+
+Three piggyback wire formats (negotiated per connection in the control
+header, see :func:`repro.sim.wire.parse_wire_format`):
+
+``full``
+    The existing LEB128 vector — one varint per component, exactly the
+    bytes :func:`repro.sim.wire.encode_vector` has always produced.
+
+``delta``
+    Stateful differential frames.  The blob is a varint stream whose
+    first varint is a *tag*: ``0`` introduces a **full resync frame**
+    (all ``size`` components, absolute); ``tag >= 1`` is the first
+    changed index plus one, followed by the value *increment*, then
+    further ``(index+1, increment)`` pairs to the end of the blob.  An
+    **empty blob** means "nothing changed" — the common first frame,
+    since both endpoints initialise the channel snapshot to the
+    all-zero vector.  Per-process vectors are monotone under Figure 5
+    (join + increment only), so increments are always >= 1 and the
+    reconstruction is *exact*: committed timestamps are byte-identical
+    to the full-vector path (property-tested).  Resyncs are emitted
+    periodically (``resync_interval``), on :meth:`force_resync` (a
+    reclaimed/timed-out offer whose frame never reached the decoder),
+    and whenever the delta would not be smaller than the full frame.
+
+``bounded:K``
+    Stateless lossy frames inspired by the K-entry clock ring of
+    SNIPPETS' ``clockSync.py`` and Drummond–Barbosa's bounded matrix
+    clocks: the **K hottest components** (largest values, ties to the
+    lowest index) travel exactly as ``(index+1, value)`` pairs; every
+    other component saturates out of the window and reads as zero at
+    the decoder.  Both handshake sides bound their *own* vector with
+    the same rule before merging (see ``OnlineProcessClock(bound_k=K)``)
+    so sender and receiver still agree exactly on every committed
+    timestamp — but the timestamps now under-approximate the true
+    history, which turns some truly ordered pairs into apparent
+    concurrency.  That induced **false-concurrency rate** is a
+    measured quantity, not a hope: see
+    :meth:`repro.obs.audit.Auditor.measure_false_concurrency`.
+
+Observability follows the house discipline (read ``instrument.metrics``
+through the module object at call time, ``None``-test fast path):
+non-full codecs feed ``piggyback_delta_bytes_total`` and
+``delta_resync_total`` when instrumentation is on and cost nothing
+when it is off.
+
+Concurrency contract: a codec instance may be shared by many threads
+as long as each *channel key* is driven by the rendezvous protocol
+(one in-flight frame per directed channel) — per-key state is only
+ever touched by the channel's two endpoints in rendezvous order, and
+the dict operations themselves are atomic under CPython.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.vector import VectorTimestamp
+from repro.exceptions import ClockError
+from repro.obs import instrument as _obs
+from repro.sim.wire import (
+    PB_TAG_FULL,
+    WIRE_FORMAT_BOUNDED,
+    WIRE_FORMAT_DELTA,
+    WIRE_FORMAT_FULL,
+    WireError,
+    decode_varint,
+    encode_varint,
+    parse_wire_format,
+)
+
+__all__ = [
+    "DEFAULT_RESYNC_INTERVAL",
+    "BoundedEntryCodec",
+    "DeltaChannelCodec",
+    "FullVectorCodec",
+    "PiggybackCodec",
+    "bound_components",
+    "make_codec",
+]
+
+#: Delta frames between two full resync frames on one channel.  Small
+#: enough that a silently diverged snapshot (which the timestamp
+#: cross-checks would surface anyway) self-heals quickly; large enough
+#: that steady-state traffic pays the full vector almost never.
+DEFAULT_RESYNC_INTERVAL = 64
+
+ChannelKey = Hashable
+
+
+def bound_components(components: Sequence[int], k: int) -> List[int]:
+    """The bounded-``k`` view of a vector: top-``k`` exact, rest zero.
+
+    "Hottest" means the ``k`` largest values, ties resolved toward the
+    lowest index, so the rule is deterministic and both handshake sides
+    compute the same bounded vector.  Idempotent by construction: a
+    vector with at most ``k`` nonzero entries is returned unchanged.
+    """
+    if k < 1:
+        raise ClockError(f"bounded-K needs K >= 1, got {k}")
+    values = list(components)
+    nonzero = [i for i, value in enumerate(values) if value]
+    if len(nonzero) <= k:
+        return values
+    keep = sorted(nonzero, key=lambda i: (-values[i], i))[:k]
+    kept = set(keep)
+    return [value if i in kept else 0 for i, value in enumerate(values)]
+
+
+class PiggybackCodec:
+    """Base class: per-channel encode/decode of piggybacked vectors.
+
+    ``encode`` consumes any int sequence (a :class:`VectorTimestamp`
+    or the fast path's ``MutableVector``); ``decode`` returns an
+    immutable :class:`VectorTimestamp`.  Subclasses keep whatever
+    per-channel state their format needs and count their own frames.
+    """
+
+    kind: str = WIRE_FORMAT_FULL
+    bound_k: Optional[int] = None
+
+    def __init__(self, size: int):
+        if size < 0:
+            raise WireError(f"vector size must be >= 0, got {size}")
+        self._size = size
+        self.frames = 0
+        self.resyncs = 0
+        self.payload_bytes = 0
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def encode(self, key: ChannelKey, vector) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, key: ChannelKey, blob: bytes) -> VectorTimestamp:
+        raise NotImplementedError
+
+    def force_resync(self, key: ChannelKey) -> None:
+        """Request that the next frame on ``key`` be self-describing.
+
+        No-op for stateless formats; the delta codec uses it after a
+        timed-out offer whose frame the decoder never saw.
+        """
+
+    def reset_channel(self, key: ChannelKey) -> None:
+        """Forget both snapshots of ``key`` (a reconnect).
+
+        Both endpoints of a re-established channel start from the
+        all-zero snapshot again, exactly like a fresh connection, so a
+        reconnect needs no out-of-band handshake.
+        """
+
+    def stats_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "frames": self.frames,
+            "resyncs": self.resyncs,
+            "payload_bytes": self.payload_bytes,
+        }
+
+    def _account(self, blob: bytes, resync: bool) -> None:
+        self.frames += 1
+        self.payload_bytes += len(blob)
+        if resync:
+            self.resyncs += 1
+        if self.kind != WIRE_FORMAT_FULL:
+            m = _obs.metrics
+            if m is not None:
+                m.piggyback_delta_bytes.inc(len(blob))
+                if resync:
+                    m.delta_resync_total.inc()
+
+
+class FullVectorCodec(PiggybackCodec):
+    """The baseline format: one LEB128 varint per component.
+
+    Byte-for-byte the historical wire encoding — a ``full`` connection
+    is indistinguishable from one predating this module.
+    """
+
+    kind = WIRE_FORMAT_FULL
+
+    def encode(self, key: ChannelKey, vector) -> bytes:
+        blob = b"".join(encode_varint(component) for component in vector)
+        self._account(blob, resync=False)
+        return blob
+
+    def decode(self, key: ChannelKey, blob: bytes) -> VectorTimestamp:
+        components = []
+        offset = 0
+        for _ in range(self._size):
+            value, offset = decode_varint(blob, offset)
+            components.append(value)
+        if offset != len(blob):
+            raise WireError(
+                f"full piggyback frame has {len(blob) - offset} "
+                "trailing byte(s)"
+            )
+        return VectorTimestamp(components)
+
+
+class DeltaChannelCodec(PiggybackCodec):
+    """Stateful differential frames with periodic full resyncs."""
+
+    kind = WIRE_FORMAT_DELTA
+
+    def __init__(
+        self,
+        size: int,
+        resync_interval: int = DEFAULT_RESYNC_INTERVAL,
+    ):
+        super().__init__(size)
+        if resync_interval < 0:
+            raise WireError(
+                "resync_interval must be >= 0 (0 disables periodic "
+                f"resyncs), got {resync_interval}"
+            )
+        self._resync_interval = resync_interval
+        self._sent: Dict[ChannelKey, List[int]] = {}
+        self._since_full: Dict[ChannelKey, int] = {}
+        self._received: Dict[ChannelKey, List[int]] = {}
+        self._force: set = set()
+        self.delta_frames = 0
+
+    @property
+    def resync_interval(self) -> int:
+        return self._resync_interval
+
+    def force_resync(self, key: ChannelKey) -> None:
+        self._force.add(key)
+
+    def reset_channel(self, key: ChannelKey) -> None:
+        self._sent.pop(key, None)
+        self._since_full.pop(key, None)
+        self._received.pop(key, None)
+        self._force.discard(key)
+
+    def stats_dict(self) -> Dict[str, object]:
+        stats = super().stats_dict()
+        stats["delta_frames"] = self.delta_frames
+        return stats
+
+    # ------------------------------------------------------------------
+    def _full_blob(self, components: List[int]) -> bytes:
+        parts = [encode_varint(PB_TAG_FULL)]
+        parts.extend(encode_varint(value) for value in components)
+        return b"".join(parts)
+
+    def encode(self, key: ChannelKey, vector) -> bytes:
+        components = [int(value) for value in vector]
+        if len(components) != self._size:
+            raise WireError(
+                f"cannot encode a {len(components)}-component vector "
+                f"on a size-{self._size} channel"
+            )
+        last = self._sent.get(key)
+        if last is None:
+            last = [0] * self._size
+            self._sent[key] = last
+            self._since_full[key] = 0
+        want_full = key in self._force or (
+            self._resync_interval > 0
+            and self._since_full[key] >= self._resync_interval
+        )
+        blob: Optional[bytes] = None
+        if not want_full:
+            parts: List[bytes] = []
+            for index, (new, old) in enumerate(zip(components, last)):
+                if new == old:
+                    continue
+                if new < old:
+                    # Non-monotone input (never the Figure 5 clock);
+                    # increments cannot express it, so resync instead.
+                    want_full = True
+                    break
+                parts.append(encode_varint(index + 1))
+                parts.append(encode_varint(new - old))
+            if not want_full:
+                candidate = b"".join(parts)
+                # Fallback: a delta that saves nothing over the
+                # self-describing frame is not worth the statefulness.
+                if len(candidate) >= self._size + 1:
+                    want_full = True
+                else:
+                    blob = candidate
+        if want_full:
+            blob = self._full_blob(components)
+            self._force.discard(key)
+            self._since_full[key] = 0
+        else:
+            self._since_full[key] += 1
+            self.delta_frames += 1
+        last[:] = components
+        assert blob is not None
+        self._account(blob, resync=want_full)
+        return blob
+
+    def decode(self, key: ChannelKey, blob: bytes) -> VectorTimestamp:
+        last = self._received.get(key)
+        if last is None:
+            last = [0] * self._size
+            self._received[key] = last
+        if not blob:
+            return VectorTimestamp(last)
+        tag, offset = decode_varint(blob, 0)
+        if tag == PB_TAG_FULL:
+            components = []
+            for _ in range(self._size):
+                value, offset = decode_varint(blob, offset)
+                components.append(value)
+            if offset != len(blob):
+                raise WireError(
+                    "resync frame has trailing bytes after "
+                    f"{self._size} components"
+                )
+            last[:] = components
+            return VectorTimestamp(last)
+        while True:
+            index = tag - 1
+            if not 0 <= index < self._size:
+                raise WireError(
+                    f"delta frame names component {index} of a "
+                    f"size-{self._size} vector"
+                )
+            increment, offset = decode_varint(blob, offset)
+            if increment == 0:
+                raise WireError("delta frame carries a zero increment")
+            last[index] += increment
+            if offset == len(blob):
+                return VectorTimestamp(last)
+            tag, offset = decode_varint(blob, offset)
+
+
+class BoundedEntryCodec(PiggybackCodec):
+    """Stateless lossy frames: at most ``k`` ``(index, value)`` pairs."""
+
+    kind = WIRE_FORMAT_BOUNDED
+
+    def __init__(self, size: int, k: int):
+        super().__init__(size)
+        if k < 1:
+            raise WireError(f"bounded-K needs K >= 1, got {k}")
+        self.bound_k = k
+
+    def encode(self, key: ChannelKey, vector) -> bytes:
+        # Defensive re-bound: the clock already bounded its vector, and
+        # bounding is idempotent, so this is a no-op on the hot path.
+        components = bound_components(
+            [int(value) for value in vector], self.bound_k
+        )
+        if len(components) != self._size:
+            raise WireError(
+                f"cannot encode a {len(components)}-component vector "
+                f"on a size-{self._size} channel"
+            )
+        parts: List[bytes] = []
+        for index, value in enumerate(components):
+            if value:
+                parts.append(encode_varint(index + 1))
+                parts.append(encode_varint(value))
+        blob = b"".join(parts)
+        self._account(blob, resync=False)
+        return blob
+
+    def decode(self, key: ChannelKey, blob: bytes) -> VectorTimestamp:
+        components = [0] * self._size
+        offset = 0
+        while offset < len(blob):
+            tag, offset = decode_varint(blob, offset)
+            index = tag - 1
+            if not 0 <= index < self._size:
+                raise WireError(
+                    f"bounded frame names component {index} of a "
+                    f"size-{self._size} vector"
+                )
+            value, offset = decode_varint(blob, offset)
+            components[index] = value
+        return VectorTimestamp(components)
+
+
+def make_codec(
+    wire_format: str,
+    size: int,
+    resync_interval: int = DEFAULT_RESYNC_INTERVAL,
+) -> PiggybackCodec:
+    """Build the codec for a ``full`` / ``delta`` / ``bounded:K`` spec."""
+    kind, k = parse_wire_format(wire_format)
+    if kind == WIRE_FORMAT_FULL:
+        return FullVectorCodec(size)
+    if kind == WIRE_FORMAT_DELTA:
+        return DeltaChannelCodec(size, resync_interval=resync_interval)
+    assert kind == WIRE_FORMAT_BOUNDED and k is not None
+    return BoundedEntryCodec(size, k)
+
+
+# ----------------------------------------------------------------------
+# Channel-key helpers
+# ----------------------------------------------------------------------
+def channel_key(src, dst) -> Tuple:
+    """The directed-channel key both endpoints agree on.
+
+    Every frame from ``src`` to ``dst`` — program-message offers *and*
+    Figure 5 acknowledgements — shares one snapshot stream: the
+    rendezvous protocol keeps at most one frame per directed channel in
+    flight, so encoder order and decoder order provably coincide.
+    """
+    return (src, dst)

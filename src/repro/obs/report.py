@@ -16,15 +16,30 @@ scalars, and metric *names* carry the semantics —
 * ``*_per_sec`` and ``*speedup*`` are throughput-like (higher is
   better) and participate in the regression gate;
 * ``*overhead_ratio*`` is cost-like (lower is better) and gated;
+* ``*_bytes_per_message`` and piggyback byte totals are wire-cost
+  metrics (lower is better) and gated;
+* ``*false_concurrency_rate*`` is an accuracy diagnostic (lower is
+  better) rendered but not gated — it depends on the chosen K, not on
+  code regressions;
 * ``*seconds*`` are informational (machine-dependent absolutes) and
   rendered but never gated.
 
 So future benchmarks join the trajectory just by following the naming
 convention — no registry edits needed.
+
+A baseline may additionally carry a top-level ``hard_gate`` block::
+
+    "hard_gate": {"patterns": ["runtime/*/piggyback*"], "tolerance": 0.1}
+
+Metrics whose key matches one of the ``fnmatch`` patterns are *hard*
+gated: a regression beyond the hard tolerance fails the run even when
+the caller asked for ``--warn-only``.  This is how the wire-format
+bytes-per-message rows are kept from silently regressing.
 """
 
 from __future__ import annotations
 
+import fnmatch
 import json
 import pathlib
 from typing import Dict, List, Optional, Tuple, Union
@@ -53,6 +68,12 @@ def classify_metric(name: str) -> Tuple[str, bool]:
     if "speedup" in name:
         return "higher", True
     if "overhead_ratio" in name:
+        return "lower", True
+    if "false_concurrency_rate" in name:
+        return "lower", False
+    if name.endswith("bytes_per_message"):
+        return "lower", True
+    if "piggyback" in name and "bytes" in name:
         return "lower", True
     if "seconds" in name:
         return "lower", False
@@ -94,6 +115,45 @@ class BenchMetric:
         return f"BenchMetric({self.key}={self.value})"
 
 
+class HardGate:
+    """Baseline-declared metrics that must never regress past tolerance.
+
+    ``patterns`` are ``fnmatch`` globs over metric keys (e.g.
+    ``runtime/*/piggyback*``).  A matching gated metric that regresses
+    beyond ``tolerance`` is a *hard* failure: the comparison fails even
+    under ``--warn-only``.
+    """
+
+    __slots__ = ("patterns", "tolerance")
+
+    def __init__(self, patterns: List[str], tolerance: float = 0.1):
+        if tolerance < 0:
+            raise BenchReportError(
+                f"hard gate tolerance must be non-negative, got {tolerance}"
+            )
+        self.patterns = [str(p) for p in patterns]
+        self.tolerance = float(tolerance)
+
+    def matches(self, key: str) -> bool:
+        return any(fnmatch.fnmatch(key, p) for p in self.patterns)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"patterns": list(self.patterns),
+                "tolerance": self.tolerance}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HardGate":
+        if not isinstance(data, dict) or "patterns" not in data:
+            raise BenchReportError(
+                "hard_gate must be an object with a 'patterns' list"
+            )
+        patterns = data["patterns"]
+        if not isinstance(patterns, list):
+            raise BenchReportError("hard_gate 'patterns' must be a list")
+        return cls(patterns=patterns,
+                   tolerance=float(data.get("tolerance", 0.1)))
+
+
 class BenchReport:
     """The merged, normalized view of every loaded snapshot."""
 
@@ -101,9 +161,11 @@ class BenchReport:
         self,
         sources: Dict[str, Dict[str, object]],
         metrics: List[BenchMetric],
+        hard_gate: Optional[HardGate] = None,
     ):
         self.sources = sources
         self.metrics = metrics
+        self.hard_gate = hard_gate
 
     def metric_map(self) -> Dict[str, BenchMetric]:
         return {metric.key: metric for metric in self.metrics}
@@ -112,13 +174,16 @@ class BenchReport:
         return [metric for metric in self.metrics if metric.gated]
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "schema": SCHEMA,
             "sources": self.sources,
             "metrics": {
                 metric.key: metric.to_dict() for metric in self.metrics
             },
         }
+        if self.hard_gate is not None:
+            data["hard_gate"] = self.hard_gate.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "BenchReport":
@@ -146,7 +211,11 @@ class BenchReport:
                 )
             )
         sources = data.get("sources", {})
-        return cls(sources=dict(sources), metrics=metrics)
+        hard_gate = None
+        if "hard_gate" in data:
+            hard_gate = HardGate.from_dict(data["hard_gate"])
+        return cls(sources=dict(sources), metrics=metrics,
+                   hard_gate=hard_gate)
 
     def __len__(self) -> int:
         return len(self.metrics)
@@ -284,15 +353,27 @@ class GateResult:
         regressions: List[GateFinding],
         improvements: List[GateFinding],
         missing: List[str],
+        hard_failures: Optional[List[GateFinding]] = None,
     ):
         self.tolerance = tolerance
         self.regressions = regressions
         self.improvements = improvements
         self.missing = missing
+        self.hard_failures = hard_failures or []
 
     @property
     def ok(self) -> bool:
-        return not self.regressions
+        return not self.regressions and not self.hard_failures
+
+    @property
+    def hard_ok(self) -> bool:
+        """True when no *hard-gated* metric regressed.
+
+        Hard failures cannot be downgraded to warnings: callers honor
+        ``--warn-only`` for ordinary regressions but must still fail
+        when ``hard_ok`` is False.
+        """
+        return not self.hard_failures
 
     def describe(self) -> str:
         lines = [
@@ -301,6 +382,10 @@ class GateResult:
             f"{len(self.improvements)} improvement(s), "
             f"{len(self.missing)} missing metric(s)"
         ]
+        if self.hard_failures:
+            lines[0] += f", {len(self.hard_failures)} HARD failure(s)"
+        for finding in self.hard_failures:
+            lines.append(f"  HARD FAIL  {finding.describe()}")
         for finding in self.regressions:
             lines.append(f"  REGRESSION {finding.describe()}")
         for finding in self.improvements:
@@ -325,6 +410,8 @@ class GateResult:
         return {
             "tolerance": self.tolerance,
             "ok": self.ok,
+            "hard_ok": self.hard_ok,
+            "hard_failures": rows(self.hard_failures),
             "regressions": rows(self.regressions),
             "improvements": rows(self.improvements),
             "missing": list(self.missing),
@@ -343,14 +430,21 @@ def compare_reports(
     when it moves the other way by more than ``tolerance``.  Metrics
     present only in the baseline are reported as missing (they fail no
     gate — a removed benchmark is a review question, not a perf bug).
+
+    When the baseline declares a ``hard_gate`` block, metrics whose
+    key matches one of its patterns use the hard tolerance and land in
+    ``hard_failures`` instead of ``regressions`` — callers must fail
+    on those even under warn-only reporting.
     """
     if tolerance < 0:
         raise BenchReportError(
             f"tolerance must be non-negative, got {tolerance}"
         )
+    hard_gate = baseline.hard_gate
     current_map = current.metric_map()
     regressions: List[GateFinding] = []
     improvements: List[GateFinding] = []
+    hard_failures: List[GateFinding] = []
     missing: List[str] = []
     for metric in baseline.metrics:
         if not metric.gated:
@@ -370,17 +464,22 @@ def compare_reports(
             change=change,
             direction=metric.direction,
         )
-        if worse > tolerance:
+        hard = hard_gate is not None and hard_gate.matches(metric.key)
+        if hard and worse > hard_gate.tolerance:
+            hard_failures.append(finding)
+        elif worse > tolerance:
             regressions.append(finding)
         elif worse < -tolerance:
             improvements.append(finding)
     regressions.sort(key=lambda f: f.key)
     improvements.sort(key=lambda f: f.key)
+    hard_failures.sort(key=lambda f: f.key)
     return GateResult(
         tolerance=tolerance,
         regressions=regressions,
         improvements=improvements,
         missing=sorted(missing),
+        hard_failures=hard_failures,
     )
 
 
@@ -395,6 +494,10 @@ def _format_value(metric: BenchMetric) -> str:
         return f"{value:.6f}s"
     if "speedup" in metric.name:
         return f"{value:.2f}x"
+    if metric.name.endswith("bytes_per_message"):
+        return f"{value:.3f} B/msg"
+    if "rate" in metric.name and abs(value) <= 1.0:
+        return f"{value:.4f}"
     if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
         return str(int(round(value)))
     return f"{value:.4f}"
@@ -471,8 +574,11 @@ def render_markdown(
         lines.append(
             f"Regression gate {verdict} at tolerance "
             f"{gate.tolerance:.0%}: {len(gate.regressions)} "
-            f"regression(s), {len(gate.improvements)} improvement(s)."
+            f"regression(s), {len(gate.improvements)} improvement(s), "
+            f"{len(gate.hard_failures)} hard failure(s)."
         )
+        for finding in gate.hard_failures:
+            lines.append(f"- HARD FAIL {finding.describe()}")
         for finding in gate.regressions:
             lines.append(f"- REGRESSION {finding.describe()}")
     return "\n".join(lines) + "\n"

@@ -80,6 +80,7 @@ from repro.sim.runtime import (
     ReceiveAction,
     SendAction,
 )
+from repro.clocks.delta import make_codec
 from repro.sim.wire import (
     MSG_ACK_DOWN,
     MSG_ACK_UP,
@@ -93,11 +94,11 @@ from repro.sim.wire import (
     MSG_RECV,
     MSG_SHUTDOWN,
     MSG_TIMEOUT,
+    WIRE_FORMAT_FULL,
     FrameBuffer,
     FrameSocket,
     WireError,
-    decode_vector,
-    encode_vector,
+    parse_wire_format,
     send_message,
 )
 
@@ -172,16 +173,21 @@ def _node_worker(
     address: Any,
     timeout: float,
     pace_seconds: float,
+    wire_format: str = "full",
 ) -> None:
     """Entry point of one node process (spawn- and fork-safe).
 
     Runs the script sequentially; every rendezvous is one blocking
     request/response exchange with the coordinator, with the node's
     :class:`OnlineProcessClock` doing exactly the Figure 5 clock work
-    on the piggybacked bytes.
+    on the piggybacked bytes.  All piggybacks pass through the
+    negotiated wire-format codec; ``full`` reproduces the historical
+    LEB128 bytes exactly.
     """
-    clock = OnlineProcessClock(name, decomposition)
-    size = decomposition.size
+    codec = make_codec(wire_format, decomposition.size)
+    clock = OnlineProcessClock(
+        name, decomposition, bound_k=codec.bound_k
+    )
     sock = _connect(family, address, time.monotonic() + timeout)
     fs = FrameSocket(sock)
     # Backstop only: the coordinator enforces the real rendezvous
@@ -189,13 +195,20 @@ def _node_worker(
     fs.settimeout(timeout * 2 + 5.0)
     try:
         fs.send_message(
-            MSG_HELLO, {"node": name, "actions": len(actions)}
+            MSG_HELLO,
+            {
+                "node": name,
+                "actions": len(actions),
+                "wire_format": wire_format,
+            },
         )
         for action in actions:
             if isinstance(action, SendAction):
                 if pace_seconds > 0.0:
                     time.sleep(pace_seconds)
-                piggy = encode_vector(clock.prepare_send())
+                piggy = codec.encode(
+                    (name, action.to), clock.prepare_send()
+                )
                 fs.send_message(
                     MSG_OFFER,
                     {"to": action.to, "payload": action.payload},
@@ -217,7 +230,7 @@ def _node_worker(
                     raise WireError(
                         f"unexpected frame kind {kind} during a send"
                     )
-                ack, _ = decode_vector(vec, size)
+                ack = codec.decode((action.to, name), vec)
                 timestamp = clock.on_acknowledgement(action.to, ack)
                 receiver_view = header.get("timestamp")
                 if receiver_view is not None and list(
@@ -248,14 +261,14 @@ def _node_worker(
                     raise WireError(
                         f"unexpected frame kind {kind} during a receive"
                     )
-                piggybacked, _ = decode_vector(vec, size)
+                piggybacked = codec.decode((header["sender"], name), vec)
                 ack_vector, timestamp = clock.on_receive(
                     header["sender"], piggybacked
                 )
                 fs.send_message(
                     MSG_ACK_UP,
                     {"timestamp": list(timestamp)},
-                    encode_vector(ack_vector),
+                    codec.encode((name, header["sender"]), ack_vector),
                 )
             elif isinstance(action, ComputeAction):
                 fs.send_message(MSG_INTERNAL, {"label": action.label})
@@ -266,7 +279,12 @@ def _node_worker(
                 raise SimulationError(
                     f"unknown action {action!r} on {name!r}"
                 )
-        fs.send_message(MSG_DONE, {})
+        done_header: Dict[str, Any] = {}
+        if codec.kind != WIRE_FORMAT_FULL:
+            # Per-node codec counters ride home in the control header;
+            # the coordinator aggregates them into RuntimeStats.
+            done_header["wire"] = codec.stats_dict()
+        fs.send_message(MSG_DONE, done_header)
     except RuntimeDeadlockError as exc:
         _best_effort_fail(fs, str(exc), "deadlock")
     except BaseException as exc:  # noqa: BLE001 - surfaced to the coord
@@ -337,6 +355,13 @@ class RuntimeStats:
     frames: int = 0
     piggyback_bytes: int = 0
     piggyback_wire_bytes: int = 0
+    #: The negotiated piggyback format of the run ("full" / "delta" /
+    #: "bounded:K"); ``piggyback_bytes`` measures whatever format was
+    #: actually on the wire.
+    wire_format: str = "full"
+    #: Full-vector resync frames reported by the nodes' delta codecs
+    #: (0 for full/bounded runs).
+    delta_resync_total: int = 0
     wall_seconds: float = 0.0
     traffic_seconds: float = 0.0
     block_sketch: QuantileSketch = field(
@@ -356,6 +381,13 @@ class RuntimeStats:
         window = self.traffic_seconds
         return self.piggyback_bytes / window if window > 0 else 0.0
 
+    @property
+    def piggyback_bytes_per_message(self) -> float:
+        """Wire piggyback bytes per committed message (both legs)."""
+        if self.messages <= 0:
+            return 0.0
+        return self.piggyback_bytes / self.messages
+
     def block_quantiles_ms(self) -> Dict[str, float]:
         return {
             f"p{int(q * 100)}": self.block_sketch.quantile(q) * 1e3
@@ -371,6 +403,9 @@ class RuntimeStats:
             "frames": self.frames,
             "piggyback_bytes": self.piggyback_bytes,
             "piggyback_wire_bytes": self.piggyback_wire_bytes,
+            "piggyback_bytes_per_message": self.piggyback_bytes_per_message,
+            "wire_format": self.wire_format,
+            "delta_resync_total": self.delta_resync_total,
             "wall_seconds": self.wall_seconds,
             "traffic_seconds": self.traffic_seconds,
             "messages_per_sec": self.messages_per_sec,
@@ -445,11 +480,13 @@ class _Coordinator:
         expected: Sequence[Process],
         timeout: float,
         idle_timeout: float,
+        wire_format: str = "full",
     ):
         self._decomposition = decomposition
         self._expected = set(expected)
         self._timeout = timeout
         self._idle_timeout = idle_timeout
+        self._wire_format = wire_format
         self._selector = selectors.DefaultSelector()
         self._conn_of: Dict[Process, socket.socket] = {}
         self._buffers: Dict[socket.socket, FrameBuffer] = {}
@@ -466,6 +503,7 @@ class _Coordinator:
         self._first_offer_t: Optional[float] = None
         self._last_commit_t: Optional[float] = None
         self.result = DistributedTransport(decomposition)
+        self.result.stats.wire_format = wire_format
 
     # -- helpers -------------------------------------------------------
     def _send(
@@ -541,6 +579,15 @@ class _Coordinator:
         name = header.get("node")
         if name not in self._expected:
             raise WireError(f"unexpected node {name!r} connected")
+        peer_format = header.get("wire_format", WIRE_FORMAT_FULL)
+        if peer_format != self._wire_format:
+            # Negotiation: every connection must speak the run's
+            # format — a full-vector peer on a delta run would feed
+            # absolute components into stateful decoders.
+            raise WireError(
+                f"node {name!r} negotiated wire format "
+                f"{peer_format!r}, run expects {self._wire_format!r}"
+            )
         self._names[conn] = name
         self._conn_of[name] = conn
         fr = _flightrec.recorder
@@ -749,6 +796,11 @@ class _Coordinator:
     ) -> None:
         fr = _flightrec.recorder
         if kind == MSG_DONE:
+            wire = header.get("wire")
+            if isinstance(wire, dict):
+                self.result.stats.delta_resync_total += int(
+                    wire.get("resyncs", 0)
+                )
             if fr is not None:
                 fr.record(_flightrec.SCRIPT_END, name)
         elif kind == MSG_CRASHED:
@@ -1035,7 +1087,9 @@ class DistributedScriptRunner:
         transport: str = "auto",
         pace: Optional[Dict[Process, float]] = None,
         idle_timeout: Optional[float] = None,
+        wire_format: str = "full",
     ):
+        parse_wire_format(wire_format)  # fail fast on a bad spec
         unknown = [
             p for p in scripts if p not in decomposition.graph.vertices
         ]
@@ -1059,6 +1113,7 @@ class DistributedScriptRunner:
         self._idle_timeout = (
             timeout * 2 if idle_timeout is None else idle_timeout
         )
+        self._wire_format = wire_format
 
     def run(self, raise_on_error: bool = True) -> DistributedTransport:
         """Spawn the node processes, run the coordinator, collect.
@@ -1083,6 +1138,7 @@ class DistributedScriptRunner:
                         address,
                         self._timeout,
                         self._pace.get(name, 0.0),
+                        self._wire_format,
                     ),
                     daemon=True,
                 )
@@ -1093,6 +1149,7 @@ class DistributedScriptRunner:
                 list(self._scripts),
                 self._timeout,
                 self._idle_timeout,
+                wire_format=self._wire_format,
             )
             result = coordinator.serve(listener)
         finally:
@@ -1178,6 +1235,7 @@ def run_load(
     timeout: float = 30.0,
     transport: str = "auto",
     payload: Any = "x",
+    wire_format: str = "full",
 ) -> DistributedTransport:
     """Drive sustained rendezvous traffic through node processes.
 
@@ -1202,5 +1260,6 @@ def run_load(
         timeout=timeout,
         transport=transport,
         pace=pace,
+        wire_format=wire_format,
     )
     return runner.run()

@@ -106,6 +106,11 @@ class _Offer:
     completed: threading.Event = field(default_factory=threading.Event)
     ack_vector: Optional[VectorTimestamp] = None
     timestamp: Optional[VectorTimestamp] = None
+    #: Encoded piggyback frames when a non-full wire format is active —
+    #: the receiver decodes ``piggy_blob`` and the sender decodes
+    #: ``ack_blob``, so the codec is genuinely on the message path.
+    piggy_blob: Optional[bytes] = None
+    ack_blob: Optional[bytes] = None
 
 
 @dataclass(frozen=True)
@@ -134,16 +139,31 @@ class SynchronousTransport:
         self,
         decomposition: EdgeDecomposition,
         timeout: float = 10.0,
+        wire_format: str = "full",
     ):
         self._decomposition = decomposition
         self._timeout = timeout
+        self._wire_format = wire_format
+        bound_k: Optional[int] = None
+        if wire_format == "full":
+            # The historical path: vectors travel as objects, no codec
+            # on the hot path.
+            self._codec = None
+        else:
+            # Imported lazily: repro.clocks.delta pulls in
+            # repro.sim.wire, whose package __init__ imports this
+            # module — a top-level import here would be circular.
+            from repro.clocks.delta import make_codec
+
+            self._codec = make_codec(wire_format, decomposition.size)
+            bound_k = self._codec.bound_k
         self._lock = threading.Lock()
         self._arrival = threading.Condition(self._lock)
         self._inboxes: Dict[Process, List[_Offer]] = {
             p: [] for p in decomposition.graph.vertices
         }
         self._clocks: Dict[Process, OnlineProcessClock] = {
-            p: OnlineProcessClock(p, decomposition)
+            p: OnlineProcessClock(p, decomposition, bound_k=bound_k)
             for p in decomposition.graph.vertices
         }
         self._log: List[DeliveredMessage] = []
@@ -201,6 +221,10 @@ class SynchronousTransport:
         ) as sp:
             with self._lock:
                 offer = _Offer(sender, payload, clock.prepare_send())
+                if self._codec is not None:
+                    offer.piggy_blob = self._codec.encode(
+                        (sender, to), offer.piggybacked
+                    )
                 self._inboxes[to].append(offer)
                 self._arrival.notify_all()
             if fr is not None:
@@ -226,6 +250,12 @@ class SynchronousTransport:
                         completed = True
                     else:
                         self._inboxes[to].remove(offer)
+                        if self._codec is not None:
+                            # The reclaimed offer's frame advanced the
+                            # encoder snapshot but the decoder never saw
+                            # it; the next frame on this channel must be
+                            # self-describing or the sides desynchronise.
+                            self._codec.force_resync((sender, to))
             if timed:
                 waited = time.perf_counter() - wait_started
                 if m is not None:
@@ -249,21 +279,27 @@ class SynchronousTransport:
                     "no matching receive"
                 )
             assert offer.ack_vector is not None
+            if self._codec is not None:
+                assert offer.ack_blob is not None
+                # Decode the real frame — divergence from the vector
+                # the receiver committed against would trip the
+                # timestamp cross-check below.
+                ack_vector = self._codec.decode(
+                    (to, sender), offer.ack_blob
+                )
+            else:
+                ack_vector = offer.ack_vector
             if m is not None:
                 stamp_started = time.perf_counter()
-                timestamp = clock.on_acknowledgement(
-                    to, offer.ack_vector
-                )
+                timestamp = clock.on_acknowledgement(to, ack_vector)
                 m.stamp_latency_quantiles.observe(
                     time.perf_counter() - stamp_started
                 )
                 m.piggyback_quantiles.observe(
-                    _obs.piggyback_size_bytes(offer.ack_vector)
+                    _obs.piggyback_size_bytes(ack_vector)
                 )
             else:
-                timestamp = clock.on_acknowledgement(
-                    to, offer.ack_vector
-                )
+                timestamp = clock.on_acknowledgement(to, ack_vector)
             if timestamp != offer.timestamp:  # pragma: no cover
                 raise SimulationError(
                     "sender and receiver disagree on a message timestamp"
@@ -327,22 +363,33 @@ class SynchronousTransport:
                             status="matched",
                             seconds=waited,
                         )
+                if self._codec is not None:
+                    assert offer.piggy_blob is not None
+                    piggybacked = self._codec.decode(
+                        (offer.sender, receiver), offer.piggy_blob
+                    )
+                else:
+                    piggybacked = offer.piggybacked
                 if m is not None:
                     stamp_started = time.perf_counter()
                     ack_vector, timestamp = clock.on_receive(
-                        offer.sender, offer.piggybacked
+                        offer.sender, piggybacked
                     )
                     m.stamp_latency_quantiles.observe(
                         time.perf_counter() - stamp_started
                     )
                     m.piggyback_quantiles.observe(
-                        _obs.piggyback_size_bytes(offer.piggybacked)
+                        _obs.piggyback_size_bytes(piggybacked)
                     )
                 else:
                     ack_vector, timestamp = clock.on_receive(
-                        offer.sender, offer.piggybacked
+                        offer.sender, piggybacked
                     )
                 offer.ack_vector = ack_vector
+                if self._codec is not None:
+                    offer.ack_blob = self._codec.encode(
+                        (receiver, offer.sender), ack_vector
+                    )
                 offer.timestamp = timestamp
                 self._log.append(
                     DeliveredMessage(
@@ -436,6 +483,18 @@ class SynchronousTransport:
 
     # ------------------------------------------------------------------
     @property
+    def wire_format(self) -> str:
+        """The negotiated piggyback wire format of this transport."""
+        return self._wire_format
+
+    def wire_summary(self) -> Optional[Dict[str, int]]:
+        """Codec frame/byte counters, or ``None`` in ``full`` mode."""
+        if self._codec is None:
+            return None
+        with self._lock:
+            return self._codec.stats_dict()
+
+    @property
     def log(self) -> List[DeliveredMessage]:
         """Committed messages in global commit order."""
         with self._lock:
@@ -497,6 +556,7 @@ class ScriptRunner:
         scripts: Dict[Process, Sequence[Action]],
         timeout: float = 10.0,
         join_timeout: Optional[float] = None,
+        wire_format: str = "full",
     ):
         unknown = [
             p for p in scripts if p not in decomposition.graph.vertices
@@ -508,6 +568,7 @@ class ScriptRunner:
         self._decomposition = decomposition
         self._scripts = {p: list(actions) for p, actions in scripts.items()}
         self._timeout = timeout
+        self._wire_format = wire_format
         #: How long to wait for each worker thread after its script ran
         #: (a thread can outlive every rendezvous timeout only if it is
         #: wedged in non-transport code).  Defaults to ``2 * timeout``.
@@ -524,7 +585,9 @@ class ScriptRunner:
         transport's :attr:`SynchronousTransport.errors`.
         """
         transport = SynchronousTransport(
-            self._decomposition, timeout=self._timeout
+            self._decomposition,
+            timeout=self._timeout,
+            wire_format=self._wire_format,
         )
         errors: List[BaseException] = []
         errors_lock = threading.Lock()

@@ -65,6 +65,50 @@ class WireError(SimulationError):
 
 
 # ----------------------------------------------------------------------
+# Piggyback wire formats
+# ----------------------------------------------------------------------
+#: The historical encoding: one LEB128 varint per vector component.
+WIRE_FORMAT_FULL = "full"
+#: Stateful differential frames (see :mod:`repro.clocks.delta`).
+WIRE_FORMAT_DELTA = "delta"
+#: Stateless lossy ``(index, value)`` frames, at most K entries.
+WIRE_FORMAT_BOUNDED = "bounded"
+
+#: First varint of a delta-format blob: 0 introduces a full-vector
+#: resync frame; any value >= 1 is the first changed index plus one.
+PB_TAG_FULL = 0
+
+
+def parse_wire_format(spec: str) -> Tuple[str, Optional[int]]:
+    """Parse ``full`` / ``delta`` / ``bounded:K`` into ``(kind, K)``.
+
+    The same string travels in the ``MSG_HELLO`` control header, where
+    the coordinator rejects any node whose negotiated format differs
+    from the run's — mixing stateful delta channels with full-vector
+    peers would silently desynchronise the snapshots.
+    """
+    if not isinstance(spec, str):
+        raise WireError(f"wire format must be a string, got {spec!r}")
+    if spec in (WIRE_FORMAT_FULL, WIRE_FORMAT_DELTA):
+        return spec, None
+    if spec.startswith(WIRE_FORMAT_BOUNDED + ":"):
+        raw = spec[len(WIRE_FORMAT_BOUNDED) + 1:]
+        try:
+            k = int(raw)
+        except ValueError:
+            raise WireError(
+                f"bad bounded wire format {spec!r}: K must be an integer"
+            ) from None
+        if k < 1:
+            raise WireError(f"bounded wire format needs K >= 1, got {k}")
+        return WIRE_FORMAT_BOUNDED, k
+    raise WireError(
+        f"unknown wire format {spec!r} "
+        "(expected full, delta, or bounded:K)"
+    )
+
+
+# ----------------------------------------------------------------------
 # LEB128 vector codec
 # ----------------------------------------------------------------------
 def encode_varint(value: int) -> bytes:
@@ -184,6 +228,36 @@ class FrameBuffer:
         return unpack_message(payload)
 
 
+def _sendall(sock, data: bytes) -> None:
+    """``sendall`` that survives ``EINTR`` with partial progress.
+
+    PEP 475 makes most syscalls retry on ``EINTR`` automatically, but a
+    signal handler that raises still aborts ``sock.sendall`` with an
+    unknown number of bytes already written — resending from the start
+    would corrupt the frame stream.  A manual ``send`` loop knows
+    exactly how far it got, so an ``InterruptedError`` simply retries
+    the remainder.
+    """
+    view = memoryview(data)
+    while view:
+        try:
+            sent = sock.send(view)
+        except InterruptedError:
+            continue
+        if sent <= 0:
+            raise WireError("socket refused to accept frame bytes")
+        view = view[sent:]
+
+
+def _recv_retry(sock, count: int) -> bytes:
+    """One ``recv`` call, retried across ``EINTR`` interruptions."""
+    while True:
+        try:
+            return sock.recv(count)
+        except InterruptedError:
+            continue
+
+
 def send_message(
     sock: socket.socket,
     kind: int,
@@ -197,7 +271,7 @@ def send_message(
             f"frame of {len(payload)} bytes exceeds the "
             f"{MAX_FRAME_BYTES}-byte cap"
         )
-    sock.sendall(_LEN.pack(len(payload)) + payload)
+    _sendall(sock, _LEN.pack(len(payload)) + payload)
     return len(payload)
 
 
@@ -224,7 +298,7 @@ class FrameSocket:
                 f"frame of {len(payload)} bytes exceeds the "
                 f"{MAX_FRAME_BYTES}-byte cap"
             )
-        self._sock.sendall(_LEN.pack(len(payload)) + payload)
+        _sendall(self._sock, _LEN.pack(len(payload)) + payload)
 
     def send_message(
         self, kind: int, header: Dict[str, Any], vector_bytes: bytes = b""
@@ -236,7 +310,7 @@ class FrameSocket:
 
     def _recv_exact(self, count: int) -> bytes:
         while len(self._recv_buffer) < count:
-            chunk = self._sock.recv(65536)
+            chunk = _recv_retry(self._sock, 65536)
             if not chunk:
                 raise WireError("peer closed the connection mid-frame")
             self._recv_buffer.extend(chunk)
@@ -248,7 +322,7 @@ class FrameSocket:
         """One frame payload, or ``None`` on a clean EOF between frames."""
         if not self._recv_buffer:
             try:
-                chunk = self._sock.recv(65536)
+                chunk = _recv_retry(self._sock, 65536)
             except (ConnectionResetError, BrokenPipeError):
                 return None
             if not chunk:

@@ -1,0 +1,218 @@
+"""Unit tests for the differential piggyback codec layer.
+
+The delta codec is a *wire* optimization: whatever frames travel, the
+decoder must reconstruct exactly the vector the encoder held.  These
+tests pin the frame grammar (tag folding, resync triggers, fallback),
+the stateless bounded-entry frames, and the saturation kernel.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.clocks.delta import (
+    DEFAULT_RESYNC_INTERVAL,
+    BoundedEntryCodec,
+    DeltaChannelCodec,
+    FullVectorCodec,
+    bound_components,
+    channel_key,
+    make_codec,
+)
+from repro.exceptions import ClockError
+from repro.sim.wire import (
+    WireError,
+    encode_vector,
+    parse_wire_format,
+)
+
+
+class TestParseWireFormat:
+    def test_plain_formats(self):
+        assert parse_wire_format("full") == ("full", None)
+        assert parse_wire_format("delta") == ("delta", None)
+
+    def test_bounded_with_k(self):
+        assert parse_wire_format("bounded:1") == ("bounded", 1)
+        assert parse_wire_format("bounded:64") == ("bounded", 64)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "Full", "bounded", "bounded:", "bounded:zero", "bounded:0",
+         "bounded:-3", "delta:4"],
+    )
+    def test_rejects_malformed(self, spec):
+        with pytest.raises(WireError):
+            parse_wire_format(spec)
+
+    def test_rejects_non_string(self):
+        with pytest.raises(WireError):
+            parse_wire_format(7)
+
+
+class TestBoundComponents:
+    def test_keeps_k_largest(self):
+        assert bound_components([5, 1, 9, 3], 2) == [5, 0, 9, 0]
+
+    def test_ties_keep_lowest_index(self):
+        assert bound_components([4, 4, 4], 2) == [4, 4, 0]
+
+    def test_idempotent_when_sparse(self):
+        sparse = [0, 7, 0, 2]
+        assert bound_components(sparse, 2) == sparse
+        assert bound_components(sparse, 3) == sparse
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ClockError):
+            bound_components([1, 2], 0)
+
+
+class TestMakeCodec:
+    def test_kinds(self):
+        assert make_codec("full", 4).kind == "full"
+        assert make_codec("delta", 4).kind == "delta"
+        bounded = make_codec("bounded:3", 4)
+        assert bounded.kind == "bounded"
+        assert bounded.bound_k == 3
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(WireError):
+            make_codec("gzip", 4)
+
+
+class TestFullVectorCodec:
+    def test_byte_identical_to_encode_vector(self):
+        codec = FullVectorCodec(3)
+        key = channel_key("P1", "P2")
+        for vector in ([0, 0, 0], [1, 0, 300], [2**20, 5, 1]):
+            assert codec.encode(key, vector) == encode_vector(vector)
+            assert list(codec.decode(key, encode_vector(vector))) == vector
+
+    def test_decode_rejects_trailing_bytes(self):
+        codec = FullVectorCodec(2)
+        blob = encode_vector([1, 2]) + b"\x00"
+        with pytest.raises(WireError):
+            codec.decode(channel_key("a", "b"), blob)
+
+
+class TestDeltaChannelCodec:
+    def test_first_frame_against_zero_snapshot(self):
+        codec = DeltaChannelCodec(4)
+        key = channel_key("P1", "P2")
+        blob = codec.encode(key, [0, 2, 0, 0])
+        # One changed component: (index+1, increment) = 2 bytes.
+        assert len(blob) == 2
+        assert list(codec.decode(key, blob)) == [0, 2, 0, 0]
+
+    def test_unchanged_vector_is_empty_frame(self):
+        codec = DeltaChannelCodec(3)
+        key = channel_key("P1", "P2")
+        codec.decode(key, codec.encode(key, [1, 1, 0]))
+        blob = codec.encode(key, [1, 1, 0])
+        assert blob == b""
+        assert list(codec.decode(key, blob)) == [1, 1, 0]
+
+    def test_channels_are_independent(self):
+        codec = DeltaChannelCodec(2)
+        ab, ba = channel_key("a", "b"), channel_key("b", "a")
+        blob_ab = codec.encode(ab, [3, 0])
+        blob_ba = codec.encode(ba, [0, 5])
+        assert list(codec.decode(ab, blob_ab)) == [3, 0]
+        assert list(codec.decode(ba, blob_ba)) == [0, 5]
+
+    def test_periodic_resync_emits_full_frame(self):
+        codec = DeltaChannelCodec(3, resync_interval=2)
+        key = channel_key("P1", "P2")
+        resyncs_before = codec.resyncs
+        for step in range(1, 7):
+            blob = codec.encode(key, [step, 0, 0])
+            assert list(codec.decode(key, blob)) == [step, 0, 0]
+        # Every third frame (after 2 deltas) is a full resync.
+        assert codec.resyncs == resyncs_before + 2
+
+    def test_force_resync(self):
+        codec = DeltaChannelCodec(3)
+        key = channel_key("P1", "P2")
+        codec.decode(key, codec.encode(key, [1, 0, 0]))
+        codec.force_resync(key)
+        before = codec.resyncs
+        blob = codec.encode(key, [2, 0, 0])
+        assert codec.resyncs == before + 1
+        assert list(codec.decode(key, blob)) == [2, 0, 0]
+
+    def test_reset_channel_reconnect(self):
+        """A reconnect resets both endpoints to the zero snapshot."""
+        codec = DeltaChannelCodec(3)
+        key = channel_key("P1", "P2")
+        codec.decode(key, codec.encode(key, [4, 4, 4]))
+        codec.reset_channel(key)
+        blob = codec.encode(key, [5, 4, 4])
+        # Against zeros again: all three components are in the frame.
+        assert list(codec.decode(key, blob)) == [5, 4, 4]
+
+    def test_negative_change_falls_back_to_full(self):
+        codec = DeltaChannelCodec(2)
+        key = channel_key("P1", "P2")
+        codec.decode(key, codec.encode(key, [9, 9]))
+        before = codec.resyncs
+        blob = codec.encode(key, [3, 9])
+        assert codec.resyncs == before + 1
+        assert list(codec.decode(key, blob)) == [3, 9]
+
+    def test_wide_change_falls_back_to_full(self):
+        """A delta no shorter than the full frame is not sent."""
+        codec = DeltaChannelCodec(2)
+        key = channel_key("P1", "P2")
+        codec.decode(key, codec.encode(key, [1, 1]))
+        before = codec.resyncs
+        blob = codec.encode(key, [200, 201])
+        assert codec.resyncs == before + 1
+        assert list(codec.decode(key, blob)) == [200, 201]
+
+    def test_random_walk_roundtrip(self):
+        rng = random.Random(5)
+        codec = DeltaChannelCodec(5, resync_interval=3)
+        key = channel_key("P1", "P2")
+        vector = [0] * 5
+        for _ in range(300):
+            vector[rng.randrange(5)] += rng.randrange(1, 4)
+            blob = codec.encode(key, vector)
+            assert list(codec.decode(key, blob)) == vector
+
+    def test_stats_dict(self):
+        codec = DeltaChannelCodec(3)
+        codec.encode(channel_key("a", "b"), [1, 0, 0])
+        stats = codec.stats_dict()
+        assert stats["kind"] == "delta"
+        assert stats["frames"] == 1
+        assert "delta_frames" in stats
+
+    def test_default_resync_interval_positive(self):
+        assert DEFAULT_RESYNC_INTERVAL > 0
+
+
+class TestBoundedEntryCodec:
+    def test_stateless_sparse_frames(self):
+        codec = BoundedEntryCodec(4, k=2)
+        key = channel_key("P1", "P2")
+        blob = codec.encode(key, [7, 0, 3, 0])
+        assert list(codec.decode(key, blob)) == [7, 0, 3, 0]
+        # Same vector again costs the same bytes: no channel state.
+        assert codec.encode(key, [7, 0, 3, 0]) == blob
+
+    def test_encode_rebounds_dense_vectors(self):
+        codec = BoundedEntryCodec(4, k=2)
+        key = channel_key("P1", "P2")
+        blob = codec.encode(key, [1, 2, 3, 4])
+        assert list(codec.decode(key, blob)) == [0, 0, 3, 4]
+
+    def test_frame_cost_scales_with_k_not_size(self):
+        wide = BoundedEntryCodec(64, k=2)
+        key = channel_key("P1", "P2")
+        vector = [0] * 64
+        vector[10], vector[50] = 9, 4
+        blob = wide.encode(key, vector)
+        assert len(blob) <= 2 * 4  # two (index, value) varint pairs
+        assert list(wide.decode(key, blob)) == vector

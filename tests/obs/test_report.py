@@ -78,6 +78,7 @@ class TestLoading:
             "lattice",
             "runtime",
             "parallel",
+            "wire",
         }
         assert len(merged.gated_metrics()) >= 10
         gated_keys = {m.key for m in merged.gated_metrics()}

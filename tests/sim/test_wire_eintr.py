@@ -1,0 +1,132 @@
+"""Regression tests: frame I/O survives interrupted syscalls.
+
+PEP 475 retries most syscalls on ``EINTR``, but a signal handler that
+*raises* still aborts ``socket.sendall`` with an unknown number of
+bytes already on the wire — resending the whole buffer would corrupt
+the frame stream.  ``repro.sim.wire`` therefore drives its own
+``send``/``recv`` loops.  These tests beat on them with a fake socket
+that interrupts and short-writes aggressively, and prove a real
+``FrameSocket`` conversation stays intact under that schedule.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.sim.wire import (
+    MSG_OFFER,
+    FrameSocket,
+    WireError,
+    pack_message,
+    unpack_message,
+)
+
+
+class InterruptingSocket:
+    """A loopback stream socket that misbehaves deterministically.
+
+    Writes land in ``outbox``; reads drain ``inbox``.  Every few calls
+    it raises ``InterruptedError`` (a raising ``SIGALRM``-style
+    handler), and every write is truncated to a few bytes so partial
+    progress is the norm, not the exception.
+    """
+
+    def __init__(self, interrupt_every: int = 3, max_chunk: int = 5):
+        self.inbox = bytearray()
+        self.outbox = bytearray()
+        self.sends = 0
+        self.recvs = 0
+        self.interrupts = 0
+        self._interrupt_every = interrupt_every
+        self._max_chunk = max_chunk
+        self._calls = itertools.count(1)
+
+    def _maybe_interrupt(self) -> None:
+        if next(self._calls) % self._interrupt_every == 0:
+            self.interrupts += 1
+            raise InterruptedError("interrupted system call")
+
+    def send(self, data) -> int:
+        self._maybe_interrupt()
+        chunk = bytes(data[: self._max_chunk])
+        self.outbox.extend(chunk)
+        self.sends += 1
+        return len(chunk)
+
+    def recv(self, count: int) -> bytes:
+        self._maybe_interrupt()
+        take = min(count, self._max_chunk, len(self.inbox))
+        chunk = bytes(self.inbox[:take])
+        del self.inbox[:take]
+        self.recvs += 1
+        return chunk
+
+    def settimeout(self, timeout) -> None:
+        pass
+
+
+def test_send_frame_survives_interrupts_and_short_writes():
+    sock = InterruptingSocket(interrupt_every=2, max_chunk=3)
+    fs = FrameSocket(sock)
+    payload = pack_message(MSG_OFFER, {"sender": "P1"}, b"\x01\x02")
+    fs.send_frame(payload)
+    assert sock.interrupts > 0  # the schedule actually fired
+    assert bytes(sock.outbox[4:]) == payload  # after the length prefix
+
+
+def test_recv_frame_survives_interrupts_and_short_reads():
+    clean = InterruptingSocket(interrupt_every=10**9, max_chunk=10**9)
+    FrameSocket(clean).send_frame(b"hello frame")
+
+    sock = InterruptingSocket(interrupt_every=2, max_chunk=2)
+    sock.inbox.extend(clean.outbox)
+    fs = FrameSocket(sock)
+    assert fs.recv_frame() == b"hello frame"
+    assert sock.interrupts > 0
+
+
+def test_full_conversation_roundtrip_under_interruption():
+    """Many frames, every syscall interrupted or truncated."""
+    writer_sock = InterruptingSocket(interrupt_every=3, max_chunk=4)
+    writer = FrameSocket(writer_sock)
+    frames = [
+        pack_message(MSG_OFFER, {"sender": f"P{i}", "seq": i}, bytes([i]))
+        for i in range(20)
+    ]
+    for frame in frames:
+        writer.send_frame(frame)
+
+    reader_sock = InterruptingSocket(interrupt_every=2, max_chunk=3)
+    reader_sock.inbox.extend(writer_sock.outbox)
+    reader = FrameSocket(reader_sock)
+    for expected in frames:
+        received = reader.recv_frame()
+        assert received == expected
+        kind, header, vec = unpack_message(received)
+        assert kind == MSG_OFFER
+        assert header["sender"] == f"P{header['seq']}"
+    assert reader.recv_frame() is None  # clean EOF between frames
+    assert writer_sock.interrupts > 0
+    assert reader_sock.interrupts > 0
+
+
+def test_eof_mid_frame_raises_wire_error():
+    clean = InterruptingSocket(interrupt_every=10**9, max_chunk=10**9)
+    FrameSocket(clean).send_frame(b"truncated payload")
+
+    sock = InterruptingSocket(interrupt_every=3, max_chunk=4)
+    sock.inbox.extend(clean.outbox[: len(clean.outbox) - 5])
+    with pytest.raises(WireError):
+        FrameSocket(sock).recv_frame()
+
+
+def test_dead_socket_raises_instead_of_spinning():
+    class DeadSocket(InterruptingSocket):
+        def send(self, data) -> int:
+            return 0
+
+    fs = FrameSocket(DeadSocket())
+    with pytest.raises(WireError):
+        fs.send_frame(b"doomed")

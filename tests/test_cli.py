@@ -363,9 +363,10 @@ class TestObsReport:
             "lattice",
             "runtime",
             "parallel",
+            "wire",
         ):
             assert source in out
-        assert "6 snapshot(s)" in out
+        assert "7 snapshot(s)" in out
 
     def test_gate_fails_on_doctored_baseline(self, tmp_path, capsys):
         """Acceptance: a doctored baseline with a >20% regression makes
