@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test obs-check obs-report obs-timeline lint bench bench-batch bench-offline bench-lattice bench-runtime bench-parallel bench-wire bench-report examples all clean
+.PHONY: install test obs-check obs-report obs-timeline obs-live lint bench bench-batch bench-offline bench-lattice bench-runtime bench-parallel bench-wire bench-report examples all clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -47,6 +47,14 @@ obs-timeline:
 		--out $(FLIGHT_DIR)/timeline.json
 	PYTHONPATH=src $(PYTHON) -m repro obs critpath \
 		--flight-in $(FLIGHT_DIR)/flight.jsonl --top-k 5
+
+# Live telemetry plane smoke: paced load with one injected slow
+# client, asserts a straggler/stall event fires on it and the merged
+# counters match the per-node totals exactly.  The JSONL stream lands
+# at LIVE_OUT (default: the repo root).
+LIVE_OUT ?= live_telemetry.jsonl
+obs-live:
+	$(PYTHON) scripts/check_obs_live_smoke.py --live-out $(LIVE_OUT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -167,6 +167,65 @@ def test_timeline_export_throughput(report_header):
     emit(f"export throughput: {rate:,.0f} flight events/s")
 
 
+def test_live_telemetry_overhead(report_header):
+    """What the telemetry plane costs the multiprocess runtime.
+
+    Off/on load runs are *interleaved* (off, on, off, on, ...) so
+    machine drift during the measurement hits both modes equally, and
+    the ratio is taken over the per-mode minima — the least
+    noise-contaminated estimator of the structural cost on a shared
+    box.  The ``telemetry_overhead_ratio`` row is hard-gated at 5%
+    over a 1.0 baseline — streaming health monitoring must stay
+    effectively free for the data path.
+    """
+    from repro.obs.live import TelemetryConfig
+    from repro.sim.distributed import run_load
+
+    servers, clients, messages = 1, 4, 100
+    repeats = 10
+
+    def one_traffic_seconds(telemetry) -> float:
+        transport = run_load(
+            server_count=servers,
+            client_count=clients,
+            messages_per_client=messages,
+            timeout=60.0,
+            telemetry=telemetry,
+        )
+        stats = transport.stats
+        assert stats.timeouts == 0
+        assert stats.messages == clients * messages
+        return stats.traffic_seconds
+
+    off_s = float("inf")
+    on_s = float("inf")
+    for _ in range(repeats):
+        off_s = min(off_s, one_traffic_seconds(None))
+        on_s = min(on_s, one_traffic_seconds(TelemetryConfig()))
+    ratio = on_s / off_s
+    total = clients * messages
+    record_perf(
+        "live_telemetry",
+        {
+            "workload": f"load:{servers}x{clients}x{messages}",
+            "messages": total,
+            "off_seconds": off_s,
+            "on_seconds": on_s,
+            "off_messages_per_sec": total / off_s,
+            "on_messages_per_sec": total / on_s,
+            "telemetry_overhead_ratio": ratio,
+        },
+    )
+    report_header(
+        f"Live telemetry plane over {total} messages "
+        f"({servers} server(s), {clients} clients)"
+    )
+    emit(
+        f"telemetry off: {total / off_s:,.0f} msg/s; "
+        f"on: {total / on_s:,.0f} msg/s ({ratio:.3f}x)"
+    )
+
+
 def test_quantile_sketch_overhead(report_header):
     """P² sketch cost per observation vs ``Histogram.observe`` — the
     sketch buys p50/p95/p99 for a small constant factor."""

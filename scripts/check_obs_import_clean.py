@@ -36,6 +36,7 @@ OBS_MODULES = [
     "repro.obs.critpath",
     "repro.obs.audit",
     "repro.obs.report",
+    "repro.obs.live",
 ]
 
 HEAVY_DEPS = ("networkx", "numpy")

@@ -363,6 +363,8 @@ def cmd_obs(args) -> int:
         return cmd_obs_timeline(args)
     if args.mode == "critpath":
         return cmd_obs_critpath(args)
+    if args.mode == "top":
+        return cmd_obs_top(args)
 
     from contextlib import ExitStack
 
@@ -692,11 +694,76 @@ def cmd_obs_report(args) -> int:
     return 0
 
 
+def cmd_obs_top(args) -> int:
+    """Live dashboard over a load run on the multiprocess runtime."""
+    from repro.obs.live import TelemetryConfig, render_top
+    from repro.sim.distributed import run_load
+
+    if args.servers < 1 or args.clients < 1 or args.messages < 1:
+        raise SystemExit(
+            "--servers, --clients, and --messages must all be at least 1"
+        )
+    if args.refresh <= 0:
+        raise SystemExit("--refresh must be positive")
+    if args.timeout <= 0:
+        raise SystemExit("--timeout must be positive")
+
+    interactive = sys.stdout.isatty()
+    state = {"last": 0.0}
+
+    def repaint(aggregator, now) -> None:
+        if now - state["last"] < args.refresh:
+            return
+        state["last"] = now
+        frame = render_top(aggregator, now)
+        if interactive:
+            # Home + clear-to-end keeps the frame in place without
+            # flicker on ANSI terminals.
+            sys.stdout.write("\x1b[H\x1b[J" + frame + "\n")
+        else:
+            sys.stdout.write(frame + "\n\n")
+        sys.stdout.flush()
+
+    telemetry = TelemetryConfig(
+        interval_seconds=max(min(args.refresh / 2.0, 1.0), 0.05),
+        live_out=args.live_out,
+        metrics_port=args.metrics_port,
+        on_tick=repaint,
+    )
+    transport = run_load(
+        server_count=args.servers,
+        client_count=args.clients,
+        messages_per_client=args.messages,
+        rate=args.rate,
+        timeout=args.timeout,
+        telemetry=telemetry,
+        slow_clients=args.slow_clients,
+        slow_pace=args.slow_pace,
+    )
+    live = transport.live
+    if live is not None:
+        print(render_top(live))
+        counts = live.event_counts()
+        stats = transport.stats
+        print(
+            f"\nrun done: {stats.messages} messages in "
+            f"{stats.wall_seconds:.2f}s, "
+            f"{stats.telemetry_frames} telemetry frame(s), "
+            f"{counts.get('straggler', 0)} straggler / "
+            f"{counts.get('stall', 0)} stall / "
+            f"{counts.get('deadlock_suspect', 0)} deadlock event(s)"
+        )
+        if args.live_out:
+            print(f"live telemetry stream written to {args.live_out}")
+    return 0
+
+
 def cmd_run_distributed(args) -> int:
     """Run a script (or the load driver) on the multiprocess runtime."""
     from contextlib import ExitStack
 
     from repro.obs import flightrec as obs_flightrec
+    from repro.obs.live import TelemetryConfig
     from repro.sim.distributed import (
         DistributedScriptRunner,
         run_load,
@@ -710,6 +777,26 @@ def cmd_run_distributed(args) -> int:
         parse_wire_format(args.wire_format)
     except WireError as exc:
         raise SystemExit(f"--wire-format: {exc}") from exc
+
+    telemetry = None
+    if args.telemetry_interval > 0:
+        if args.telemetry_commits < 0:
+            raise SystemExit("--telemetry-commits must be non-negative")
+        telemetry = TelemetryConfig(
+            interval_seconds=args.telemetry_interval,
+            every_commits=args.telemetry_commits,
+            live_out=args.live_out,
+            metrics_port=args.metrics_port,
+        )
+    elif args.live_out or args.metrics_port is not None:
+        raise SystemExit(
+            "--live-out/--metrics-port need the telemetry plane on: "
+            "pass --telemetry-interval > 0"
+        )
+    if (args.slow_clients > 0 or args.slow_pace > 0) and not args.load:
+        raise SystemExit(
+            "--slow-clients/--slow-pace only apply to --load runs"
+        )
 
     with ExitStack() as stack:
         flight = None
@@ -736,6 +823,9 @@ def cmd_run_distributed(args) -> int:
                 timeout=args.timeout,
                 transport=args.transport,
                 wire_format=args.wire_format,
+                telemetry=telemetry,
+                slow_clients=args.slow_clients,
+                slow_pace=args.slow_pace,
             )
         else:
             if args.topology_file:
@@ -764,6 +854,7 @@ def cmd_run_distributed(args) -> int:
                 timeout=args.timeout,
                 transport=args.transport,
                 wire_format=args.wire_format,
+                telemetry=telemetry,
             ).run()
 
         stats = transport.stats
@@ -796,7 +887,26 @@ def cmd_run_distributed(args) -> int:
             ["piggyback wire bytes", stats.piggyback_wire_bytes],
             ["delta resyncs", stats.delta_resync_total],
         ]
+        live = transport.live
+        if live is not None:
+            counts = live.event_counts()
+            rows.append(["telemetry frames", stats.telemetry_frames])
+            rows.append(
+                [
+                    "health events",
+                    "/".join(
+                        f"{counts.get(kind, 0)} {kind}"
+                        for kind in (
+                            "straggler",
+                            "stall",
+                            "deadlock_suspect",
+                        )
+                    ),
+                ]
+            )
         print(render_table(["metric", "value"], rows))
+        if live is not None and args.live_out:
+            print(f"live telemetry stream written to {args.live_out}")
 
         if flight is not None:
             count = flight.dump_jsonl(args.flight_out)
@@ -1023,6 +1133,47 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out", help="write the runtime stats JSON here"
     )
     dist_cmd.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=0.0,
+        help="live telemetry push interval in seconds (default 0: "
+        "telemetry plane off)",
+    )
+    dist_cmd.add_argument(
+        "--telemetry-commits",
+        type=int,
+        default=0,
+        help="also push a telemetry frame every N commits "
+        "(default 0: time-driven cadence only — commit-driven "
+        "frames scale with throughput and tax fast runs)",
+    )
+    dist_cmd.add_argument(
+        "--live-out",
+        help="stream telemetry frames and health events here as "
+        "JSONL (needs --telemetry-interval)",
+    )
+    dist_cmd.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="serve merged metrics on http://127.0.0.1:PORT/metrics "
+        "during the run (0 = ephemeral; needs --telemetry-interval)",
+    )
+    dist_cmd.add_argument(
+        "--slow-clients",
+        type=int,
+        default=0,
+        help="[load] inject stragglers: pace the first N clients "
+        "(default 0)",
+    )
+    dist_cmd.add_argument(
+        "--slow-pace",
+        type=float,
+        default=0.0,
+        help="[load] extra sleep in seconds before each send on the "
+        "slow clients (default 0)",
+    )
+    dist_cmd.add_argument(
         "--wire-format",
         default="full",
         metavar="full|delta|bounded:K",
@@ -1043,11 +1194,12 @@ def build_parser() -> argparse.ArgumentParser:
         "mode",
         nargs="?",
         default="run",
-        choices=["run", "report", "timeline", "critpath"],
+        choices=["run", "report", "timeline", "critpath", "top"],
         help="'run' (default): the instrumented rendezvous demo; "
         "'report': the bench-trajectory report; 'timeline': convert "
         "a flight record to Perfetto trace JSON; 'critpath': "
-        "critical-path/slack profile of a flight record",
+        "critical-path/slack profile of a flight record; 'top': "
+        "live dashboard over a multiprocess load run",
     )
     obs_cmd.add_argument("--topology-file", help="topology JSON")
     obs_cmd.add_argument(
@@ -1149,6 +1301,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         help="[report/timeline/critpath] write the rendered output "
         "here instead of stdout",
+    )
+    obs_cmd.add_argument(
+        "--servers",
+        type=int,
+        default=2,
+        help="[top] server (hub) processes (default 2)",
+    )
+    obs_cmd.add_argument(
+        "--clients",
+        type=int,
+        default=6,
+        help="[top] client processes (default 6)",
+    )
+    obs_cmd.add_argument(
+        "--messages",
+        type=int,
+        default=50,
+        help="[top] messages per client (default 50)",
+    )
+    obs_cmd.add_argument(
+        "--rate",
+        type=float,
+        default=40.0,
+        help="[top] target aggregate msg/s (default 40; 0 unpaced)",
+    )
+    obs_cmd.add_argument(
+        "--refresh",
+        type=float,
+        default=0.5,
+        help="[top] dashboard repaint interval in seconds "
+        "(default 0.5)",
+    )
+    obs_cmd.add_argument(
+        "--slow-clients",
+        type=int,
+        default=0,
+        help="[top] inject stragglers: pace the first N clients",
+    )
+    obs_cmd.add_argument(
+        "--slow-pace",
+        type=float,
+        default=0.0,
+        help="[top] extra sleep in seconds before each send on the "
+        "slow clients",
+    )
+    obs_cmd.add_argument(
+        "--live-out",
+        help="[top] stream telemetry frames and health events here "
+        "as JSONL",
+    )
+    obs_cmd.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help="[top] serve merged metrics on "
+        "http://127.0.0.1:PORT/metrics during the run "
+        "(0 = ephemeral)",
     )
     obs_cmd.set_defaults(handler=cmd_obs)
     return parser

@@ -21,7 +21,11 @@ measurements:
 * :mod:`repro.obs.audit` — the sampling live audit of Theorem 4 and
   the Theorem 5/8 size bounds;
 * :mod:`repro.obs.report` — the bench-trajectory report and regression
-  gate over the committed ``BENCH_*.json`` snapshots.
+  gate over the committed ``BENCH_*.json`` snapshots;
+* :mod:`repro.obs.live` — the live telemetry plane: node-side metric
+  pushes, coordinator-side streaming aggregation with straggler /
+  stall / deadlock-suspicion detection, the ``repro obs top``
+  dashboard, and the opt-in ``/metrics`` HTTP endpoint.
 
 Quickstart::
 
@@ -58,6 +62,14 @@ from repro.obs.flightrec import (
     reconstruct_computation,
     truncation_summary,
     wait_for_summary,
+)
+from repro.obs.live import (
+    HealthEvent,
+    LiveAggregator,
+    MetricsEndpoint,
+    NodeTelemetry,
+    TelemetryConfig,
+    render_top,
 )
 from repro.obs.instrument import (
     Instrumented,
@@ -102,14 +114,19 @@ __all__ = [
     "FlightEvent",
     "FlightRecorder",
     "Gauge",
+    "HealthEvent",
     "Histogram",
     "Instrumented",
+    "LiveAggregator",
     "MetricError",
+    "MetricsEndpoint",
     "MetricsRegistry",
     "NULL_SPAN",
+    "NodeTelemetry",
     "ObsMetrics",
     "QuantileSketch",
     "Span",
+    "TelemetryConfig",
     "Tracer",
     "analyze_flight_record",
     "audit_session",
@@ -129,6 +146,7 @@ __all__ = [
     "recording_session",
     "reconstruct_computation",
     "render_prometheus",
+    "render_top",
     "span",
     "spans_to_jsonl",
     "truncation_summary",

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import math
+import re
 from typing import IO, Iterable, List, Union
 
 from repro.obs.metrics import (
@@ -79,34 +80,61 @@ def _format_value(value) -> str:
 
 
 def _escape_help(text: str) -> str:
+    """HELP text escaping per the exposition format: ``\\`` and ``\\n``."""
     return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    """Label-value escaping: backslash, double quote, and newline."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+_INVALID_NAME_CHAR = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize_name(name: str) -> str:
+    """Coerce a metric name into the exposition grammar.
+
+    Prometheus metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and are
+    *not* escapable, so any out-of-grammar character (most dangerously
+    a newline or a space, which would corrupt the whole exposition)
+    maps to ``_``.
+    """
+    name = _INVALID_NAME_CHAR.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry in Prometheus text exposition format 0.0.4."""
     lines: List[str] = []
     for metric in registry:
+        name = _sanitize_name(metric.name)
         if metric.help:
-            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
-        lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.append(f"# HELP {name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
-            lines.append(f"{metric.name} {_format_value(metric.value)}")
+            lines.append(f"{name} {_format_value(metric.value)}")
         elif isinstance(metric, Histogram):
             for bound, count in metric.bucket_counts():
-                lines.append(
-                    f'{metric.name}_bucket{{le="{_format_value(bound)}"}} '
-                    f"{count}"
-                )
-            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
-            lines.append(f"{metric.name}_count {metric.count}")
+                edge = _escape_label_value(_format_value(bound))
+                lines.append(f'{name}_bucket{{le="{edge}"}} {count}')
+            lines.append(f"{name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
         elif isinstance(metric, QuantileSketch):
             for target, estimate in sorted(metric.quantiles().items()):
+                label = _escape_label_value(_format_value(target))
                 lines.append(
-                    f'{metric.name}{{quantile="{_format_value(target)}"}} '
+                    f'{name}{{quantile="{label}"}} '
                     f"{_format_value(estimate)}"
                 )
-            lines.append(f"{metric.name}_sum {_format_value(metric.sum)}")
-            lines.append(f"{metric.name}_count {metric.count}")
+            lines.append(f"{name}_sum {_format_value(metric.sum)}")
+            lines.append(f"{name}_count {metric.count}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

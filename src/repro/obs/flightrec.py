@@ -33,6 +33,7 @@ lock.
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from collections import deque
@@ -244,17 +245,34 @@ class FlightRecorder:
 
 
 def load_jsonl(source: PathOrFile) -> List[FlightEvent]:
-    """Parse a flight-record JSONL dump back into events."""
+    """Parse a flight-record JSONL dump back into events.
+
+    A *trailing* partial line — the normal shape of a crash-time or
+    live-streamed dump cut mid-write — is tolerated with a one-line
+    warning on stderr instead of a traceback.  A malformed line
+    anywhere else still raises, because it means the dump was mangled,
+    not merely truncated.
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
             text = handle.read()
     else:
         text = source.read()
+    lines = [line.strip() for line in text.splitlines()]
+    lines = [line for line in lines if line]
     events: List[FlightEvent] = []
-    for line in text.splitlines():
-        line = line.strip()
-        if line:
+    for index, line in enumerate(lines):
+        try:
             events.append(FlightEvent.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError):
+            if index == len(lines) - 1:
+                print(
+                    "flightrec: ignoring trailing partial line in "
+                    "JSONL dump (truncated write?)",
+                    file=sys.stderr,
+                )
+                break
+            raise
     return events
 
 

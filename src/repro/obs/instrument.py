@@ -176,6 +176,27 @@ class ObsMetrics:
             "Flight-recorder events evicted by the bounded ring "
             "(non-zero means post-mortems see a truncated suffix)",
         )
+        self.live_telemetry_frames = registry.counter(
+            "live_telemetry_frames_total",
+            "TELEMETRY frames ingested by the coordinator-side "
+            "live aggregator (repro.obs.live)",
+        )
+        self.live_straggler_detected = registry.counter(
+            "live_straggler_detected_total",
+            "Straggler episodes raised by the live aggregator "
+            "(per-node commit rate or block-time p95 outliers)",
+        )
+        self.live_heartbeats_missed = registry.counter(
+            "live_heartbeats_missed_total",
+            "Stall episodes raised by the live aggregator (node "
+            "silent past its heartbeat deadline while not parked "
+            "in a rendezvous)",
+        )
+        self.live_deadlock_suspected = registry.counter(
+            "live_deadlock_suspected_total",
+            "Deadlock-suspicion episodes raised by running the "
+            "wait-for analysis over the live partial flight record",
+        )
         self.parallel_shards_total = registry.counter(
             "parallel_shards_total",
             "Causally independent shards executed by the parallel "

@@ -71,6 +71,19 @@ class Counter:
     def snapshot(self) -> Dict[str, object]:
         return {"type": self.kind, "value": self.value}
 
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total into this one (exact)."""
+        if not isinstance(other, Counter):
+            raise MetricError(
+                f"cannot merge {type(other).__name__} into counter "
+                f"{self.name!r}"
+            )
+        self.inc(other.value)
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` dict into this counter (exact)."""
+        self.inc(data.get("value", 0))  # type: ignore[arg-type]
+
     def __repr__(self) -> str:
         return f"Counter({self.name}={self.value})"
 
@@ -107,6 +120,28 @@ class Gauge:
 
     def snapshot(self) -> Dict[str, object]:
         return {"type": self.kind, "value": self.value}
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge in by taking the elementwise maximum.
+
+        Gauges in the catalog are sizes and theorem bounds, so the
+        conservative global view after a cross-process merge is the
+        largest value any process reported.  ``max`` is also
+        commutative and associative, making the fold order-independent.
+        """
+        if not isinstance(other, Gauge):
+            raise MetricError(
+                f"cannot merge {type(other).__name__} into gauge "
+                f"{self.name!r}"
+            )
+        self.merge_snapshot({"value": other.value})
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` dict in (elementwise maximum)."""
+        value = data.get("value", 0)
+        with self._lock:
+            if value > self._value:  # type: ignore[operator]
+                self._value = value  # type: ignore[assignment]
 
     def __repr__(self) -> str:
         return f"Gauge({self.name}={self.value})"
@@ -154,7 +189,15 @@ class Histogram:
 
     kind = "histogram"
 
-    __slots__ = ("name", "help", "_bounds", "_counts", "_sum", "_count", "_lock")
+    __slots__ = (
+        "name",
+        "help",
+        "_bounds",
+        "_counts",
+        "_sum",
+        "_count",
+        "_lock",
+    )
 
     def __init__(
         self,
@@ -219,6 +262,26 @@ class Histogram:
             self._sum += value * count
             self._count += count
 
+    def observe_batch(self, values: Sequence[Number]) -> None:
+        """Record many (distinct) observations under one lock.
+
+        Equivalent to calling :meth:`observe` per value; deferred-fold
+        call sites (``repro.obs.live.NodeTelemetry``) drain their
+        sample queues through this to keep lock round-trips off the
+        per-sample cost.
+        """
+        if not values:
+            return
+        bounds = self._bounds
+        with self._lock:
+            counts = self._counts
+            total = 0.0
+            for value in values:
+                counts[bisect_left(bounds, value)] += 1
+                total += value
+            self._sum += total
+            self._count += len(values)
+
     @property
     def count(self) -> int:
         with self._lock:
@@ -256,6 +319,64 @@ class Histogram:
             ],
         }
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in (exact; bounds must match)."""
+        if not isinstance(other, Histogram):
+            raise MetricError(
+                f"cannot merge {type(other).__name__} into histogram "
+                f"{self.name!r}"
+            )
+        if other._bounds != self._bounds:
+            raise MetricError(
+                f"histogram {self.name!r} bucket bounds differ: "
+                f"{self._bounds} vs {other._bounds}"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            total = other._sum
+            n = other._count
+        self._merge_raw(counts, total, n)
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` dict in (exact; bounds must match).
+
+        The snapshot carries *cumulative* bucket counts (Prometheus
+        ``le`` semantics); they are de-accumulated back into raw
+        per-bucket counts before adding.
+        """
+        pairs = list(data.get("buckets") or [])  # type: ignore[arg-type]
+        bounds = tuple(float(b) for b, _ in pairs[:-1])
+        if bounds != self._bounds:
+            raise MetricError(
+                f"histogram {self.name!r} bucket bounds differ: "
+                f"{self._bounds} vs {bounds}"
+            )
+        raw: List[int] = []
+        previous = 0
+        for _, cumulative in pairs:
+            step = int(cumulative) - previous
+            if step < 0:
+                raise MetricError(
+                    f"histogram {self.name!r} snapshot has decreasing "
+                    f"cumulative bucket counts"
+                )
+            raw.append(step)
+            previous = int(cumulative)
+        self._merge_raw(
+            raw,
+            float(data.get("sum", 0.0)),  # type: ignore[arg-type]
+            int(data.get("count", 0)),  # type: ignore[arg-type]
+        )
+
+    def _merge_raw(
+        self, counts: Sequence[int], total: float, n: int
+    ) -> None:
+        with self._lock:
+            for index, count in enumerate(counts):
+                self._counts[index] += count
+            self._sum += total
+            self._count += n
+
     def __repr__(self) -> str:
         return f"Histogram({self.name}, n={self.count})"
 
@@ -263,6 +384,11 @@ class Histogram:
 #: Default quantiles tracked by :class:`QuantileSketch` — the latency
 #: percentiles every report surfaces.
 DEFAULT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+#: Cap on re-observations per donor when merging P² sketches: a donor
+#: summarizing millions of values is folded in with at most this many
+#: weighted marker re-observations, keeping merges O(1) in donor size.
+MERGE_REOBSERVE_CAP = 1024
 
 
 class _P2Marker:
@@ -414,6 +540,11 @@ class QuantileSketch:
     def quantile_targets(self) -> Tuple[float, ...]:
         return tuple(marker.p for marker in self._markers)
 
+    def _feed_markers(self, value: float) -> None:
+        """Advance every marker by one observation (caller holds lock)."""
+        for marker in self._markers:
+            marker.observe(value)
+
     def observe(self, value: Number) -> None:
         """Record one observation."""
         value = float(value)
@@ -424,8 +555,7 @@ class QuantileSketch:
                 self._min = value
             if value > self._max:
                 self._max = value
-            for marker in self._markers:
-                marker.observe(value)
+            self._feed_markers(value)
 
     def observe_many(self, value: Number, count: int) -> None:
         """Record ``count`` identical observations (one locked update)."""
@@ -489,12 +619,201 @@ class QuantileSketch:
             quantiles = {
                 repr(m.p): m.estimate() for m in self._markers
             }
-            return {
+            snap: Dict[str, object] = {
                 "type": self.kind,
                 "count": self._count,
                 "sum": self._sum,
                 "quantiles": quantiles,
+                "min": self._min if self._count else 0.0,
+                "max": self._max if self._count else 0.0,
             }
+            # Merge state: the raw marker heights/positions (or the
+            # exact stored values while under five observations), so a
+            # remote snapshot can be folded into another sketch.
+            if self._markers and self._markers[0]._heights:
+                snap["markers"] = [
+                    {
+                        "p": m.p,
+                        "heights": list(m._heights),
+                        "positions": list(m._positions),
+                    }
+                    for m in self._markers
+                ]
+            else:
+                initial = self._markers[0]._initial if self._markers else []
+                snap["initial"] = list(initial)
+            return snap
+
+    # -- merging -------------------------------------------------------
+    #
+    # Accuracy contract: ``count``/``sum``/``min``/``max`` merge
+    # *exactly*.  Quantile estimates after a merge are approximate: the
+    # donor's distribution is reconstructed from its marker summary (at
+    # most five heights per tracked quantile, each with a cumulative
+    # rank) and re-observed into this sketch as a weighted sample of at
+    # most :data:`MERGE_REOBSERVE_CAP` points.  A donor with fewer than
+    # five observations still holds its raw values and merges exactly.
+    # The merged estimate therefore carries the donor's own P² error
+    # plus a resampling error; ``tests/properties/test_property_merge``
+    # pins the combined error against serial observation.
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in (see the accuracy contract above)."""
+        if not isinstance(other, QuantileSketch):
+            raise MetricError(
+                f"cannot merge {type(other).__name__} into summary "
+                f"{self.name!r}"
+            )
+        if other.quantile_targets != self.quantile_targets:
+            raise MetricError(
+                f"summary {self.name!r} targets differ: "
+                f"{self.quantile_targets} vs {other.quantile_targets}"
+            )
+        with other._lock:
+            count = other._count
+            total = other._sum
+            minimum = other._min
+            maximum = other._max
+            if other._markers and other._markers[0]._heights:
+                markers = [
+                    (list(m._heights), list(m._positions))
+                    for m in other._markers
+                ]
+                initial = None
+            else:
+                markers = None
+                initial = (
+                    list(other._markers[0]._initial)
+                    if other._markers
+                    else []
+                )
+        self._merge_state(count, total, minimum, maximum, markers, initial)
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Fold a :meth:`snapshot` dict in (same accuracy contract).
+
+        Snapshots produced by older code without the ``markers`` /
+        ``initial`` merge state fall back to re-observing the reported
+        quantile *estimates* — coarser, but still bounded by the same
+        contract.
+        """
+        count = int(data.get("count", 0))  # type: ignore[arg-type]
+        total = float(data.get("sum", 0.0))  # type: ignore[arg-type]
+        raw_markers = data.get("markers")
+        initial = data.get("initial")
+        markers: Optional[List[Tuple[List[float], List[float]]]] = None
+        if raw_markers is not None:
+            targets = tuple(
+                float(m["p"])  # type: ignore[index]
+                for m in raw_markers
+            )
+            if targets != self.quantile_targets:
+                raise MetricError(
+                    f"summary {self.name!r} targets differ: "
+                    f"{self.quantile_targets} vs {targets}"
+                )
+            markers = [
+                (
+                    [float(h) for h in m["heights"]],  # type: ignore[index]
+                    [float(n) for n in m["positions"]],  # type: ignore[index]
+                )
+                for m in raw_markers  # type: ignore[union-attr]
+            ]
+        elif initial is None:
+            # Legacy snapshot: treat each reported estimate as one
+            # marker height at its target rank.
+            quantiles = data.get("quantiles") or {}
+            denominator = max(count - 1, 1)
+            markers = [
+                (
+                    [float(estimate)],
+                    [float(q) * denominator + 1.0],
+                )
+                for q, estimate in sorted(
+                    (float(k), v)
+                    for k, v in quantiles.items()  # type: ignore[union-attr]
+                )
+            ]
+        minimum = float(data.get("min", 0.0))  # type: ignore[arg-type]
+        maximum = float(data.get("max", 0.0))  # type: ignore[arg-type]
+        self._merge_state(
+            count,
+            total,
+            minimum,
+            maximum,
+            markers,
+            (
+                list(initial)  # type: ignore[arg-type]
+                if initial is not None
+                else None
+            ),
+        )
+
+    def _merge_state(
+        self,
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+        markers: Optional[List[Tuple[List[float], List[float]]]],
+        initial: Optional[List[float]],
+    ) -> None:
+        if count <= 0:
+            return
+        sample = self._resample(count, markers, initial)
+        with self._lock:
+            self._count += count
+            self._sum += total
+            if minimum < self._min:
+                self._min = minimum
+            if maximum > self._max:
+                self._max = maximum
+            # Feed the weighted sample round-robin (one repetition of
+            # each point per sweep) so the marker state never sees a
+            # long monotone run of a single height.
+            remaining = [reps for _, reps in sample]
+            while any(remaining):
+                for index, (height, _) in enumerate(sample):
+                    if remaining[index] > 0:
+                        remaining[index] -= 1
+                        self._feed_markers(height)
+
+    @staticmethod
+    def _resample(
+        count: int,
+        markers: Optional[List[Tuple[List[float], List[float]]]],
+        initial: Optional[List[float]],
+    ) -> List[Tuple[float, int]]:
+        """Build a weighted ``(height, repetitions)`` donor sample."""
+        if initial is not None:
+            return [(float(v), 1) for v in initial]
+        if not markers:
+            return []
+        denominator = max(count - 1, 1)
+        points: List[Tuple[float, float]] = []
+        for heights, positions in markers:
+            for height, position in zip(heights, positions):
+                fraction = (position - 1.0) / denominator
+                points.append((min(max(fraction, 0.0), 1.0), height))
+        points.sort()
+        effective = min(count, MERGE_REOBSERVE_CAP)
+        last = len(points) - 1
+        sample: List[Tuple[float, int]] = []
+        for index, (_, height) in enumerate(points):
+            if index == 0:
+                left = 0.0
+            else:
+                left = (points[index - 1][0] + points[index][0]) / 2.0
+            if index == last:
+                right = 1.0
+            else:
+                right = (points[index][0] + points[index + 1][0]) / 2.0
+            reps = int(round((right - left) * effective))
+            if reps == 0 and index in (0, last):
+                reps = 1  # never drop the extremes
+            if reps > 0:
+                sample.append((height, reps))
+        return sample
 
     def __repr__(self) -> str:
         return f"QuantileSketch({self.name}, n={self.count})"
@@ -581,3 +900,74 @@ class MetricsRegistry:
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """A plain-data view of every metric (JSON-serializable)."""
         return {metric.name: metric.snapshot() for metric in self}
+
+    # -- merging -------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every metric of ``other`` into this registry.
+
+        Metrics are created on first sight (same name resolves to the
+        same kind, bounds and targets); a name registered here with a
+        different kind raises :class:`MetricError`.  Counters and
+        histograms fold exactly, gauges take the maximum, and quantile
+        sketches follow the P² merge accuracy contract.
+        """
+        for metric in other:
+            if isinstance(metric, Counter):
+                self.counter(metric.name, metric.help).merge(metric)
+            elif isinstance(metric, Gauge):
+                self.gauge(metric.name, metric.help).merge(metric)
+            elif isinstance(metric, Histogram):
+                self.histogram(
+                    metric.name, metric.bounds, metric.help
+                ).merge(metric)
+            elif isinstance(metric, QuantileSketch):
+                self.summary(
+                    metric.name, metric.quantile_targets, metric.help
+                ).merge(metric)
+
+    def merge_snapshot(
+        self, snapshot: Dict[str, Dict[str, object]]
+    ) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. from another process) in.
+
+        This is the cross-process path: node registries serialize with
+        ``snapshot()``, travel as JSON, and fold into one global
+        registry here — which ``render_prometheus`` and
+        ``metrics_to_json`` then render unchanged.
+        """
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            kind = data.get("type")
+            if kind == Counter.kind:
+                self.counter(name).merge_snapshot(data)
+            elif kind == Gauge.kind:
+                self.gauge(name).merge_snapshot(data)
+            elif kind == Histogram.kind:
+                raw = data.get("buckets") or []
+                pairs = list(raw)  # type: ignore[arg-type]
+                bounds = [float(b) for b, _ in pairs[:-1]]
+                self.histogram(
+                    name, bounds or DURATION_BUCKETS
+                ).merge_snapshot(data)
+            elif kind == QuantileSketch.kind:
+                raw_markers = data.get("markers")
+                if raw_markers:
+                    targets = [
+                        float(m["p"])  # type: ignore[index]
+                        for m in raw_markers
+                    ]
+                else:
+                    quantiles = data.get("quantiles") or {}
+                    targets = sorted(
+                        float(q)
+                        for q in quantiles  # type: ignore[union-attr]
+                    )
+                self.summary(
+                    name, targets or DEFAULT_QUANTILES
+                ).merge_snapshot(data)
+            else:
+                raise MetricError(
+                    f"cannot merge metric {name!r}: unknown type "
+                    f"{kind!r}"
+                )

@@ -35,6 +35,21 @@ Metrics whose key matches one of the ``fnmatch`` patterns are *hard*
 gated: a regression beyond the hard tolerance fails the run even when
 the caller asked for ``--warn-only``.  This is how the wire-format
 bytes-per-message rows are kept from silently regressing.
+
+Pattern entries may also be objects carrying their own tolerance::
+
+    "hard_gate": {
+        "patterns": [
+            "runtime/*/piggyback*",
+            {"pattern": "obs/live_telemetry/*overhead_ratio*",
+             "tolerance": 0.05},
+        ],
+        "tolerance": 0.1
+    }
+
+A plain string uses the block-level tolerance; an object overrides it
+for keys it matches (first matching entry wins).  This lets one
+baseline gate wire bytes at 10% and telemetry overhead at 5%.
 """
 
 from __future__ import annotations
@@ -120,26 +135,70 @@ class HardGate:
 
     ``patterns`` are ``fnmatch`` globs over metric keys (e.g.
     ``runtime/*/piggyback*``).  A matching gated metric that regresses
-    beyond ``tolerance`` is a *hard* failure: the comparison fails even
-    under ``--warn-only``.
+    beyond its hard tolerance is a *hard* failure: the comparison
+    fails even under ``--warn-only``.
+
+    An entry is either a plain glob string (gated at the block-level
+    ``tolerance``) or a ``{"pattern": ..., "tolerance": ...}`` object
+    carrying its own tolerance.  The first matching entry wins, so
+    order specific overrides before broad globs.
     """
 
-    __slots__ = ("patterns", "tolerance")
+    __slots__ = ("entries", "tolerance")
 
-    def __init__(self, patterns: List[str], tolerance: float = 0.1):
+    def __init__(self, patterns: List[object], tolerance: float = 0.1):
         if tolerance < 0:
             raise BenchReportError(
                 f"hard gate tolerance must be non-negative, got {tolerance}"
             )
-        self.patterns = [str(p) for p in patterns]
         self.tolerance = float(tolerance)
+        self.entries: List[Tuple[str, Optional[float]]] = []
+        for item in patterns:
+            if isinstance(item, dict):
+                if "pattern" not in item:
+                    raise BenchReportError(
+                        "hard_gate pattern objects need a 'pattern' key"
+                    )
+                per = item.get("tolerance")
+                if per is not None:
+                    per = float(per)
+                    if per < 0:
+                        raise BenchReportError(
+                            "hard gate tolerance must be non-negative, "
+                            f"got {per} for {item['pattern']!r}"
+                        )
+                self.entries.append((str(item["pattern"]), per))
+            else:
+                self.entries.append((str(item), None))
+
+    @property
+    def patterns(self) -> List[str]:
+        return [pattern for pattern, _ in self.entries]
 
     def matches(self, key: str) -> bool:
-        return any(fnmatch.fnmatch(key, p) for p in self.patterns)
+        return any(
+            fnmatch.fnmatch(key, pattern) for pattern, _ in self.entries
+        )
+
+    def tolerance_for(self, key: str) -> Optional[float]:
+        """The hard tolerance for ``key``, or ``None`` when unmatched.
+
+        Per-entry tolerances override the block tolerance; the first
+        matching entry decides.
+        """
+        for pattern, per in self.entries:
+            if fnmatch.fnmatch(key, pattern):
+                return self.tolerance if per is None else per
+        return None
 
     def to_dict(self) -> Dict[str, object]:
-        return {"patterns": list(self.patterns),
-                "tolerance": self.tolerance}
+        patterns: List[object] = [
+            pattern
+            if per is None
+            else {"pattern": pattern, "tolerance": per}
+            for pattern, per in self.entries
+        ]
+        return {"patterns": patterns, "tolerance": self.tolerance}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "HardGate":
@@ -150,8 +209,13 @@ class HardGate:
         patterns = data["patterns"]
         if not isinstance(patterns, list):
             raise BenchReportError("hard_gate 'patterns' must be a list")
-        return cls(patterns=patterns,
-                   tolerance=float(data.get("tolerance", 0.1)))
+        try:
+            tolerance = float(data.get("tolerance", 0.1))
+        except (TypeError, ValueError) as exc:
+            raise BenchReportError(
+                f"hard_gate 'tolerance' must be a number: {exc}"
+            ) from exc
+        return cls(patterns=patterns, tolerance=tolerance)
 
 
 class BenchReport:
@@ -193,6 +257,10 @@ class BenchReport:
                 "(missing 'metrics'; generate one with "
                 "'repro obs report --report-format json')"
             )
+        if not isinstance(data["metrics"], dict):
+            raise BenchReportError(
+                "baseline 'metrics' must be an object keyed by metric"
+            )
         metrics: List[BenchMetric] = []
         for key, record in data["metrics"].items():
             parts = key.split("/")
@@ -200,12 +268,19 @@ class BenchReport:
             name = parts[-1]
             section = "/".join(parts[1:-1])
             direction, gated = classify_metric(name)
+            try:
+                value = float(record["value"])
+            except (KeyError, TypeError, ValueError) as exc:
+                raise BenchReportError(
+                    f"baseline metric {key!r} has no numeric 'value': "
+                    f"{exc}"
+                ) from exc
             metrics.append(
                 BenchMetric(
                     source=source,
                     section=section,
                     name=name,
-                    value=float(record["value"]),
+                    value=value,
                     direction=record.get("direction", direction),
                     gated=bool(record.get("gated", gated)),
                 )
@@ -464,8 +539,12 @@ def compare_reports(
             change=change,
             direction=metric.direction,
         )
-        hard = hard_gate is not None and hard_gate.matches(metric.key)
-        if hard and worse > hard_gate.tolerance:
+        hard_tolerance = (
+            hard_gate.tolerance_for(metric.key)
+            if hard_gate is not None
+            else None
+        )
+        if hard_tolerance is not None and worse > hard_tolerance:
             hard_failures.append(finding)
         elif worse > tolerance:
             regressions.append(finding)

@@ -65,6 +65,12 @@ from repro.graphs.generators import client_server_topology
 from repro.obs import flightrec as _flightrec
 from repro.obs import instrument as _obs
 from repro.obs import audit as _audit
+from repro.obs.live import (
+    LiveAggregator,
+    MetricsEndpoint,
+    NodeTelemetry,
+    TelemetryConfig,
+)
 from repro.obs.metrics import QuantileSketch
 from repro.sim.computation import (
     EventedComputation,
@@ -93,6 +99,7 @@ from repro.sim.wire import (
     MSG_OFFER,
     MSG_RECV,
     MSG_SHUTDOWN,
+    MSG_TELEMETRY,
     MSG_TIMEOUT,
     WIRE_FORMAT_FULL,
     FrameBuffer,
@@ -106,6 +113,7 @@ __all__ = [
     "DistributedScriptRunner",
     "DistributedTransport",
     "RuntimeStats",
+    "TelemetryConfig",
     "build_load_scripts",
     "run_load",
 ]
@@ -174,6 +182,7 @@ def _node_worker(
     timeout: float,
     pace_seconds: float,
     wire_format: str = "full",
+    telemetry: Optional[Tuple[float, int]] = None,
 ) -> None:
     """Entry point of one node process (spawn- and fork-safe).
 
@@ -183,11 +192,21 @@ def _node_worker(
     on the piggybacked bytes.  All piggybacks pass through the
     negotiated wire-format codec; ``full`` reproduces the historical
     LEB128 bytes exactly.
+
+    ``telemetry`` is ``(interval_seconds, every_commits)`` when the
+    run has the live telemetry plane on: cumulative metric snapshots
+    and flight-event deltas go out as fire-and-forget
+    ``MSG_TELEMETRY`` frames, only ever *between* protocol actions —
+    never while a coordinator reply is pending — so they interleave
+    safely with the strict request/response rendezvous protocol.
     """
     codec = make_codec(wire_format, decomposition.size)
     clock = OnlineProcessClock(
         name, decomposition, bound_k=codec.bound_k
     )
+    tele: Optional[NodeTelemetry] = None
+    if telemetry is not None:
+        tele = NodeTelemetry(name, telemetry[0], telemetry[1])
     sock = _connect(family, address, time.monotonic() + timeout)
     fs = FrameSocket(sock)
     # Backstop only: the coordinator enforces the real rendezvous
@@ -203,9 +222,14 @@ def _node_worker(
             },
         )
         for action in actions:
+            if tele is not None and tele.due():
+                fs.send_message(MSG_TELEMETRY, tele.frame())
             if isinstance(action, SendAction):
                 if pace_seconds > 0.0:
                     time.sleep(pace_seconds)
+                t_block = (
+                    time.monotonic() if tele is not None else 0.0
+                )
                 piggy = codec.encode(
                     (name, action.to), clock.prepare_send()
                 )
@@ -241,7 +265,15 @@ def _node_worker(
                         f"timestamp: {list(timestamp)} vs "
                         f"{list(receiver_view)}"
                     )
+                if tele is not None:
+                    t_end = time.monotonic()
+                    tele.on_commit(
+                        "send", action.to, t_end - t_block, t_end
+                    )
             elif isinstance(action, ReceiveAction):
+                t_block = (
+                    time.monotonic() if tele is not None else 0.0
+                )
                 fs.send_message(MSG_RECV, {"source": action.source})
                 reply = fs.recv_message()
                 if reply is None:
@@ -270,8 +302,18 @@ def _node_worker(
                     {"timestamp": list(timestamp)},
                     codec.encode((name, header["sender"]), ack_vector),
                 )
+                if tele is not None:
+                    t_end = time.monotonic()
+                    tele.on_commit(
+                        "receive",
+                        header["sender"],
+                        t_end - t_block,
+                        t_end,
+                    )
             elif isinstance(action, ComputeAction):
                 fs.send_message(MSG_INTERNAL, {"label": action.label})
+                if tele is not None:
+                    tele.on_internal(action.label)
             elif isinstance(action, CrashAction):
                 fs.send_message(MSG_CRASHED, {"reason": action.reason})
                 return  # fault injection: abandon the script
@@ -279,6 +321,10 @@ def _node_worker(
                 raise SimulationError(
                     f"unknown action {action!r} on {name!r}"
                 )
+        if tele is not None:
+            # Final cumulative push: makes the merged view complete
+            # even if every periodic frame was lost or never due.
+            fs.send_message(MSG_TELEMETRY, tele.frame(final=True))
         done_header: Dict[str, Any] = {}
         if codec.kind != WIRE_FORMAT_FULL:
             # Per-node codec counters ride home in the control header;
@@ -362,6 +408,9 @@ class RuntimeStats:
     #: Full-vector resync frames reported by the nodes' delta codecs
     #: (0 for full/bounded runs).
     delta_resync_total: int = 0
+    #: ``MSG_TELEMETRY`` frames ingested by the live aggregator
+    #: (0 when the telemetry plane is off).
+    telemetry_frames: int = 0
     wall_seconds: float = 0.0
     traffic_seconds: float = 0.0
     block_sketch: QuantileSketch = field(
@@ -406,6 +455,7 @@ class RuntimeStats:
             "piggyback_bytes_per_message": self.piggyback_bytes_per_message,
             "wire_format": self.wire_format,
             "delta_resync_total": self.delta_resync_total,
+            "telemetry_frames": self.telemetry_frames,
             "wall_seconds": self.wall_seconds,
             "traffic_seconds": self.traffic_seconds,
             "messages_per_sec": self.messages_per_sec,
@@ -438,6 +488,10 @@ class DistributedTransport:
         #: Poison reason when the run was abandoned (stuck nodes), else
         #: ``None`` — mirrors ``SynchronousTransport.poisoned``.
         self.poisoned: Optional[str] = None
+        #: The run's :class:`~repro.obs.live.LiveAggregator` when the
+        #: telemetry plane was on (health events, merged registry),
+        #: else ``None``.
+        self.live: Optional[LiveAggregator] = None
 
     @property
     def decomposition(self) -> EdgeDecomposition:
@@ -481,12 +535,28 @@ class _Coordinator:
         timeout: float,
         idle_timeout: float,
         wire_format: str = "full",
+        live: Optional[LiveAggregator] = None,
     ):
         self._decomposition = decomposition
         self._expected = set(expected)
         self._timeout = timeout
         self._idle_timeout = idle_timeout
         self._wire_format = wire_format
+        self._live = live
+        # Health-check cadence: a fraction of the push interval,
+        # clamped so a tiny interval cannot spin the serve loop.
+        if live is not None:
+            self._live_tick = min(
+                max(live.config.interval_seconds / 2.0, 0.05), 0.5
+            )
+        else:
+            self._live_tick = 0.0
+        self._live_next_tick = 0.0
+        # Per-frame heartbeats batch into this plain dict (one store
+        # per frame on the data path) and flush to the aggregator at
+        # tick cadence — stall deadlines are seconds, so sub-tick
+        # heartbeat resolution buys nothing.
+        self._live_seen: Dict[Process, float] = {}
         self._selector = selectors.DefaultSelector()
         self._conn_of: Dict[Process, socket.socket] = {}
         self._buffers: Dict[socket.socket, FrameBuffer] = {}
@@ -506,6 +576,24 @@ class _Coordinator:
         self.result.stats.wire_format = wire_format
 
     # -- helpers -------------------------------------------------------
+    def _record(
+        self, kind: str, process: Process, peer: Any = None,
+        **detail: Any,
+    ) -> None:
+        """Record a runtime event to the ambient flight recorder.
+
+        The live aggregator's partial flight record is deliberately
+        NOT fed from here: per-event forwarding would tax every
+        rendezvous on the coordinator's single-threaded critical
+        path.  Instead :meth:`_live_tick_maybe` syncs the currently
+        *open* waits into the live ring at tick cadence — exactly the
+        events ``wait_for_summary`` needs for deadlock suspicion —
+        and the expiry sweeps push timed-out waits eagerly.
+        """
+        fr = _flightrec.recorder
+        if fr is not None:
+            fr.record(kind, process, peer=peer, **detail)
+
     def _send(
         self,
         node: Process,
@@ -539,14 +627,14 @@ class _Coordinator:
         self._conn_of.pop(name, None)
         if name not in self._finished:
             self._finished.add(name)
+            if self._live is not None:
+                self._live.on_node_finished(name)
             if error:
-                fr = _flightrec.recorder
-                if fr is not None:
-                    fr.record(
-                        _flightrec.SCRIPT_ERROR,
-                        name,
-                        error="node process disconnected early",
-                    )
+                self._record(
+                    _flightrec.SCRIPT_ERROR,
+                    name,
+                    error="node process disconnected early",
+                )
                 self.result.errors.append(
                     SimulationError(
                         f"node {name!r} disconnected before finishing"
@@ -590,13 +678,11 @@ class _Coordinator:
             )
         self._names[conn] = name
         self._conn_of[name] = conn
-        fr = _flightrec.recorder
-        if fr is not None:
-            fr.record(
-                _flightrec.SCRIPT_START,
-                name,
-                actions=header.get("actions", 0),
-            )
+        self._record(
+            _flightrec.SCRIPT_START,
+            name,
+            actions=header.get("actions", 0),
+        )
 
     def _on_offer(
         self,
@@ -623,12 +709,10 @@ class _Coordinator:
         self._inboxes[to].append(offer)
         self.result.stats.piggyback_bytes += len(piggy)
         self.result.stats.piggyback_wire_bytes += len(piggy)
-        fr = _flightrec.recorder
-        if fr is not None:
-            fr.record(_flightrec.SEND_OFFER, sender, peer=to)
-            fr.record(
-                _flightrec.BLOCK_START, sender, peer=to, op="send"
-            )
+        self._record(_flightrec.SEND_OFFER, sender, peer=to)
+        self._record(
+            _flightrec.BLOCK_START, sender, peer=to, op="send"
+        )
         self._try_match(to, now)
 
     def _on_recv(
@@ -645,14 +729,12 @@ class _Coordinator:
             t_start=now,
         )
         self._waiting_recv[receiver] = recv
-        fr = _flightrec.recorder
-        if fr is not None:
-            fr.record(
-                _flightrec.BLOCK_START,
-                receiver,
-                peer=recv.source,
-                op="receive",
-            )
+        self._record(
+            _flightrec.BLOCK_START,
+            receiver,
+            peer=recv.source,
+            op="receive",
+        )
         self._try_match(receiver, now)
 
     def _try_match(self, receiver: Process, now: float) -> None:
@@ -728,23 +810,21 @@ class _Coordinator:
                 m.rendezvous_block_quantiles.observe(waited)
             m.piggyback_quantiles.observe(len(offer.piggy))
             m.piggyback_quantiles.observe(len(ack))
-        fr = _flightrec.recorder
-        if fr is not None:
-            fr.record(
-                _flightrec.BLOCK_END,
-                receiver,
-                peer=offer.sender,
-                op="receive",
-                status="matched",
-                seconds=receiver_blocked,
-            )
-            fr.record(
-                _flightrec.RENDEZVOUS,
-                receiver,
-                peer=offer.sender,
-                commit_order=commit_order,
-                payload=repr(offer.payload),
-            )
+        self._record(
+            _flightrec.BLOCK_END,
+            receiver,
+            peer=offer.sender,
+            op="receive",
+            status="matched",
+            seconds=receiver_blocked,
+        )
+        self._record(
+            _flightrec.RENDEZVOUS,
+            receiver,
+            peer=offer.sender,
+            commit_order=commit_order,
+            payload=repr(offer.payload),
+        )
         aud = _audit.auditor
         if aud is not None:
             aud.on_runtime_message(offer.sender, receiver, timestamp)
@@ -754,15 +834,14 @@ class _Coordinator:
             {"timestamp": header["timestamp"]},
             ack,
         )
-        if fr is not None:
-            fr.record(
-                _flightrec.BLOCK_END,
-                offer.sender,
-                peer=receiver,
-                op="send",
-                status="matched",
-                seconds=sender_blocked,
-            )
+        self._record(
+            _flightrec.BLOCK_END,
+            offer.sender,
+            peer=receiver,
+            op="send",
+            status="matched",
+            seconds=sender_blocked,
+        )
 
     def _on_internal(
         self, process: Process, header: Dict[str, Any]
@@ -781,44 +860,40 @@ class _Coordinator:
         )
         internal[process].append(event)
         self.result.stats.internal_events += 1
-        fr = _flightrec.recorder
-        if fr is not None:
-            fr.record(
-                _flightrec.INTERNAL,
-                process,
-                label=event.name,
-                slot=slot,
-            )
+        self._record(
+            _flightrec.INTERNAL,
+            process,
+            label=event.name,
+            slot=slot,
+        )
 
     def _on_finish(
         self, conn: socket.socket, name: Process, kind: int,
         header: Dict[str, Any],
     ) -> None:
-        fr = _flightrec.recorder
         if kind == MSG_DONE:
             wire = header.get("wire")
             if isinstance(wire, dict):
                 self.result.stats.delta_resync_total += int(
                     wire.get("resyncs", 0)
                 )
-            if fr is not None:
-                fr.record(_flightrec.SCRIPT_END, name)
+            self._record(_flightrec.SCRIPT_END, name)
         elif kind == MSG_CRASHED:
-            if fr is not None:
-                fr.record(
-                    _flightrec.CRASH,
-                    name,
-                    reason=header.get("reason", "crash"),
-                )
+            self._record(
+                _flightrec.CRASH,
+                name,
+                reason=header.get("reason", "crash"),
+            )
         else:  # MSG_FAIL
             error = header.get("error", "node script failed")
-            if fr is not None:
-                fr.record(_flightrec.SCRIPT_ERROR, name, error=error)
+            self._record(_flightrec.SCRIPT_ERROR, name, error=error)
             if header.get("error_type") == "deadlock":
                 self.result.errors.append(RuntimeDeadlockError(error))
             else:
                 self.result.errors.append(SimulationError(error))
         self._finished.add(name)
+        if self._live is not None:
+            self._live.on_node_finished(name)
         self._abandon_pending(name)
 
     # -- timeouts ------------------------------------------------------
@@ -837,7 +912,6 @@ class _Coordinator:
         return min(deadlines) if deadlines else None
 
     def _expire(self, now: float) -> None:
-        fr = _flightrec.recorder
         stats = self.result.stats
         for receiver, inbox in self._inboxes.items():
             expired = [o for o in inbox if o.deadline <= now]
@@ -850,14 +924,17 @@ class _Coordinator:
             for offer in expired:
                 stats.timeouts += 1
                 waited = now - offer.t_start
-                if fr is not None:
-                    fr.record(
-                        _flightrec.BLOCK_END,
-                        offer.sender,
-                        peer=receiver,
-                        op="send",
-                        status="timeout",
-                        seconds=waited,
+                self._record(
+                    _flightrec.BLOCK_END,
+                    offer.sender,
+                    peer=receiver,
+                    op="send",
+                    status="timeout",
+                    seconds=waited,
+                )
+                if self._live is not None:
+                    self._live.on_wait_timeout(
+                        offer.sender, "send", receiver, waited
                     )
                 m = _obs.metrics
                 if m is not None:
@@ -880,14 +957,17 @@ class _Coordinator:
             del self._waiting_recv[receiver]
             stats.timeouts += 1
             waited = now - recv.t_start
-            if fr is not None:
-                fr.record(
-                    _flightrec.BLOCK_END,
-                    receiver,
-                    peer=recv.source,
-                    op="receive",
-                    status="timeout",
-                    seconds=waited,
+            self._record(
+                _flightrec.BLOCK_END,
+                receiver,
+                peer=recv.source,
+                op="receive",
+                status="timeout",
+                seconds=waited,
+            )
+            if self._live is not None:
+                self._live.on_wait_timeout(
+                    receiver, "receive", recv.source, waited
                 )
             m = _obs.metrics
             if m is not None:
@@ -924,6 +1004,55 @@ class _Coordinator:
                 },
             )
 
+    def _blocked_nodes(self) -> frozenset:
+        """Nodes currently parked in a rendezvous at the coordinator."""
+        blocked = set()
+        for inbox in self._inboxes.values():
+            for offer in inbox:
+                blocked.add(offer.sender)
+        blocked.update(self._waiting_recv)
+        for receiver, match in self._awaiting_ack.items():
+            blocked.add(receiver)
+            blocked.add(match.offer.sender)
+        return frozenset(blocked)
+
+    def _open_waits(self) -> Dict[Process, Tuple[str, Any, float]]:
+        """``process -> (op, peer, since)`` for every unmatched wait.
+
+        Matched-but-unacked pairs (``_awaiting_ack``) are excluded:
+        they are mid-commit, not waiting on a peer, so they belong to
+        the stall detector, not the wait-for graph.
+        """
+        waits: Dict[Process, Tuple[str, Any, float]] = {}
+        for to, inbox in self._inboxes.items():
+            for offer in inbox:
+                waits[offer.sender] = ("send", to, offer.t_start)
+        for receiver, recv in self._waiting_recv.items():
+            waits[receiver] = ("receive", recv.source, recv.t_start)
+        return waits
+
+    def _flush_live_seen(self) -> None:
+        """Drain batched per-frame heartbeats into the aggregator."""
+        live = self._live
+        seen = self._live_seen
+        if live is None or not seen:
+            return
+        for node, t in seen.items():
+            live.on_frame(node, t)
+        seen.clear()
+
+    def _live_tick_maybe(self, now: float) -> None:
+        live = self._live
+        if live is None or now < self._live_next_tick:
+            return
+        self._live_next_tick = now + self._live_tick
+        self._flush_live_seen()
+        live.sync_open_waits(self._open_waits(), now)
+        live.check_health(now, blocked=self._blocked_nodes())
+        on_tick = live.config.on_tick
+        if on_tick is not None:
+            on_tick(live, now)
+
     # -- main loop -----------------------------------------------------
     def serve(self, listener: socket.socket) -> DistributedTransport:
         started = time.monotonic()
@@ -936,6 +1065,10 @@ class _Coordinator:
                 wait = 0.5
                 if deadline is not None:
                     wait = min(wait, max(0.0, deadline - now))
+                if self._live is not None:
+                    wait = min(
+                        wait, max(0.0, self._live_next_tick - now)
+                    )
                 events = self._selector.select(wait)
                 now = time.monotonic()
                 if events:
@@ -946,6 +1079,7 @@ class _Coordinator:
                     else:
                         self._read(key.fileobj, now)
                 self._expire(now)
+                self._live_tick_maybe(now)
                 if (
                     not events
                     and self._next_deadline() is None
@@ -963,6 +1097,16 @@ class _Coordinator:
             self._selector.unregister(listener)
             self._selector.close()
         ended = time.monotonic()
+        if self._live is not None:
+            # One last sweep so events raised by the final frames are
+            # not lost between the last tick and shutdown.
+            self._flush_live_seen()
+            self._live.sync_open_waits(self._open_waits(), ended)
+            self._live.check_health(ended, blocked=self._blocked_nodes())
+            self.result.stats.telemetry_frames = (
+                self._live.frames_total
+            )
+            self.result.live = self._live
         stats = self.result.stats
         stats.nodes = len(self._expected)
         stats.wall_seconds = ended - started
@@ -979,16 +1123,14 @@ class _Coordinator:
         self.result.poisoned = reason
         error = RuntimeDeadlockError(reason)
         self.result.errors.append(error)
-        fr = _flightrec.recorder
         for name in sorted(
             self._expected - self._finished, key=str
         ):
-            if fr is not None:
-                fr.record(
-                    _flightrec.DEADLOCK,
-                    name,
-                    note="node abandoned by the coordinator",
-                )
+            self._record(
+                _flightrec.DEADLOCK,
+                name,
+                note="node abandoned by the coordinator",
+            )
             self._send(name, MSG_SHUTDOWN, {"reason": reason})
 
     def _accept(self, listener: socket.socket) -> None:
@@ -1028,11 +1170,22 @@ class _Coordinator:
             name = self._names.get(conn)
             if kind == MSG_HELLO:
                 self._on_hello(conn, header)
+                name = self._names.get(conn)
+                if self._live is not None and name is not None:
+                    self._live_seen[name] = now
                 continue
             if name is None:
                 raise WireError(
                     f"frame kind {kind} before HELLO"
                 )
+            if self._live is not None:
+                self._live_seen[name] = now
+            if kind == MSG_TELEMETRY:
+                # Fire-and-forget: never answered, allowed at any
+                # point after HELLO, ignored if the plane is off.
+                if self._live is not None:
+                    self._live.on_telemetry(name, header, now)
+                continue
             if kind == MSG_OFFER:
                 self._on_offer(name, header, vec, now)
             elif kind == MSG_RECV:
@@ -1088,6 +1241,7 @@ class DistributedScriptRunner:
         pace: Optional[Dict[Process, float]] = None,
         idle_timeout: Optional[float] = None,
         wire_format: str = "full",
+        telemetry: Optional[TelemetryConfig] = None,
     ):
         parse_wire_format(wire_format)  # fail fast on a bad spec
         unknown = [
@@ -1114,6 +1268,7 @@ class DistributedScriptRunner:
             timeout * 2 if idle_timeout is None else idle_timeout
         )
         self._wire_format = wire_format
+        self._telemetry = telemetry
 
     def run(self, raise_on_error: bool = True) -> DistributedTransport:
         """Spawn the node processes, run the coordinator, collect.
@@ -1123,53 +1278,78 @@ class DistributedScriptRunner:
         collected exceptions land on the returned transport's
         ``errors``.
         """
+        live: Optional[LiveAggregator] = None
+        endpoint: Optional[MetricsEndpoint] = None
+        node_telemetry: Optional[Tuple[float, int]] = None
+        if self._telemetry is not None:
+            live = LiveAggregator(
+                list(self._scripts), self._telemetry
+            )
+            node_telemetry = (
+                self._telemetry.interval_seconds,
+                self._telemetry.every_commits,
+            )
+            if self._telemetry.metrics_port is not None:
+                endpoint = MetricsEndpoint(
+                    live, port=self._telemetry.metrics_port
+                ).start()
+                live.endpoint = endpoint
         listener, family, address = _make_listener(self._transport)
         ctx = _mp_context()
         processes: Dict[Process, multiprocessing.process.BaseProcess] = {}
         try:
-            for name, actions in self._scripts.items():
-                proc = ctx.Process(
-                    target=_node_worker,
-                    args=(
-                        name,
-                        self._decomposition,
-                        actions,
-                        family,
-                        address,
-                        self._timeout,
-                        self._pace.get(name, 0.0),
-                        self._wire_format,
-                    ),
-                    daemon=True,
-                )
-                proc.start()
-                processes[name] = proc
-            coordinator = _Coordinator(
-                self._decomposition,
-                list(self._scripts),
-                self._timeout,
-                self._idle_timeout,
-                wire_format=self._wire_format,
-            )
-            result = coordinator.serve(listener)
-        finally:
             try:
-                listener.close()
+                for name, actions in self._scripts.items():
+                    proc = ctx.Process(
+                        target=_node_worker,
+                        args=(
+                            name,
+                            self._decomposition,
+                            actions,
+                            family,
+                            address,
+                            self._timeout,
+                            self._pace.get(name, 0.0),
+                            self._wire_format,
+                            node_telemetry,
+                        ),
+                        daemon=True,
+                    )
+                    proc.start()
+                    processes[name] = proc
+                coordinator = _Coordinator(
+                    self._decomposition,
+                    list(self._scripts),
+                    self._timeout,
+                    self._idle_timeout,
+                    wire_format=self._wire_format,
+                    live=live,
+                )
+                result = coordinator.serve(listener)
             finally:
-                if family == "unix":
-                    _cleanup_unix_address(address)
-        for name, proc in processes.items():
-            proc.join(timeout=self._timeout)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=1.0)
-                if result.poisoned is None:
-                    result.poisoned = (
-                        f"node process {name!r} had to be terminated"
-                    )
-                    result.errors.append(
-                        RuntimeDeadlockError(result.poisoned)
-                    )
+                try:
+                    listener.close()
+                finally:
+                    if family == "unix":
+                        _cleanup_unix_address(address)
+            for name, proc in processes.items():
+                proc.join(timeout=self._timeout)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+                    if result.poisoned is None:
+                        result.poisoned = (
+                            f"node process {name!r} had to be "
+                            "terminated"
+                        )
+                        result.errors.append(
+                            RuntimeDeadlockError(result.poisoned)
+                        )
+        finally:
+            if endpoint is not None:
+                endpoint.close()
+            if live is not None:
+                live.close()
         if result.errors and raise_on_error:
             raise result.errors[0]
         return result
@@ -1236,6 +1416,10 @@ def run_load(
     transport: str = "auto",
     payload: Any = "x",
     wire_format: str = "full",
+    telemetry: Optional[TelemetryConfig] = None,
+    slow_clients: int = 0,
+    slow_pace: float = 0.0,
+    raise_on_error: bool = True,
 ) -> DistributedTransport:
     """Drive sustained rendezvous traffic through node processes.
 
@@ -1244,6 +1428,13 @@ def run_load(
     client side (each client sleeps ``client_count / rate`` before each
     send), so the aggregate offered load approximates ``rate``
     regardless of the client count.
+
+    ``telemetry`` turns on the live telemetry plane
+    (:class:`~repro.obs.live.TelemetryConfig`).  ``slow_clients`` /
+    ``slow_pace`` inject stragglers: the first ``slow_clients``
+    clients sleep ``slow_pace`` seconds before every send (on top of
+    any ``rate`` pacing), giving health detection something real to
+    find in smoke tests.
     """
     decomposition, scripts = build_load_scripts(
         server_count, client_count, messages_per_client, payload
@@ -1254,6 +1445,10 @@ def run_load(
         pace = {
             f"C{i}": per_client for i in range(1, client_count + 1)
         }
+    if slow_clients > 0 and slow_pace > 0.0:
+        for i in range(1, min(slow_clients, client_count) + 1):
+            name = f"C{i}"
+            pace[name] = max(pace.get(name, 0.0), slow_pace)
     runner = DistributedScriptRunner(
         decomposition,
         scripts,
@@ -1261,5 +1456,6 @@ def run_load(
         transport=transport,
         pace=pace,
         wire_format=wire_format,
+        telemetry=telemetry,
     )
-    return runner.run()
+    return runner.run(raise_on_error=raise_on_error)

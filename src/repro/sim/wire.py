@@ -51,6 +51,7 @@ MSG_FAIL = 9  #: node -> coord: {"error": repr} script died
 MSG_TIMEOUT = 10  #: coord -> node: {"op": "send"|"receive"} wait expired
 MSG_CRASHED = 11  #: node -> coord: {"reason": str} fault injection
 MSG_SHUTDOWN = 12  #: coord -> node: run is over / poisoned, stop now
+MSG_TELEMETRY = 13  #: node -> coord: fire-and-forget metric/flight push
 
 #: Upper bound on a single frame; anything bigger is a protocol error,
 #: not a message (prevents a corrupt length prefix from allocating GiBs).

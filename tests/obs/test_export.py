@@ -112,3 +112,45 @@ class TestPrometheusRendering:
         assert parsed == json.loads(
             json.dumps(registry.snapshot(), sort_keys=True)
         )
+
+
+class TestPrometheusEscaping:
+    """Exposition-format escaping: out-of-grammar input must never
+    corrupt the scrape output (regression tests for the live
+    ``/metrics`` endpoint, which serves node-supplied names)."""
+
+    def test_help_escapes_backslash_and_newline(self):
+        registry = MetricsRegistry()
+        registry.counter("c", help="line one\nline \\two").inc()
+        text = render_prometheus(registry)
+        assert "# HELP c line one\\nline \\\\two" in text
+        assert "\nline" not in text.replace("\\nline", "")
+
+    def test_metric_name_is_sanitized_to_grammar(self):
+        registry = MetricsRegistry()
+        registry.counter('bad name{evil="1"}\ninjected 9').inc(3)
+        text = render_prometheus(registry)
+        for line in text.splitlines():
+            assert line.startswith(("#", "bad_name_evil")), line
+        assert "injected 9" not in text
+        assert "bad_name_evil__1___injected_9 3" in text
+
+    def test_leading_digit_is_prefixed(self):
+        registry = MetricsRegistry()
+        registry.gauge("2xx_total").set(1)
+        assert "_2xx_total 1" in render_prometheus(registry)
+
+    def test_every_line_matches_the_exposition_grammar(self):
+        import re
+
+        registry = MetricsRegistry()
+        registry.counter("ok_total", help="fine").inc()
+        registry.histogram("h sec", buckets=[0.1]).observe(0.05)
+        sketch = registry.summary("q\nuant")
+        sketch.observe(1.0)
+        line_re = re.compile(
+            r"^(# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* [^\n]*"
+            r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^\n{}]*\})? [^ \n]+)$"
+        )
+        for line in render_prometheus(registry).splitlines():
+            assert line_re.match(line), line

@@ -380,3 +380,41 @@ class TestUnknownWaitStatus:
         assert summary.blocked == []
         assert summary.deadlock_cycle() is None
         assert flightrec.truncation_summary(rec).lost_events == 2
+
+
+class TestPartialLineTolerance:
+    """A live-streamed or crash-time JSONL dump routinely ends in a
+    partial line; loading must tolerate exactly that and nothing
+    more."""
+
+    def _dump(self) -> str:
+        rec = flightrec.FlightRecorder(capacity=8)
+        rec.record(flightrec.SEND_OFFER, "P1", peer="P2")
+        rec.record(flightrec.RENDEZVOUS, "P2", peer="P1", commit_order=0)
+        buffer = io.StringIO()
+        rec.dump_jsonl(buffer)
+        return buffer.getvalue()
+
+    def test_trailing_partial_line_is_skipped_with_warning(self, capsys):
+        text = self._dump() + '{"kind": "rendezvous", "proc'
+        events = flightrec.load_jsonl(io.StringIO(text))
+        assert len(events) == 2
+        captured = capsys.readouterr()
+        assert "trailing partial line" in captured.err
+
+    def test_trailing_partial_line_from_file(self, tmp_path, capsys):
+        path = tmp_path / "flight.jsonl"
+        path.write_text(self._dump() + '{"trunc')
+        assert len(flightrec.load_jsonl(str(path))) == 2
+        assert "trailing partial line" in capsys.readouterr().err
+
+    def test_mid_stream_garbage_still_raises(self):
+        lines = self._dump().splitlines()
+        mangled = "\n".join([lines[0], '{"kind": bogus', lines[1]])
+        with pytest.raises(Exception):
+            flightrec.load_jsonl(io.StringIO(mangled))
+
+    def test_intact_dump_warns_nothing(self, capsys):
+        events = flightrec.load_jsonl(io.StringIO(self._dump()))
+        assert len(events) == 2
+        assert capsys.readouterr().err == ""

@@ -205,3 +205,112 @@ class TestRendering:
         out.write_text(rendered, encoding="utf-8")
         baseline = report.load_baseline(out)
         assert report.compare_reports(merged, baseline).ok
+
+
+class TestHardGatePerPattern:
+    """Per-pattern hard tolerances (the live-telemetry 5% bar rides on
+    these)."""
+
+    def test_string_entries_use_block_tolerance(self):
+        gate = report.HardGate(["a/*"], tolerance=0.2)
+        assert gate.tolerance_for("a/x") == 0.2
+        assert gate.tolerance_for("b/x") is None
+
+    def test_dict_entry_overrides_block_tolerance(self):
+        gate = report.HardGate(
+            [{"pattern": "obs/*overhead_ratio*", "tolerance": 0.05}, "*"],
+            tolerance=0.2,
+        )
+        assert gate.tolerance_for(
+            "obs/live_telemetry/telemetry_overhead_ratio"
+        ) == 0.05
+        assert gate.tolerance_for("runtime/x/messages_per_sec") == 0.2
+
+    def test_first_matching_entry_wins(self):
+        gate = report.HardGate(
+            ["*", {"pattern": "special/*", "tolerance": 0.01}],
+            tolerance=0.3,
+        )
+        # The broad glob is first, so the override never fires.
+        assert gate.tolerance_for("special/metric") == 0.3
+
+    def test_entry_without_pattern_key_rejected(self):
+        with pytest.raises(report.BenchReportError):
+            report.HardGate([{"tolerance": 0.1}])
+
+    def test_negative_per_pattern_tolerance_rejected(self):
+        with pytest.raises(report.BenchReportError):
+            report.HardGate([{"pattern": "x", "tolerance": -0.1}])
+
+    def test_round_trips_through_dict(self):
+        gate = report.HardGate(
+            ["plain/*", {"pattern": "strict/*", "tolerance": 0.02}],
+            tolerance=0.15,
+        )
+        clone = report.HardGate.from_dict(gate.to_dict())
+        assert clone.entries == gate.entries
+        assert clone.tolerance == gate.tolerance
+
+    def test_per_pattern_tolerance_decides_hard_failure(self, tmp_path):
+        current_dir = tmp_path / "current"
+        current_dir.mkdir()
+        _write_bench(
+            current_dir, "obs", {"live": {"telemetry_overhead_ratio": 1.08}}
+        )
+        baseline = report.BenchReport.from_dict(
+            {
+                "metrics": {
+                    "obs/live/telemetry_overhead_ratio": {"value": 1.0}
+                },
+                "hard_gate": {
+                    "patterns": [
+                        {
+                            "pattern": "obs/*overhead_ratio*",
+                            "tolerance": 0.05,
+                        }
+                    ],
+                    "tolerance": 0.5,
+                },
+            }
+        )
+        result = report.compare_reports(
+            report.load_bench_dir(current_dir), baseline, tolerance=0.5
+        )
+        assert result.hard_failures
+        assert not result.ok
+        # Within 5% passes the same gate.
+        _write_bench(
+            current_dir, "obs", {"live": {"telemetry_overhead_ratio": 1.04}}
+        )
+        result = report.compare_reports(
+            report.load_bench_dir(current_dir), baseline, tolerance=0.5
+        )
+        assert not result.hard_failures
+        assert result.ok
+
+
+class TestMalformedSnapshots:
+    def test_unparseable_json_raises_bench_report_error(self, tmp_path):
+        (tmp_path / "BENCH_broken.json").write_text("{not json", "utf-8")
+        with pytest.raises(report.BenchReportError):
+            report.load_bench_dir(tmp_path)
+
+    def test_non_numeric_baseline_value_raises(self):
+        data = {
+            "metrics": {
+                "x/run/messages_per_sec": {"value": "fast"},
+            }
+        }
+        with pytest.raises(report.BenchReportError) as excinfo:
+            report.BenchReport.from_dict(data)
+        assert "no numeric 'value'" in str(excinfo.value)
+
+    def test_cli_exits_with_one_line_error(self, tmp_path, capsys):
+        from repro.cli import main
+
+        (tmp_path / "BENCH_broken.json").write_text("{not json", "utf-8")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["obs", "report", "--dir", str(tmp_path)])
+        message = str(excinfo.value)
+        assert message.startswith("obs report:")
+        assert "\n" not in message

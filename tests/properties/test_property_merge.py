@@ -1,0 +1,166 @@
+"""Property-based verification of the cross-process merge contract.
+
+The live telemetry plane's correctness claim: however the observation
+stream is partitioned across node registries, merging the parts gives
+*exactly* the serial counters and histograms, and P² quantile
+estimates within the documented accuracy contract.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    DURATION_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+)
+
+RELAXED = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# Observation values cover the full bucket range plus both tails.
+values = st.floats(
+    min_value=0.0,
+    max_value=100.0,
+    allow_nan=False,
+    allow_infinity=False,
+)
+partitions = st.lists(
+    st.lists(values, max_size=60), min_size=1, max_size=6
+)
+
+
+def _merge_parts(parts, through_json):
+    merged = MetricsRegistry()
+    for part in parts:
+        if through_json:
+            merged.merge_snapshot(
+                json.loads(json.dumps(part.snapshot()))
+            )
+        else:
+            merged.merge(part)
+    return merged
+
+
+class TestExactness:
+    @RELAXED
+    @given(partitions, st.booleans())
+    def test_counters_sum_exactly(self, parts, through_json):
+        registries = []
+        for chunk in parts:
+            registry = MetricsRegistry()
+            registry.counter("commits").inc(len(chunk))
+            registries.append(registry)
+        merged = _merge_parts(registries, through_json)
+        total = merged.snapshot()["commits"]["value"]
+        assert total == sum(len(chunk) for chunk in parts)
+
+    @RELAXED
+    @given(partitions, st.booleans())
+    def test_histograms_merge_exactly(self, parts, through_json):
+        serial = Histogram("h", buckets=DURATION_BUCKETS)
+        registries = []
+        for chunk in parts:
+            registry = MetricsRegistry()
+            hist = registry.histogram("h", buckets=DURATION_BUCKETS)
+            for value in chunk:
+                hist.observe(value)
+                serial.observe(value)
+            registries.append(registry)
+        merged = _merge_parts(registries, through_json)
+        hist = merged.snapshot().get("h")
+        if hist is None:  # every part was empty
+            assert serial.count == 0
+            return
+        assert hist["count"] == serial.count
+        assert abs(hist["sum"] - serial.sum) <= 1e-6 * max(
+            1.0, abs(serial.sum)
+        )
+        assert [
+            count for _, count in hist["buckets"]
+        ] == [count for _, count in serial.bucket_counts()]
+
+    @RELAXED
+    @given(partitions, st.booleans())
+    def test_sketch_count_sum_min_max_exact(self, parts, through_json):
+        flat = [v for chunk in parts for v in chunk]
+        registries = []
+        for chunk in parts:
+            registry = MetricsRegistry()
+            sketch = registry.summary("s")
+            for value in chunk:
+                sketch.observe(value)
+            registries.append(registry)
+        merged = _merge_parts(registries, through_json)
+        data = merged.snapshot().get("s")
+        if not flat:
+            assert data is None or data["count"] == 0
+            return
+        assert data["count"] == len(flat)
+        assert abs(data["sum"] - sum(flat)) <= 1e-6 * max(
+            1.0, abs(sum(flat))
+        )
+        assert data["min"] == min(flat)
+        assert data["max"] == max(flat)
+
+
+class TestSketchAccuracy:
+    @RELAXED
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.lists(
+            st.integers(min_value=50, max_value=400),
+            min_size=2,
+            max_size=5,
+        ),
+        st.booleans(),
+    )
+    def test_merged_quantiles_bounded_rank_error(
+        self, seed, sizes, through_json
+    ):
+        """Merged estimates stay within the accuracy contract.
+
+        On well-behaved (uniform) streams, the rank of each merged
+        estimate must fall near its target — P²'s own error plus the
+        documented merge resampling error.  Adversarial distributions
+        are out of contract (the sketch trades worst-case accuracy
+        for O(1) state), so the property pins the distribution family
+        and randomizes the partition.
+        """
+        rng = random.Random(seed)
+        parts = [
+            [rng.random() for _ in range(size)] for size in sizes
+        ]
+        pooled = sorted(v for part in parts for v in part)
+        sketches = []
+        for part in parts:
+            sketch = QuantileSketch("s")
+            for value in part:
+                sketch.observe(value)
+            sketches.append(sketch)
+        merged = QuantileSketch("s")
+        for sketch in sketches:
+            if through_json:
+                merged.merge_snapshot(
+                    json.loads(json.dumps(sketch.snapshot()))
+                )
+            else:
+                merged.merge(sketch)
+        n = len(pooled)
+        for target, estimate in merged.quantiles().items():
+            rank = sum(1 for v in pooled if v <= estimate) / n
+            assert abs(rank - target) <= 0.15, (
+                target,
+                estimate,
+                rank,
+            )
+            assert pooled[0] <= estimate <= pooled[-1]

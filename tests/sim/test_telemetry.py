@@ -1,0 +1,242 @@
+"""End-to-end live telemetry over the multiprocess socket runtime.
+
+Real OS processes, real sockets, the real coordinator tick.  Node
+counts and message counts stay small; the heavyweight injected-
+straggler run lives in ``scripts/check_obs_live_smoke.py`` (the
+``make obs-live`` smoke) and the overhead run in
+``benchmarks/test_bench_obs.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.exceptions import RuntimeDeadlockError
+from repro.graphs.decomposition import decompose
+from repro.graphs.generators import path_topology
+from repro.obs.live import (
+    DEADLOCK_SUSPECT,
+    NODE_BLOCK_SECONDS,
+    NODE_COMMITS,
+    NODE_RECEIVES,
+    NODE_SENDS,
+    STALL,
+    TelemetryConfig,
+)
+from repro.sim.distributed import DistributedScriptRunner, run_load
+from repro.sim.runtime import receive, send
+
+
+def _config(**overrides) -> TelemetryConfig:
+    """A fast-cadence config so short runs still produce frames."""
+    defaults = dict(interval_seconds=0.1, every_commits=4)
+    defaults.update(overrides)
+    return TelemetryConfig(**defaults)
+
+
+class TestMergedView:
+    def test_merged_counters_equal_per_node_sums(self):
+        messages = 12
+        transport = run_load(
+            server_count=1,
+            client_count=3,
+            messages_per_client=messages,
+            timeout=30.0,
+            telemetry=_config(),
+        )
+        stats = transport.stats
+        assert stats.timeouts == 0
+        assert stats.messages == 3 * messages
+        live = transport.live
+        assert live is not None
+        snapshot = live.merged_registry().snapshot()
+        # Every message commits on the sender AND the receiver: the
+        # merged totals must match exactly — the acceptance bar for
+        # cumulative-snapshot merging.
+        assert snapshot[NODE_COMMITS]["value"] == 2 * stats.messages
+        assert snapshot[NODE_SENDS]["value"] == stats.messages
+        assert snapshot[NODE_RECEIVES]["value"] == stats.messages
+        assert snapshot[NODE_BLOCK_SECONDS]["count"] == 2 * stats.messages
+
+    def test_telemetry_does_not_change_results(self):
+        decomposition = decompose(path_topology(3))
+        scripts = {
+            "P1": [send("P2", "a"), send("P2", "b")],
+            "P2": [
+                receive("P1"),
+                receive("P1"),
+                send("P3", "c"),
+            ],
+            "P3": [receive("P2")],
+        }
+        plain = DistributedScriptRunner(
+            decomposition, scripts, timeout=20.0
+        ).run()
+        live = DistributedScriptRunner(
+            decomposition, scripts, timeout=20.0, telemetry=_config()
+        ).run()
+        assert [e.payload for e in plain.log] == [
+            e.payload for e in live.log
+        ]
+        assert [list(e.timestamp) for e in plain.log] == [
+            list(e.timestamp) for e in live.log
+        ]
+        assert live.stats.telemetry_frames >= 3  # final frame per node
+
+    def test_plane_off_means_no_live_state(self):
+        transport = run_load(
+            server_count=1,
+            client_count=2,
+            messages_per_client=2,
+            timeout=20.0,
+        )
+        assert transport.live is None
+        assert transport.stats.telemetry_frames == 0
+
+
+class TestLiveSinks:
+    def test_live_out_stream_is_json_lines(self, tmp_path):
+        out = tmp_path / "live.jsonl"
+        transport = run_load(
+            server_count=1,
+            client_count=2,
+            messages_per_client=6,
+            timeout=30.0,
+            telemetry=_config(live_out=str(out)),
+        )
+        assert transport.stats.timeouts == 0
+        lines = [
+            json.loads(line)
+            for line in out.read_text().splitlines()
+            if line
+        ]
+        kinds = [line["type"] for line in lines]
+        assert kinds.count("telemetry") >= 3
+        assert kinds[-1] == "summary"
+        assert lines[-1]["commits"] == 2 * transport.stats.messages
+
+    def test_metrics_endpoint_serves_during_the_run(self):
+        scraped = []
+
+        def scrape(live, now):
+            if scraped or live.frames_total == 0:
+                return
+            with urllib.request.urlopen(
+                live.endpoint.url, timeout=5
+            ) as resp:
+                scraped.append(resp.read().decode("utf-8"))
+
+        config = _config(metrics_port=0, on_tick=scrape)
+        transport = run_load(
+            server_count=1,
+            client_count=2,
+            messages_per_client=10,
+            rate=40.0,  # paced, so coordinator ticks fire mid-run
+            timeout=30.0,
+            telemetry=config,
+        )
+        assert transport.stats.timeouts == 0
+        assert scraped, "no tick saw a frame while the endpoint was up"
+        assert NODE_COMMITS in scraped[0]
+
+
+class TestHealthDetectionE2E:
+    def test_stalled_node_raises_stall_event(self):
+        # P1 sleeps (pace) before each send: silent but NOT parked at
+        # the coordinator, which is exactly the stall detector's case.
+        decomposition = decompose(path_topology(2))
+        scripts = {
+            "P1": [send("P2", k) for k in range(2)],
+            "P2": [receive("P1") for _ in range(2)],
+        }
+        transport = DistributedScriptRunner(
+            decomposition,
+            scripts,
+            timeout=30.0,
+            pace={"P1": 1.2},
+            telemetry=_config(heartbeat_timeout=0.4),
+        ).run()
+        live = transport.live
+        assert live is not None
+        stalls = [e for e in live.events if e.kind == STALL]
+        assert stalls and stalls[0].node == "P1"
+
+    def test_mutual_sends_raise_deadlock_suspicion(self):
+        decomposition = decompose(path_topology(2))
+        scripts = {
+            "P1": [send("P2", "x")],
+            "P2": [send("P1", "y")],
+        }
+        transport = DistributedScriptRunner(
+            decomposition,
+            scripts,
+            timeout=2.0,
+            telemetry=_config(),
+        ).run(raise_on_error=False)
+        assert any(
+            isinstance(error, RuntimeDeadlockError)
+            for error in transport.errors
+        )
+        live = transport.live
+        assert live is not None
+        suspects = [
+            e for e in live.events if e.kind == DEADLOCK_SUSPECT
+        ]
+        assert suspects, "live plane never suspected the send cycle"
+        assert set(suspects[0].detail["cycle"]) == {"P1", "P2"}
+
+    def test_healthy_run_raises_no_events(self):
+        transport = run_load(
+            server_count=1,
+            client_count=2,
+            messages_per_client=6,
+            timeout=30.0,
+            telemetry=_config(),
+        )
+        live = transport.live
+        assert live is not None
+        assert live.events == []
+
+
+class TestCadenceKnobs:
+    def test_zero_cadence_still_sends_final_frames(self):
+        transport = run_load(
+            server_count=1,
+            client_count=2,
+            messages_per_client=3,
+            timeout=30.0,
+            telemetry=TelemetryConfig(
+                interval_seconds=0.0, every_commits=0
+            ),
+        )
+        live = transport.live
+        assert live is not None
+        # Exactly one (final) frame per node: the merged view is
+        # complete even with every periodic trigger disabled.
+        assert transport.stats.telemetry_frames == 3
+        snapshot = live.merged_registry().snapshot()
+        assert snapshot[NODE_COMMITS]["value"] == (
+            2 * transport.stats.messages
+        )
+
+    def test_commit_cadence_pushes_mid_run(self):
+        transport = run_load(
+            server_count=1,
+            client_count=2,
+            messages_per_client=10,
+            timeout=30.0,
+            telemetry=TelemetryConfig(
+                interval_seconds=0.0, every_commits=2
+            ),
+        )
+        # 2 clients x 10 commits / 2 + the server's 20 commits / 2
+        # would be 20 periodic frames at zero loss; require well more
+        # than the 3 final frames to prove mid-run pushing happened.
+        assert transport.stats.telemetry_frames > 6
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-v"]))
